@@ -1,0 +1,88 @@
+// Command nowbench regenerates every table and figure of the paper's
+// evaluation on the simulated network of workstations:
+//
+//	nowbench -table 1              Table 1 (apps, sizes, sequential times)
+//	nowbench -figure 6             Figure 6 (8-processor speedups)
+//	nowbench -table 2              Table 2 (data and message counts)
+//	nowbench -micro                Section 6 platform characteristics
+//	nowbench -ablation all         Section 3 flush-vs-sema/condvar studies
+//	nowbench -sweep                speedup curves for P = 1,2,4,8
+//	nowbench -all                  everything above
+//
+// Add -scale test for a fast run on reduced inputs, and -procs N to change
+// the processor count of Figure 6 / Table 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate Table 1 or 2")
+		figure   = flag.Int("figure", 0, "regenerate Figure 6")
+		micro    = flag.Bool("micro", false, "run the Section 6 platform microbenchmarks")
+		ablation = flag.String("ablation", "", "run an ablation: pipeline, taskqueue, flushcost, or all")
+		sweep    = flag.Bool("sweep", false, "print speedup curves over processor counts")
+		all      = flag.Bool("all", false, "run every experiment")
+		procs    = flag.Int("procs", 8, "processor count for Figure 6 and Table 2")
+		scale    = flag.String("scale", "full", "workload scale: full or test")
+	)
+	flag.Parse()
+
+	s := harness.Scale(*scale)
+	if s != harness.Full && s != harness.Test {
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	ran := false
+	out := os.Stdout
+
+	if *all || *table == 1 {
+		ran = true
+		check(harness.Table1(out, s))
+		fmt.Fprintln(out)
+	}
+	if *all || *figure == 6 {
+		ran = true
+		check(harness.Figure6(out, s, *procs))
+		fmt.Fprintln(out)
+	}
+	if *all || *table == 2 {
+		ran = true
+		check(harness.Table2(out, s, *procs))
+		fmt.Fprintln(out)
+	}
+	if *all || *micro {
+		ran = true
+		check(harness.PrintMicro(out))
+		fmt.Fprintln(out)
+	}
+	if *all || *ablation == "all" || *ablation == "pipeline" || *ablation == "taskqueue" || *ablation == "flushcost" {
+		ran = true
+		check(harness.PrintAblations(out))
+		fmt.Fprintln(out)
+	}
+	if *all || *sweep {
+		ran = true
+		check(harness.SpeedupSweep(out, s, []int{1, 2, 4, 8}))
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nowbench:", err)
+	os.Exit(1)
+}

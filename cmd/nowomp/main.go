@@ -1,0 +1,49 @@
+// Command nowomp runs one application of the paper's suite on the
+// simulated network of workstations and reports time, speedup, traffic,
+// and checksum validation:
+//
+//	nowomp -app Water -impl omp -procs 8
+//	nowomp -app TSP -impl mpi -procs 4 -scale test
+//
+// Implementations: seq (sequential reference), omp (compiled OpenMP on
+// TreadMarks), tmk (hand-coded TreadMarks), mpi (hand-coded MPI).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		app   = flag.String("app", "", "application: Sweep3D, 3D-FFT, Water, TSP, QSORT")
+		impl  = flag.String("impl", "omp", "implementation: seq, omp, tmk, mpi")
+		procs = flag.Int("procs", 8, "number of simulated workstations")
+		scale = flag.String("scale", "full", "workload scale: full or test")
+	)
+	flag.Parse()
+
+	a, ok := harness.FindApp(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nowomp: unknown app %q (have: %s)\n", *app, strings.Join(harness.AppNames(), ", "))
+		os.Exit(2)
+	}
+	s := harness.Scale(*scale)
+	seq := a.RunSeq(s)
+	res, err := harness.Verified(a, s, harness.Impl(*impl), *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nowomp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s / %s on %d processors (%s scale)\n", a.Name, *impl, *procs, s)
+	fmt.Printf("  sequential time : %s\n", seq.Time)
+	fmt.Printf("  parallel time   : %s\n", res.Time)
+	fmt.Printf("  speedup         : %.2f\n", seq.Time.Seconds()/res.Time.Seconds())
+	fmt.Printf("  messages        : %d\n", res.Messages)
+	fmt.Printf("  data            : %.2f MB\n", float64(res.Bytes)/1e6)
+	fmt.Printf("  checksum        : %g (validated against sequential)\n", res.Checksum)
+}

@@ -1,0 +1,95 @@
+// Compiler: drive the OpenMP-to-TreadMarks compiler (Section 4.3) on a
+// small directive-annotated program: the two-phase analysis infers which
+// locations must live in shared memory, catches a shared/private conflict,
+// and the fork-join transform produces a runnable program.
+//
+//	go run ./examples/compiler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dsm"
+	"repro/internal/ompc"
+)
+
+func main() {
+	const n = 1024
+
+	// A program shaped like the paper's examples: main declares `grid`
+	// shared in its region and passes it by reference to `smooth`, whose
+	// own region also marks its formal shared. `tmp` is shared in one
+	// region and private in another, so the analysis must redeclare it.
+	ir := &ompc.Program{
+		Globals: []*ompc.Var{
+			{Name: "grid", Kind: ompc.Array, Size: 8 * n},
+			{Name: "tmp", Kind: ompc.Scalar, Size: 8},
+		},
+		Subs: []*ompc.Subroutine{
+			{
+				Name:   "smooth",
+				Params: []ompc.Param{{Name: "g", Kind: ompc.Pointer, ByRef: true}},
+				Regions: []*ompc.Region{
+					{Name: "relax", Clauses: []ompc.Clause{{Var: "g", Sharing: ompc.Shared}}},
+				},
+			},
+			{
+				Name: "main",
+				Regions: []*ompc.Region{
+					{Name: "init", Clauses: []ompc.Clause{
+						{Var: "grid", Sharing: ompc.Shared},
+						{Var: "tmp", Sharing: ompc.Shared},
+					}},
+					{Name: "post", Clauses: []ompc.Clause{
+						{Var: "tmp", Sharing: ompc.Private},
+					}},
+				},
+				Calls: []ompc.Call{{Callee: "smooth", Args: []string{"grid"}}},
+			},
+		},
+	}
+
+	bodies := map[string]ompc.Body{
+		"main/init": func(tc *core.TC, env *ompc.Env) {
+			g := env.Addr("grid")
+			lo, hi := tc.StaticRange(0, n)
+			for i := lo; i < hi; i++ {
+				tc.Node().WriteF64(g+dsm.Addr(8*i), float64(i))
+			}
+			tc.Compute(float64(hi - lo))
+		},
+		"main/post": func(tc *core.TC, env *ompc.Env) {
+			tmp := 0.0 // redeclared private: a plain local
+			g := env.Addr("grid")
+			lo, hi := tc.StaticRange(0, n)
+			for i := lo; i < hi; i++ {
+				tmp += tc.Node().ReadF64(g + dsm.Addr(8*i))
+			}
+			tc.Compute(float64(hi - lo))
+		},
+	}
+
+	compiled, err := ompc.Compile(ir, core.Config{Threads: 4}, bodies)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("analysis results (Section 4.3.1):")
+	fmt.Printf("  shared locations : %v\n", compiled.Analysis.SharedLocs)
+	fmt.Printf("  redeclared       : %v (shared in one region, private in another)\n", compiled.Analysis.Redeclared)
+	fmt.Printf("  shared formals   : %v\n", compiled.Analysis.SharedParams)
+
+	err = compiled.Run(func(m *core.MC) {
+		m.Parallel("main/init", core.NoArgs())
+		m.Parallel("main/post", core.NoArgs())
+		g := compiled.Env("main").Addr("grid")
+		fmt.Printf("grid[0]=%.0f grid[%d]=%.0f — initialized through DSM shared memory\n",
+			m.Node().ReadF64(g), n-1, m.Node().ReadF64(g+dsm.Addr(8*(n-1))))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fork-join transform executed both regions on 4 workstations")
+}

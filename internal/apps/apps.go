@@ -1,0 +1,55 @@
+// Package apps holds the five applications of the paper's evaluation
+// (Table 1): ASCI Sweep3D, NAS 3D-FFT, SPLASH-2 Water, TSP, and QSORT.
+// Each application subpackage provides four implementations of the same
+// computation —
+//
+//	RunSeq — sequential reference (the baseline for speedups),
+//	RunOMP — compiler-style OpenMP on the DSM (internal/core),
+//	RunTmk — hand-coded TreadMarks (internal/dsm directly),
+//	RunMPI — hand-coded message passing (internal/mpi),
+//
+// all returning a Result whose Checksum must agree with the sequential
+// run, which is how the protocol stack is validated end to end.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Result summarizes one application run.
+type Result struct {
+	// Checksum is an implementation-independent digest of the computed
+	// output, compared against the sequential run.
+	Checksum float64
+	// Time is the virtual execution time (max over nodes).
+	Time sim.Time
+	// Messages and Bytes count interconnect traffic during the run
+	// (zero for sequential runs) — the raw material of Table 2.
+	Messages int64
+	Bytes    int64
+}
+
+// Close reports whether two checksums agree to within a relative
+// tolerance (parallel summation reorders floating-point reductions).
+func Close(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return d == 0
+	}
+	return d/m <= rel
+}
+
+// CheckClose returns an error when two checksums disagree beyond rel.
+func CheckClose(name string, got, want, rel float64) error {
+	if !Close(got, want, rel) {
+		return fmt.Errorf("%s: checksum %v differs from sequential %v (rel tol %g)", name, got, want, rel)
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package fft3d
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func putF64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,74 @@
+// Package fft3d reproduces the paper's 3D-FFT application: "3D-FFT from
+// the NAS benchmark suite solves a partial differential equation using
+// three dimensional forward and inverse FFT. The program has three shared
+// arrays of data elements and an array of checksums. The computation is
+// decomposed so that every iteration includes local computation and a
+// global transpose, with both expressed as data parallel operations."
+//
+// The OpenMP version expresses the data parallelism with parallel do
+// (Table 1 lists no other synchronization directive: the implicit barrier
+// at the end of each parallel do is the only synchronization).
+package fft3d
+
+import "math"
+
+// fft performs an in-place radix-2 Cooley-Tukey transform of a (whose
+// length must be a power of two); sign = -1 for the forward transform,
+// +1 for the inverse. The inverse is unnormalized; callers divide by n³
+// once after a full 3D inverse.
+func fft(a []complex128, sign float64) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("fft3d: length must be a power of two")
+	}
+	// Bit reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length >> 1
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// fftFlops is the standard 5·n·log2(n) operation count of one 1D FFT.
+func fftFlops(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// fft2D transforms an n×n plane stored row-major in buf (first along
+// rows/x, then along columns/y), returning the flop count charged.
+func fft2D(buf []complex128, n int, sign float64) float64 {
+	for y := 0; y < n; y++ {
+		fft(buf[y*n:(y+1)*n], sign)
+	}
+	col := make([]complex128, n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			col[y] = buf[y*n+x]
+		}
+		fft(col, sign)
+		for y := 0; y < n; y++ {
+			buf[y*n+x] = col[y]
+		}
+	}
+	return 2 * float64(n) * fftFlops(n)
+}

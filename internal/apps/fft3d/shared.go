@@ -1,0 +1,181 @@
+package fft3d
+
+import (
+	"math"
+
+	"repro/internal/dsm"
+)
+
+// Helpers shared by the OpenMP and TreadMarks versions: complex grids live
+// in DSM memory as (re, im) float64 pairs, 16 bytes per point.
+
+const cBytes = 16
+
+// readComplex bulk-reads cnt complex values starting at a.
+func readComplex(n *dsm.Node, a dsm.Addr, cnt int) []complex128 {
+	buf := make([]float64, 2*cnt)
+	n.ReadF64s(a, buf)
+	out := make([]complex128, cnt)
+	for i := range out {
+		out[i] = complex(buf[2*i], buf[2*i+1])
+	}
+	return out
+}
+
+// writeComplex bulk-writes vals starting at a.
+func writeComplex(n *dsm.Node, a dsm.Addr, vals []complex128) {
+	buf := make([]float64, 2*len(vals))
+	for i, v := range vals {
+		buf[2*i] = real(v)
+		buf[2*i+1] = imag(v)
+	}
+	n.WriteF64s(a, buf)
+}
+
+// readC reads one complex value at linear element index idx of array a.
+func readC(n *dsm.Node, a dsm.Addr, idx int) complex128 {
+	return complex(n.ReadF64(a+dsm.Addr(cBytes*idx)), n.ReadF64(a+dsm.Addr(cBytes*idx+8)))
+}
+
+// writeC writes one complex value at linear element index idx of array a.
+func writeC(n *dsm.Node, a dsm.Addr, idx int, v complex128) {
+	n.WriteF64(a+dsm.Addr(cBytes*idx), real(v))
+	n.WriteF64(a+dsm.Addr(cBytes*idx+8), imag(v))
+}
+
+// The global transpose on the DSM is blocked, as efficient page-based DSM
+// FT codes were written: the source-slab owner packs, for every
+// destination thread, a contiguous block of the elements that thread will
+// need; after a barrier the destination reads whole blocks (bulk,
+// page-friendly) and unpacks into its own slab. This moves each byte once
+// instead of pulling every source page to every node.
+
+// xferBlocks describes the shared staging buffer of a blocked transpose:
+// P×P blocks, each page-aligned so that no two writers share a page.
+type xferBlocks struct {
+	base       dsm.Addr
+	procs      int
+	blockBytes int // rounded up to a page multiple
+}
+
+// blocksBytesNeeded returns the staging buffer size for P procs when each
+// (src,dst) block holds at most maxElems complex values.
+func blocksBytesNeeded(procs, maxElems int) int {
+	bb := roundPage(cBytes * maxElems)
+	return procs * procs * bb
+}
+
+func roundPage(n int) int {
+	if r := n % dsm.PageSize; r != 0 {
+		n += dsm.PageSize - r
+	}
+	return n
+}
+
+func newXferBlocks(base dsm.Addr, procs, maxElems int) *xferBlocks {
+	return &xferBlocks{base: base, procs: procs, blockBytes: roundPage(cBytes * maxElems)}
+}
+
+// addr returns the shared address of block (src → dst).
+func (xb *xferBlocks) addr(src, dst int) dsm.Addr {
+	return xb.base + dsm.Addr((src*xb.procs+dst)*xb.blockBytes)
+}
+
+// packForward packs this thread's z-slab of u for every destination:
+// block(me→d) = u[z][y][x] for z in my slab, y over all, x in d's slab,
+// in (z, y, x) order.
+func packForward(node *dsm.Node, u dsm.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
+	zlo, zhi := slab(me)
+	for d := 0; d < xb.procs; d++ {
+		dlo, dhi := slab(d)
+		vals := make([]complex128, 0, (zhi-zlo)*n*(dhi-dlo))
+		for z := zlo; z < zhi; z++ {
+			for y := 0; y < n; y++ {
+				row := readComplex(node, u+dsm.Addr(cBytes*((z*n+y)*n+dlo)), dhi-dlo)
+				vals = append(vals, row...)
+			}
+		}
+		writeComplex(node, xb.addr(me, d), vals)
+	}
+}
+
+// unpackForward builds this thread's x-slab of w from the staged blocks:
+// w[x][y][z] for x in my slab (assembled privately, written in one
+// contiguous store — the slab is contiguous in w's [x][y][z] layout).
+func unpackForward(node *dsm.Node, w dsm.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
+	xlo, xhi := slab(me)
+	myX := xhi - xlo
+	out := make([]complex128, myX*n*n)
+	for s := 0; s < xb.procs; s++ {
+		slo, shi := slab(s)
+		vals := readComplex(node, xb.addr(s, me), (shi-slo)*n*myX)
+		i := 0
+		for z := slo; z < shi; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < myX; x++ {
+					out[(x*n+y)*n+z] = vals[i]
+					i++
+				}
+			}
+		}
+	}
+	writeComplex(node, w+dsm.Addr(cBytes*xlo*n*n), out)
+}
+
+// packBackward packs this thread's x-slab of vw for every destination
+// z-slab owner: block(me→d) = vw[x][y][z] for x in my slab, z in d's slab,
+// in (x, y, z) order.
+func packBackward(node *dsm.Node, vw dsm.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
+	xlo, xhi := slab(me)
+	for d := 0; d < xb.procs; d++ {
+		dlo, dhi := slab(d)
+		vals := make([]complex128, 0, (xhi-xlo)*n*(dhi-dlo))
+		for x := xlo; x < xhi; x++ {
+			for y := 0; y < n; y++ {
+				row := readComplex(node, vw+dsm.Addr(cBytes*((x*n+y)*n+dlo)), dhi-dlo)
+				vals = append(vals, row...)
+			}
+		}
+		writeComplex(node, xb.addr(me, d), vals)
+	}
+}
+
+// unpackBackward builds this thread's z-slab of u from the staged blocks:
+// u[z][y][x] for z in my slab (assembled privately, stored contiguously).
+func unpackBackward(node *dsm.Node, u dsm.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
+	zlo, zhi := slab(me)
+	myZ := zhi - zlo
+	out := make([]complex128, myZ*n*n)
+	for s := 0; s < xb.procs; s++ {
+		slo, shi := slab(s)
+		vals := readComplex(node, xb.addr(s, me), (shi-slo)*n*myZ)
+		i := 0
+		for x := slo; x < shi; x++ {
+			for y := 0; y < n; y++ {
+				for z := 0; z < myZ; z++ {
+					out[(z*n+y)*n+x] = vals[i]
+					i++
+				}
+			}
+		}
+	}
+	writeComplex(node, u+dsm.Addr(cBytes*zlo*n*n), out)
+}
+
+// checksumPartial sums the NAS sample points whose z index falls in
+// [zlo, zhi), reading from the spatial array in DSM.
+func checksumPartial(node *dsm.Node, v dsm.Addr, n, zlo, zhi int) (re, im float64) {
+	var s complex128
+	for j := 1; j <= checksumTerms; j++ {
+		x, y, z := checksumIndices(j, n)
+		if z < zlo || z >= zhi {
+			continue
+		}
+		s += readC(node, v, (z*n+y)*n+x)
+	}
+	return real(s), imag(s)
+}
+
+// gridChecksum folds one iteration's complex sample sum into the running
+// scalar checksum.
+func gridChecksum(re, im float64) float64 { return math.Sqrt(re*re + im*im) }

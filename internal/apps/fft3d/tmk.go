@@ -1,0 +1,140 @@
+package fft3d
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dsm"
+)
+
+// RunTmk executes the hand-coded TreadMarks version: a single SPMD
+// parallel region forked once, with explicit Tmk_barriers between phases
+// (the style of the original TreadMarks applications the paper compares
+// against, as opposed to the compiler's fork-join per parallel do).
+func RunTmk(p Params, procs int) (apps.Result, error) {
+	n := p.N
+	pts := n * n * n
+	maxSlab := (n + procs - 1) / procs
+	maxBlock := maxSlab * maxSlab * n
+	sys := dsm.New(dsm.Config{
+		Procs:     procs,
+		HeapBytes: heapFor(pts) + blocksBytesNeeded(procs, maxBlock),
+		Platform:  p.Platform,
+	})
+	u := sys.MallocPage(cBytes * pts)
+	w := sys.MallocPage(cBytes * pts)
+	vw := sys.MallocPage(cBytes * pts)
+	xb := newXferBlocks(sys.MallocPage(blocksBytesNeeded(procs, maxBlock)), procs, maxBlock)
+	// Per-node checksum partials (a page apart to avoid false sharing)
+	// plus the global accumulator written by node 0.
+	partials := sys.MallocPage(dsm.PageSize * procs)
+	total := sys.MallocPage(16)
+
+	slab := func(id int) (int, int) { return core.StaticBlock(0, n, id, procs) }
+
+	sys.Register("fft-main", func(nd *dsm.Node, _ []byte) {
+		me := nd.ID()
+		zlo, zhi := slab(me)
+		xlo, xhi := slab(me)
+
+		// Initialize own z-slab.
+		for z := zlo; z < zhi; z++ {
+			plane := make([]complex128, n*n)
+			for i := range plane {
+				re, im := initValue(p.Seed, z*n*n+i)
+				plane[i] = complex(re, im)
+			}
+			writeComplex(nd, u+dsm.Addr(cBytes*z*n*n), plane)
+		}
+		nd.Compute(10 * float64((zhi-zlo)*n*n))
+
+		// Forward 2D FFTs on own planes (no barrier needed: planes are
+		// still private to their initializer).
+		for z := zlo; z < zhi; z++ {
+			plane := readComplex(nd, u+dsm.Addr(cBytes*z*n*n), n*n)
+			nd.Compute(fft2D(plane, n, -1))
+			writeComplex(nd, u+dsm.Addr(cBytes*z*n*n), plane)
+		}
+
+		// Blocked global transpose, then z-direction FFTs.
+		packForward(nd, u, xb, me, n, slab)
+		nd.Compute(2 * float64((zhi-zlo)*n*n))
+		nd.Barrier()
+		unpackForward(nd, w, xb, me, n, slab)
+		nd.Compute(2 * float64((xhi-xlo)*n*n))
+		for x := xlo; x < xhi; x++ {
+			for y := 0; y < n; y++ {
+				pen := readComplex(nd, w+dsm.Addr(cBytes*(x*n+y)*n), n)
+				fft(pen, -1)
+				writeComplex(nd, w+dsm.Addr(cBytes*(x*n+y)*n), pen)
+			}
+		}
+		nd.Compute(float64((xhi-xlo)*n) * fftFlops(n))
+		// The staging slots are about to be reused by packBackward; the
+		// barrier orders that reuse after every unpackForward read (slot
+		// reuse without synchronization would be a data race).
+		nd.Barrier()
+
+		for t := 1; t <= p.Iters; t++ {
+			// Evolve + inverse z FFTs on own x-slab (w is preserved so
+			// the next iteration can reuse it).
+			for kx := xlo; kx < xhi; kx++ {
+				s := readComplex(nd, w+dsm.Addr(cBytes*kx*n*n), n*n)
+				for ky := 0; ky < n; ky++ {
+					for kz := 0; kz < n; kz++ {
+						s[ky*n+kz] *= complex(evolveFactor(kx, ky, kz, n, t), 0)
+					}
+					fft(s[ky*n:(ky+1)*n], +1)
+				}
+				writeComplex(nd, vw+dsm.Addr(cBytes*kx*n*n), s)
+			}
+			nd.Compute(25*float64((xhi-xlo)*n*n) + float64((xhi-xlo)*n)*fftFlops(n))
+
+			// Blocked transpose back.
+			packBackward(nd, vw, xb, me, n, slab)
+			nd.Compute(2 * float64((xhi-xlo)*n*n))
+			nd.Barrier()
+			unpackBackward(nd, u, xb, me, n, slab)
+			nd.Compute(2 * float64((zhi-zlo)*n*n))
+
+			// Inverse 2D FFTs and normalization on own z-slab.
+			scale := 1 / float64(pts)
+			for z := zlo; z < zhi; z++ {
+				plane := readComplex(nd, u+dsm.Addr(cBytes*z*n*n), n*n)
+				nd.Compute(fft2D(plane, n, +1))
+				for i := range plane {
+					plane[i] *= complex(scale, 0)
+				}
+				writeComplex(nd, u+dsm.Addr(cBytes*z*n*n), plane)
+			}
+			nd.Compute(2 * float64((zhi-zlo)*n*n))
+
+			// Checksum partials, then node 0 accumulates.
+			re, im := checksumPartial(nd, u, n, zlo, zhi)
+			base := partials + dsm.Addr(dsm.PageSize*me)
+			nd.WriteF64(base, re)
+			nd.WriteF64(base+8, im)
+			nd.Barrier()
+			if me == 0 {
+				var sre, sim2 float64
+				for i := 0; i < procs; i++ {
+					b := partials + dsm.Addr(dsm.PageSize*i)
+					sre += nd.ReadF64(b)
+					sim2 += nd.ReadF64(b + 8)
+				}
+				nd.WriteF64(total, nd.ReadF64(total)+gridChecksum(sre, sim2))
+			}
+			nd.Barrier() // staging blocks stable before next iteration
+		}
+	})
+
+	var checksum float64
+	err := sys.Run(func(nd *dsm.Node) {
+		nd.RunParallel("fft-main", nil)
+		checksum = nd.ReadF64(total)
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+	msgs, bytes := sys.Switch().Stats().Snapshot()
+	return apps.Result{Checksum: checksum, Time: sys.MaxClock(), Messages: msgs, Bytes: bytes}, nil
+}

@@ -1,0 +1,129 @@
+package qsort
+
+import (
+	"fmt"
+
+	"repro/internal/dsm"
+)
+
+// Shared task-queue state of the DSM versions: the key array, a ring
+// buffer of (lo, hi) tasks, and the nwait counter — with EnQueue and
+// DeQueue implemented exactly as the paper's Figure 4 (critical sections
+// plus one condition variable, broadcast on termination).
+
+type sharedQS struct {
+	p      Params
+	keysA  dsm.Addr
+	ringA  dsm.Addr // QueueCap × (lo i64, hi i64)
+	headA  dsm.Addr // monotonically increasing pop index
+	tailA  dsm.Addr // monotonically increasing push index
+	nwaitA dsm.Addr
+}
+
+const condQS = 0 // the single condition variable of Figure 4
+
+type qsMallocer interface {
+	MallocPage(size int) dsm.Addr
+}
+
+func newSharedQS(p Params, m qsMallocer) *sharedQS {
+	// head, tail, and nwait share one page deliberately: they are only
+	// ever touched inside the critical section, so a single page fault
+	// refreshes all queue metadata per lock acquisition (separate pages
+	// would triple the serial fault cost of every queue operation).
+	meta := m.MallocPage(24)
+	return &sharedQS{
+		p:      p,
+		keysA:  m.MallocPage(4 * p.N),
+		ringA:  m.MallocPage(16 * p.QueueCap),
+		headA:  meta,
+		tailA:  meta + 8,
+		nwaitA: meta + 16,
+	}
+}
+
+// initShared loads the keys and the root task (master, before the fork).
+func (s *sharedQS) initShared(nd *dsm.Node, keys []int32) {
+	nd.WriteI32s(s.keysA, keys)
+	nd.WriteI64(s.headA, 0)
+	nd.WriteI64(s.tailA, 0)
+	nd.WriteI64(s.nwaitA, 0)
+	s.enqueueLocked(nd, 0, int64(len(keys)))
+}
+
+// enqueueLocked appends a task (lock held).
+func (s *sharedQS) enqueueLocked(nd *dsm.Node, lo, hi int64) {
+	head, tail := nd.ReadI64(s.headA), nd.ReadI64(s.tailA)
+	if tail-head >= int64(s.p.QueueCap) {
+		panic(fmt.Sprintf("qsort: task queue overflow (%d); raise Params.QueueCap", s.p.QueueCap))
+	}
+	slot := s.ringA + dsm.Addr(16*(tail%int64(s.p.QueueCap)))
+	nd.WriteI64(slot, lo)
+	nd.WriteI64(slot+8, hi)
+	nd.WriteI64(s.tailA, tail+1)
+}
+
+// enQueue is the paper's EnQueue: push under the critical section and
+// signal a waiter if any (Figure 4's cond_signal).
+func (s *sharedQS) enQueue(nd *dsm.Node, lockID int, lo, hi int64) {
+	nd.Acquire(lockID)
+	s.enqueueLocked(nd, lo, hi)
+	if nd.ReadI64(s.nwaitA) > 0 {
+		nd.CondSignal(condQS, lockID)
+	}
+	nd.Release(lockID)
+}
+
+// deQueue is the paper's DeQueue (Figure 4): one critical section
+// protecting the whole operation, a cond_wait instead of busy-waiting,
+// and a cond_broadcast once every thread is waiting (end of program).
+// It returns ok=false when the program is done.
+func (s *sharedQS) deQueue(nd *dsm.Node, lockID, procs int) (lo, hi int64, ok bool) {
+	nd.Acquire(lockID)
+	defer nd.Release(lockID)
+	for {
+		head, tail := nd.ReadI64(s.headA), nd.ReadI64(s.tailA)
+		if head < tail {
+			slot := s.ringA + dsm.Addr(16*(head%int64(s.p.QueueCap)))
+			lo, hi = nd.ReadI64(slot), nd.ReadI64(slot+8)
+			nd.WriteI64(s.headA, head+1)
+			return lo, hi, true
+		}
+		nwait := nd.ReadI64(s.nwaitA) + 1
+		nd.WriteI64(s.nwaitA, nwait)
+		if nwait == int64(procs) {
+			nd.CondBroadcast(condQS, lockID)
+			return 0, 0, false
+		}
+		nd.CondWait(condQS, lockID)
+		if nd.ReadI64(s.nwaitA) == int64(procs) {
+			return 0, 0, false
+		}
+		nd.WriteI64(s.nwaitA, nd.ReadI64(s.nwaitA)-1)
+	}
+}
+
+// worker processes tasks until the queue drains: bubble-sort short
+// subarrays, otherwise partition and return both halves to the queue.
+func (s *sharedQS) worker(nd *dsm.Node, lockID, procs int) {
+	for {
+		lo, hi, ok := s.deQueue(nd, lockID, procs)
+		if !ok {
+			return
+		}
+		cnt := int(hi - lo)
+		buf := make([]int32, cnt)
+		nd.ReadI32s(s.keysA+dsm.Addr(4*lo), buf)
+		if cnt <= s.p.BubbleThreshold {
+			ops := bubbleSort(buf)
+			nd.Compute(flopsPerOp * float64(ops))
+			nd.WriteI32s(s.keysA+dsm.Addr(4*lo), buf)
+			continue
+		}
+		split, ops := partition(buf)
+		nd.Compute(flopsPerOp * float64(ops))
+		nd.WriteI32s(s.keysA+dsm.Addr(4*lo), buf)
+		s.enQueue(nd, lockID, lo, lo+int64(split))
+		s.enQueue(nd, lockID, lo+int64(split), hi)
+	}
+}

@@ -1,0 +1,92 @@
+package sweep3d
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dsm"
+)
+
+// RunOMP executes the OpenMP version: one coarse-grained parallel region
+// (Table 1: "parallel region" + "semaphore"). Each pipeline unit hands its
+// outgoing ψ_y boundary plane to the downstream neighbour through shared
+// memory, synchronized by the paper's proposed sema_signal/sema_wait pair
+// — the "available" semaphore says the plane is ready, the "free"
+// semaphore (the Figure 3 "done" flag) says the slot may be overwritten.
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	validate(p)
+	nx, ny, nz := p.NX, p.NY, p.NZ
+	nxb := (nx + p.BlockX - 1) / p.BlockX
+	nab := (p.Angles + p.AngleBlock - 1) / p.AngleBlock
+	slotBytes := pageRound(8 * p.BlockX * nz * p.AngleBlock)
+
+	prog := core.NewProgram(core.Config{
+		Threads:   procs,
+		HeapBytes: 16<<20 + procs*nxb*nab*slotBytes,
+		Platform:  p.Platform,
+	})
+	slots := prog.SharedPage(procs * nxb * nab * slotBytes)
+	redS := prog.NewReduction(core.OpSum)
+	redS2 := prog.NewReduction(core.OpSum)
+
+	prog.RegisterRegion("sweep", func(tc *core.TC) {
+		me := tc.ThreadNum()
+		nd := tc.Node()
+		slabLen := func() (int, int) { return core.StaticBlock(0, ny, me, procs) }
+		lo, hi := slabLen()
+		flux := make([]float64, (hi-lo)*nx*nz)
+		slotUse := make(map[int]int) // per-slot reuse count (for sema_free)
+
+		for _, oct := range octants {
+			ys, ylo := slabOrder(ny, oct[1], me, procs)
+			up, down := neighbours(me, procs, oct[1])
+			for abIdx, as := range angleBlocks(p.Angles, p.AngleBlock) {
+				na := len(as)
+				psiX := make([]float64, (hi-lo)*nz*na)
+				for xbIdx, xs := range xBlocks(nx, p.BlockX, oct[0]) {
+					cnt := len(xs) * nz * na
+					in := make([]float64, cnt)
+					if up >= 0 {
+						tc.SemaWait(semID(up, xbIdx, abIdx, dirOf(oct[1]), semFamilyData))
+						nd.ReadF64s(slots+dsm.Addr(slotIndex(up, xbIdx, abIdx, nxb, nab)*slotBytes), in)
+						tc.SemaSignal(semID(up, xbIdx, abIdx, 0, semFamilyFree))
+					}
+					out := make([]float64, cnt)
+					tc.Compute(sweepSlab(p, oct, xs, ys, as, ylo, in, out, psiX, flux))
+					if down >= 0 {
+						slot := slotIndex(me, xbIdx, abIdx, nxb, nab)
+						if slotUse[slot] > 0 {
+							tc.SemaWait(semID(me, xbIdx, abIdx, 0, semFamilyFree))
+						}
+						slotUse[slot]++
+						nd.WriteF64s(slots+dsm.Addr(slot*slotBytes), out)
+						tc.SemaSignal(semID(me, xbIdx, abIdx, dirOf(oct[1]), semFamilyData))
+					}
+				}
+			}
+		}
+		s, s2 := fluxMoments(flux)
+		tc.Compute(2 * float64(len(flux)))
+		redS.Reduce(tc, s)
+		redS2.Reduce(tc, s2)
+	})
+
+	var checksum float64
+	err := prog.Run(func(m *core.MC) {
+		redS.Reset(&m.TC)
+		redS2.Reset(&m.TC)
+		m.Parallel("sweep", core.NoArgs())
+		checksum = digest(redS.Value(&m.TC), redS2.Value(&m.TC))
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+	msgs, bytes := prog.Traffic()
+	return apps.Result{Checksum: checksum, Time: prog.Elapsed(), Messages: msgs, Bytes: bytes}, nil
+}
+
+func pageRound(n int) int {
+	if r := n % dsm.PageSize; r != 0 {
+		n += dsm.PageSize - r
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package sweep3d
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestOrdinatesNormalized(t *testing.T) {
+	for _, A := range []int{1, 2, 6, 8} {
+		var wsum float64
+		for a := 0; a < A; a++ {
+			mu, eta, xi, w := ordinate(a, A)
+			if r := mu*mu + eta*eta + xi*xi; math.Abs(r-1) > 1e-12 {
+				t.Errorf("A=%d a=%d: |Ω|² = %v, want 1", A, a, r)
+			}
+			if mu <= 0 || eta <= 0 || xi <= 0 {
+				t.Errorf("A=%d a=%d: cosines must be positive in the unit octant: %v %v %v", A, a, mu, eta, xi)
+			}
+			wsum += w
+		}
+		if math.Abs(wsum-1) > 1e-12 {
+			t.Errorf("A=%d: weights sum to %v, want 1", A, wsum)
+		}
+	}
+}
+
+func TestAxisOrderAndBlocks(t *testing.T) {
+	fwd := axisOrder(5, +1)
+	rev := axisOrder(5, -1)
+	for i := 0; i < 5; i++ {
+		if fwd[i] != i || rev[i] != 4-i {
+			t.Fatalf("axisOrder wrong: %v %v", fwd, rev)
+		}
+	}
+	blocks := xBlocks(10, 4, +1)
+	if len(blocks) != 3 || len(blocks[2]) != 2 {
+		t.Fatalf("xBlocks(10,4) = %v", blocks)
+	}
+	total := 0
+	for _, b := range xBlocks(10, 4, -1) {
+		total += len(b)
+	}
+	if total != 10 {
+		t.Fatalf("reverse blocks cover %d of 10", total)
+	}
+}
+
+func TestFluxIsPositive(t *testing.T) {
+	// With a positive source and vacuum boundaries every cell's scalar
+	// flux must be positive.
+	p := Small()
+	res := RunSeq(p)
+	if res.Checksum <= 0 {
+		t.Fatalf("checksum %v, want positive flux digest", res.Checksum)
+	}
+}
+
+func TestSeqDeterministic(t *testing.T) {
+	p := Small()
+	if a, b := RunSeq(p), RunSeq(p); a.Checksum != b.Checksum {
+		t.Fatalf("sequential not deterministic: %v vs %v", a.Checksum, b.Checksum)
+	}
+}
+
+func TestSeqBlockInvariance(t *testing.T) {
+	// The pipeline blocking must not change the physics: different
+	// (BlockX, AngleBlock) settings give bit-identical flux.
+	base := RunSeq(Params{NX: 12, NY: 12, NZ: 12, Angles: 2, BlockX: 12, AngleBlock: 2})
+	alt := RunSeq(Params{NX: 12, NY: 12, NZ: 12, Angles: 2, BlockX: 3, AngleBlock: 1})
+	// Angle-blocking changes only the order of the per-cell angle sum, so
+	// agreement must hold to the last few ulps.
+	if err := apps.CheckClose("sweep3d/blocking", alt.Checksum, base.Checksum, 1e-13); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOMPMatchesSeq(t *testing.T) {
+	p := Small()
+	want := RunSeq(p).Checksum
+	for _, procs := range []int{1, 2, 4} {
+		got, err := RunOMP(p, procs)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if err := apps.CheckClose("sweep3d/omp", got.Checksum, want, 1e-10); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestTmkMatchesSeq(t *testing.T) {
+	p := Small()
+	want := RunSeq(p).Checksum
+	for _, procs := range []int{2, 3, 8} {
+		got, err := RunTmk(p, procs)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if err := apps.CheckClose("sweep3d/tmk", got.Checksum, want, 1e-10); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestMPIMatchesSeq(t *testing.T) {
+	p := Small()
+	want := RunSeq(p).Checksum
+	for _, procs := range []int{1, 2, 4, 6} {
+		got, err := RunMPI(p, procs)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if err := apps.CheckClose("sweep3d/mpi", got.Checksum, want, 1e-10); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestPipelineUsesSemaphores(t *testing.T) {
+	p := Small()
+	res, err := RunOMP(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 {
+		t.Fatal("pipelined run sent no messages")
+	}
+}
+
+func TestMorePipelineStagesStillCorrect(t *testing.T) {
+	// Full 8-way pipeline on a mesh where slabs are a single row.
+	p := Params{NX: 8, NY: 8, NZ: 8, Angles: 2, BlockX: 2, AngleBlock: 1}
+	want := RunSeq(p).Checksum
+	got, err := RunOMP(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.CheckClose("sweep3d/omp-deep", got.Checksum, want, 1e-10); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+package tsp
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func putI64(b []byte, v int64) { binary.LittleEndian.PutUint64(b, uint64(v)) }
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func takeF64(b []byte) (float64, []byte) {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:]
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func takeU32(b []byte) (uint32, []byte) {
+	return binary.LittleEndian.Uint32(b), b[4:]
+}

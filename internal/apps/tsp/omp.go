@@ -1,0 +1,40 @@
+package tsp
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// tspCritical names the single critical section protecting every shared
+// TSP structure (pool, queue, free stack, best, nwait).
+const tspCritical = "tsp"
+
+// RunOMP executes the OpenMP version: a parallel region of workers
+// synchronized by critical sections only (Table 1).
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform})
+	s := newSharedTSP(p, prog.System())
+	d := Cities(p)
+	minInc := minIncident(d)
+
+	prog.RegisterRegion("bb", func(tc *core.TC) {
+		// Each thread recomputes the (read-only) distance matrix
+		// privately, as the original program holds it in per-process
+		// memory after startup.
+		tc.Compute(float64(p.NCities * p.NCities * 12))
+		s.worker(tc.Node(), core.CriticalLockID(tspCritical), procs, d, minInc)
+	})
+
+	var best float64
+	err := prog.Run(func(m *core.MC) {
+		m.Compute(float64(p.NCities * p.NCities * 12))
+		s.initShared(m.Node(), d, minInc)
+		m.Parallel("bb", core.NoArgs())
+		best = m.Node().ReadF64(s.bestA)
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+	msgs, bytes := prog.Traffic()
+	return apps.Result{Checksum: best, Time: prog.Elapsed(), Messages: msgs, Bytes: bytes}, nil
+}

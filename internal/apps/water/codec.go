@@ -1,0 +1,14 @@
+package water
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func put64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+func get64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

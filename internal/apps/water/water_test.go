@@ -1,0 +1,142 @@
+package water
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestPairScheduleCoversEachPairOnce(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 9, 64} {
+		seen := make(map[[2]int]int)
+		for i := 0; i < n; i++ {
+			PairsOf(i, n, func(j int) {
+				a, b := i, j
+				if a > b {
+					a, b = b, a
+				}
+				seen[[2]int{a, b}]++
+			})
+		}
+		want := n * (n - 1) / 2
+		if len(seen) != want {
+			t.Errorf("n=%d: %d distinct pairs, want %d", n, len(seen), want)
+		}
+		for pair, cnt := range seen {
+			if cnt != 1 {
+				t.Errorf("n=%d: pair %v visited %d times", n, pair, cnt)
+			}
+		}
+	}
+}
+
+func TestPairCountMatchesSchedule(t *testing.T) {
+	for _, n := range []int{2, 7, 16} {
+		for i := 0; i < n; i++ {
+			cnt := 0
+			PairsOf(i, n, func(int) { cnt++ })
+			if float64(cnt) != PairCount(i, n) {
+				t.Errorf("n=%d i=%d: schedule %d vs PairCount %v", n, i, cnt, PairCount(i, n))
+			}
+		}
+	}
+}
+
+func TestForcesAreNewtonian(t *testing.T) {
+	// Total force must vanish (momentum conservation): intra and inter
+	// contributions are equal-and-opposite by construction.
+	p := Small()
+	pos, _ := InitState(p)
+	f := make([]float64, p.NMol*dof)
+	IntraForces(pos, f, 0, p.NMol)
+	InterForcesRange(pos, f, 0, p.NMol, p.NMol)
+	var sx, sy, sz float64
+	for m := 0; m < p.NMol*sites; m++ {
+		sx += f[3*m]
+		sy += f[3*m+1]
+		sz += f[3*m+2]
+	}
+	if math.Abs(sx)+math.Abs(sy)+math.Abs(sz) > 1e-7 {
+		t.Errorf("net force not zero: (%g, %g, %g)", sx, sy, sz)
+	}
+}
+
+func TestEnergyIsBounded(t *testing.T) {
+	// A short Verlet integration at small dt must not blow up.
+	p := Small()
+	res := RunSeq(p)
+	if math.IsNaN(res.Checksum) || math.IsInf(res.Checksum, 0) {
+		t.Fatalf("simulation diverged: checksum %v", res.Checksum)
+	}
+}
+
+func TestSeqDeterministic(t *testing.T) {
+	p := Small()
+	if a, b := RunSeq(p), RunSeq(p); a.Checksum != b.Checksum {
+		t.Fatalf("sequential not deterministic: %v vs %v", a.Checksum, b.Checksum)
+	}
+}
+
+func TestOMPMatchesSeq(t *testing.T) {
+	p := Small()
+	want := RunSeq(p).Checksum
+	for _, procs := range []int{1, 2, 4} {
+		got, err := RunOMP(p, procs)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if err := apps.CheckClose("water/omp", got.Checksum, want, 1e-8); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestTmkMatchesSeq(t *testing.T) {
+	p := Small()
+	want := RunSeq(p).Checksum
+	for _, procs := range []int{2, 3, 8} {
+		got, err := RunTmk(p, procs)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if err := apps.CheckClose("water/tmk", got.Checksum, want, 1e-8); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestMPIMatchesSeq(t *testing.T) {
+	p := Small()
+	want := RunSeq(p).Checksum
+	for _, procs := range []int{1, 2, 4, 5} {
+		got, err := RunMPI(p, procs)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if err := apps.CheckClose("water/mpi", got.Checksum, want, 1e-8); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestWaterScalesWell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	// Water is the paper's best-scaling application: at the default size
+	// 8 processors must give a solid speedup over 1.
+	p := Params{NMol: 256, Steps: 2, Seed: 31415}
+	one, err := RunOMP(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := RunOMP(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := one.Time.Seconds() / eight.Time.Seconds()
+	if sp < 3 {
+		t.Errorf("water speedup at 8 procs = %.2f, want >= 3", sp)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/dsm"
+)
+
+// Args builds the firstprivate environment for a fork: "Pointers to shared
+// variables and initial values of firstprivate variables are copied into a
+// structure and passed at fork" (Section 4.3.2). Values are read back in
+// the same order with ArgReader.
+type Args struct{ b []byte }
+
+// NoArgs is an empty environment.
+func NoArgs() *Args { return &Args{} }
+
+func (a *Args) bytes() []byte {
+	if a == nil {
+		return nil
+	}
+	return a.b
+}
+
+// I64 appends an int64 firstprivate value.
+func (a *Args) I64(v int64) *Args {
+	a.b = binary.LittleEndian.AppendUint64(a.b, uint64(v))
+	return a
+}
+
+// Int appends an int firstprivate value.
+func (a *Args) Int(v int) *Args { return a.I64(int64(v)) }
+
+// F64 appends a float64 firstprivate value.
+func (a *Args) F64(v float64) *Args {
+	a.b = binary.LittleEndian.AppendUint64(a.b, math.Float64bits(v))
+	return a
+}
+
+// Addr appends a pointer to a shared variable.
+func (a *Args) Addr(v dsm.Addr) *Args { return a.I64(int64(v)) }
+
+// Bytes appends a length-prefixed byte blob (e.g. a firstprivate array).
+func (a *Args) Bytes(p []byte) *Args {
+	a.b = binary.LittleEndian.AppendUint32(a.b, uint32(len(p)))
+	a.b = append(a.b, p...)
+	return a
+}
+
+// ArgReader decodes a fork's firstprivate environment in write order.
+type ArgReader struct {
+	b   []byte
+	off int
+}
+
+func (r *ArgReader) take(n int) []byte {
+	if r.off+n > len(r.b) {
+		panic("core: firstprivate environment read past end")
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// I64 reads an int64.
+func (r *ArgReader) I64() int64 { return int64(binary.LittleEndian.Uint64(r.take(8))) }
+
+// Int reads an int.
+func (r *ArgReader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64.
+func (r *ArgReader) F64() float64 { return math.Float64frombits(binary.LittleEndian.Uint64(r.take(8))) }
+
+// Addr reads a shared-variable pointer.
+func (r *ArgReader) Addr() dsm.Addr { return dsm.Addr(r.I64()) }
+
+// Bytes reads a length-prefixed blob.
+func (r *ArgReader) Bytes() []byte {
+	n := int(binary.LittleEndian.Uint32(r.take(4)))
+	out := make([]byte, n)
+	copy(out, r.take(n))
+	return out
+}

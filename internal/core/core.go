@@ -1,0 +1,130 @@
+// Package core is the OpenMP runtime of the paper: the target that the
+// OpenMP-to-TreadMarks compiler (Section 4.3) emits code against. It runs
+// a fork-join OpenMP program on the TreadMarks DSM over the simulated
+// network of workstations.
+//
+// The programming model follows the paper's two proposed modifications to
+// the OpenMP standard (Section 3):
+//
+//  1. Variables default to PRIVATE. Anything shared must be explicitly
+//     allocated in the shared address space with Program.Shared /
+//     SharedPage (the analogue of the compiler relocating variables marked
+//     `shared` into DSM memory). Go locals inside a region body are
+//     naturally private; firstprivate values are copied to the slaves in
+//     the fork message via Args.
+//
+//  2. flush is replaced by semaphores and condition variables
+//     (TC.SemaWait/SemaSignal, TC.CondWait/CondSignal/CondBroadcast).
+//     Flush is still available (TC.Flush) so its cost can be measured —
+//     the paper's Section 3.2.3 ablation.
+//
+// Directives map to methods:
+//
+//	parallel            Program.Parallel / RegisterRegion
+//	parallel do         Program.ParallelDo / RegisterDo
+//	critical(name)      TC.Critical
+//	barrier             TC.Barrier
+//	reduction(+:x)      Program.NewReduction + TC.Reduce (+ arrays, the
+//	                    paper's extension, via NewArrayReduction)
+//	firstprivate        Args passed at fork
+//	threadprivate       TC.Threadprivate
+package core
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/dsm"
+	"repro/internal/sim"
+)
+
+// Config describes an OpenMP execution environment on the NOW.
+type Config struct {
+	// Threads is the number of OpenMP threads == workstations.
+	Threads int
+	// HeapBytes sizes the shared address space (default 64 MiB).
+	HeapBytes int
+	// Platform overrides the cost model.
+	Platform *sim.Platform
+}
+
+// Program is one OpenMP program instance: shared-data layout, registered
+// parallel regions, and the underlying DSM system.
+type Program struct {
+	sys     *dsm.System
+	threads int
+
+	mu       sync.Mutex
+	nextRed  int                 // reduction slot allocator
+	tpStores []map[string][]byte // threadprivate memory, one map per thread
+}
+
+// NewProgram creates a program for cfg.Threads threads.
+func NewProgram(cfg Config) *Program {
+	if cfg.Threads <= 0 {
+		panic("core: Config.Threads must be positive")
+	}
+	sys := dsm.New(dsm.Config{
+		Procs:     cfg.Threads,
+		HeapBytes: cfg.HeapBytes,
+		Platform:  cfg.Platform,
+	})
+	p := &Program{
+		sys:      sys,
+		threads:  cfg.Threads,
+		tpStores: make([]map[string][]byte, cfg.Threads),
+	}
+	for i := range p.tpStores {
+		p.tpStores[i] = make(map[string][]byte)
+	}
+	return p
+}
+
+// Threads returns the team size.
+func (p *Program) Threads() int { return p.threads }
+
+// System exposes the underlying DSM (for the harness and statistics).
+func (p *Program) System() *dsm.System { return p.sys }
+
+// Shared allocates size bytes of shared memory (8-byte aligned): the
+// explicit `shared` declaration of the paper's private-by-default model.
+func (p *Program) Shared(size int) dsm.Addr { return p.sys.Malloc(size) }
+
+// SharedPage allocates shared memory starting on a page boundary, keeping
+// unrelated shared variables from false-sharing a page.
+func (p *Program) SharedPage(size int) dsm.Addr { return p.sys.MallocPage(size) }
+
+// Run executes the sequential master program; inside it, Parallel and
+// ParallelDo fork the registered regions across the team. It returns the
+// first node failure, if any.
+func (p *Program) Run(master func(m *MC)) error {
+	return p.sys.Run(func(n *dsm.Node) {
+		master(&MC{TC: TC{p: p, n: n, threads: p.threads}})
+	})
+}
+
+// Elapsed returns the parallel execution time: the maximum virtual clock
+// across the team after Run completes.
+func (p *Program) Elapsed() sim.Time { return p.sys.MaxClock() }
+
+// Traffic returns total protocol messages and bytes so far.
+func (p *Program) Traffic() (messages, bytes int64) {
+	return p.sys.Switch().Stats().Snapshot()
+}
+
+// ResetTraffic zeroes the traffic counters (to measure one phase).
+func (p *Program) ResetTraffic() { p.sys.Switch().ResetStats() }
+
+// criticalLock maps a critical-section name to a lock id. Named critical
+// sections with the same name share one lock program-wide, per the
+// standard; the id space is partitioned away from user semaphore ids.
+func criticalLock(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32()&0x3fffff) | 1<<26
+}
+
+// CriticalLockID exposes the lock id behind a named critical section, for
+// code that brackets a critical region through lower-level DSM calls (the
+// compiler emits exactly this mapping for the critical directive).
+func CriticalLockID(name string) int { return criticalLock(name) }

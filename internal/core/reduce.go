@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dsm"
+)
+
+// Reductions. "The reduction directive identifies reduction variables.
+// According to the standard, reduction variables must be scalar, but we
+// extend the standard to include arrays" (Section 2). The runtime
+// implements a reduction as a shared accumulator updated once per thread
+// under a dedicated lock — each thread combines its private partial result
+// at region end, which is both the standard semantics and the cheap thing
+// to do on a software DSM.
+
+// ReduceOp names the combining operation of a reduction clause.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpProd
+	OpMin
+	OpMax
+)
+
+func (op ReduceOp) combine(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	panic(fmt.Sprintf("core: unknown reduction op %d", op))
+}
+
+func (op ReduceOp) identity() float64 {
+	switch op {
+	case OpSum:
+		return 0
+	case OpProd:
+		return 1
+	case OpMin:
+		return +1.797693134862315708145274237317043567981e308 // MaxFloat64
+	case OpMax:
+		return -1.797693134862315708145274237317043567981e308
+	}
+	panic("core: unknown reduction op")
+}
+
+// Reduction is a scalar float64 reduction variable living in shared
+// memory.
+type Reduction struct {
+	op   ReduceOp
+	addr dsm.Addr
+	lock int
+}
+
+// NewReduction allocates a reduction variable with the given operator.
+// Allocate reductions before Run (the master initializes them lazily).
+func (p *Program) NewReduction(op ReduceOp) *Reduction {
+	p.mu.Lock()
+	id := p.nextRed
+	p.nextRed++
+	p.mu.Unlock()
+	return &Reduction{
+		op:   op,
+		addr: p.sys.MallocPage(8),
+		lock: 1<<27 | id,
+	}
+}
+
+// Reset sets the accumulator to the operator's identity; call it (from the
+// master, outside parallel regions) before each use.
+func (r *Reduction) Reset(tc *TC) {
+	tc.n.WriteF64(r.addr, r.op.identity())
+}
+
+// Reduce folds a thread's private partial value into the accumulator.
+func (r *Reduction) Reduce(tc *TC, local float64) {
+	tc.n.Acquire(r.lock)
+	cur := tc.n.ReadF64(r.addr)
+	tc.n.WriteF64(r.addr, r.op.combine(cur, local))
+	tc.n.Release(r.lock)
+}
+
+// Value reads the accumulated result (master, after the region).
+func (r *Reduction) Value(tc *TC) float64 {
+	return tc.n.ReadF64(r.addr)
+}
+
+// ArrayReduction is the paper's extension: an array-valued reduction
+// variable. Each thread contributes a whole private array; contributions
+// combine element-wise under one lock (one coarse-grained update per
+// thread, not one per element — the point of the extension).
+type ArrayReduction struct {
+	op   ReduceOp
+	addr dsm.Addr
+	n    int
+	lock int
+}
+
+// NewArrayReduction allocates an n-element float64 array reduction.
+func (p *Program) NewArrayReduction(op ReduceOp, n int) *ArrayReduction {
+	p.mu.Lock()
+	id := p.nextRed
+	p.nextRed++
+	p.mu.Unlock()
+	return &ArrayReduction{
+		op:   op,
+		addr: p.sys.MallocPage(8 * n),
+		n:    n,
+		lock: 1<<27 | id,
+	}
+}
+
+// Len returns the array length.
+func (ar *ArrayReduction) Len() int { return ar.n }
+
+// Addr returns the shared address of the accumulator array (for reading
+// results in bulk).
+func (ar *ArrayReduction) Addr() dsm.Addr { return ar.addr }
+
+// Reset fills the accumulator with the operator's identity.
+func (ar *ArrayReduction) Reset(tc *TC) {
+	buf := make([]float64, ar.n)
+	id := ar.op.identity()
+	for i := range buf {
+		buf[i] = id
+	}
+	tc.n.WriteF64s(ar.addr, buf)
+}
+
+// Reduce folds a thread's private partial array into the accumulator.
+func (ar *ArrayReduction) Reduce(tc *TC, local []float64) {
+	if len(local) != ar.n {
+		panic(fmt.Sprintf("core: array reduction length %d, want %d", len(local), ar.n))
+	}
+	tc.n.Acquire(ar.lock)
+	cur := make([]float64, ar.n)
+	tc.n.ReadF64s(ar.addr, cur)
+	for i := range cur {
+		cur[i] = ar.op.combine(cur[i], local[i])
+	}
+	tc.n.WriteF64s(ar.addr, cur)
+	tc.n.Release(ar.lock)
+}
+
+// Value reads the accumulated array into dst.
+func (ar *ArrayReduction) Value(tc *TC, dst []float64) {
+	if len(dst) != ar.n {
+		panic("core: array reduction Value length mismatch")
+	}
+	tc.n.ReadF64s(ar.addr, dst)
+}

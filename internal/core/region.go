@@ -1,0 +1,182 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/dsm"
+	"repro/internal/sim"
+)
+
+// TC is the thread context inside a parallel region: thread number, team
+// size, synchronization directives, and access to shared memory. A TC's
+// methods model the code the compiler emits for each directive.
+type TC struct {
+	p       *Program
+	n       *dsm.Node
+	threads int
+	args    []byte // firstprivate environment received at fork
+}
+
+// MC is the master context: the sequential program between parallel
+// regions runs with it on thread 0, and it can open parallel regions.
+type MC struct {
+	TC
+}
+
+// ThreadNum returns the OpenMP thread number (0 = master).
+func (tc *TC) ThreadNum() int { return tc.n.ID() }
+
+// NumThreads returns the team size.
+func (tc *TC) NumThreads() int { return tc.threads }
+
+// Node exposes the underlying DSM node: ReadF64, WriteF64, and friends are
+// the compiler-emitted shared-memory access checks.
+func (tc *TC) Node() *dsm.Node { return tc.n }
+
+// Args returns a reader over the firstprivate environment passed at fork.
+func (tc *TC) Args() *ArgReader { return &ArgReader{b: tc.args} }
+
+// Compute charges virtual time for flops floating-point operations of real
+// work performed by the caller.
+func (tc *TC) Compute(flops float64) { tc.n.Compute(flops) }
+
+// Now returns the thread's current virtual time.
+func (tc *TC) Now() sim.Time { return tc.n.Now() }
+
+// Barrier is the OpenMP barrier directive.
+func (tc *TC) Barrier() { tc.n.Barrier() }
+
+// Critical executes body inside the named critical section: one thread at
+// a time program-wide per name, with entry acquiring and exit releasing
+// consistency, per Section 2.
+func (tc *TC) Critical(name string, body func()) {
+	id := criticalLock(name)
+	tc.n.Acquire(id)
+	defer tc.n.Release(id)
+	body()
+}
+
+// SemaWait is the paper's proposed sema_wait directive (P).
+func (tc *TC) SemaWait(sem int) { tc.n.SemaWait(sem) }
+
+// SemaSignal is the paper's proposed sema_signal directive (V).
+func (tc *TC) SemaSignal(sem int) { tc.n.SemaSignal(sem) }
+
+// CondWait blocks on condition variable cond inside the named critical
+// section (which the calling thread must have entered via CriticalEnter or
+// be lexically inside through Critical).
+func (tc *TC) CondWait(cond int, critical string) {
+	tc.n.CondWait(cond, criticalLock(critical))
+}
+
+// CondSignal unblocks one waiter on cond (no effect if none), per the
+// paper's proposed directive.
+func (tc *TC) CondSignal(cond int, critical string) {
+	tc.n.CondSignal(cond, criticalLock(critical))
+}
+
+// CondBroadcast unblocks every waiter on cond.
+func (tc *TC) CondBroadcast(cond int, critical string) {
+	tc.n.CondBroadcast(cond, criticalLock(critical))
+}
+
+// CriticalEnter/CriticalExit expose the named critical section as explicit
+// brackets for code whose critical region does not nest lexically (the
+// task-queue pattern of Figure 4).
+func (tc *TC) CriticalEnter(name string) { tc.n.Acquire(criticalLock(name)) }
+
+// CriticalExit leaves the named critical section.
+func (tc *TC) CriticalExit(name string) { tc.n.Release(criticalLock(name)) }
+
+// Flush is the OpenMP flush directive the paper proposes to remove; it is
+// implemented (at its full 2(n-1) message cost) for the ablation studies.
+func (tc *TC) Flush() { tc.n.Flush() }
+
+// Threadprivate returns this thread's persistent private storage of the
+// given name and size, allocating it zeroed on first use (the Fortran
+// threadprivate common block of Section 2).
+func (tc *TC) Threadprivate(name string, size int) []byte {
+	store := tc.p.tpStores[tc.n.ID()]
+	buf, ok := store[name]
+	if !ok || len(buf) < size {
+		buf = make([]byte, size)
+		store[name] = buf
+	}
+	return buf[:size]
+}
+
+// StaticRange computes this thread's contiguous block of the iteration
+// space [lo, hi): the static schedule the compiler emits for parallel do.
+func (tc *TC) StaticRange(lo, hi int) (int, int) {
+	return StaticBlock(lo, hi, tc.ThreadNum(), tc.threads)
+}
+
+// StaticBlock partitions [lo, hi) into nearly equal contiguous blocks and
+// returns the bounds of block `who` of `of`.
+func StaticBlock(lo, hi, who, of int) (int, int) {
+	n := hi - lo
+	if n <= 0 {
+		return lo, lo
+	}
+	base := n / of
+	rem := n % of
+	start := lo + who*base + min(who, rem)
+	end := start + base
+	if who < rem {
+		end++
+	}
+	return start, end
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Region registration and fork.
+// ---------------------------------------------------------------------
+
+// RegisterRegion registers the body of a `parallel` region under a name:
+// the analogue of the compiler encapsulating each parallel region into a
+// separate subroutine (Section 4.3.2). Must be called before Run.
+func (p *Program) RegisterRegion(name string, body func(tc *TC)) {
+	p.sys.Register(name, func(n *dsm.Node, arg []byte) {
+		body(&TC{p: p, n: n, threads: p.threads, args: arg})
+	})
+}
+
+// RegisterDo registers the body of a `parallel do` region: the runtime
+// hands each thread its static block [lo, hi) of the loop bounds supplied
+// at the ParallelDo call site.
+func (p *Program) RegisterDo(name string, body func(tc *TC, lo, hi int)) {
+	p.sys.Register(name, func(n *dsm.Node, arg []byte) {
+		if len(arg) < 16 {
+			panic(fmt.Sprintf("core: parallel do %q fork missing loop bounds", name))
+		}
+		gLo := int(int64(binary.LittleEndian.Uint64(arg)))
+		gHi := int(int64(binary.LittleEndian.Uint64(arg[8:])))
+		tc := &TC{p: p, n: n, threads: p.threads, args: arg[16:]}
+		lo, hi := StaticBlock(gLo, gHi, n.ID(), p.threads)
+		body(tc, lo, hi)
+	})
+}
+
+// Parallel opens the named parallel region on the whole team, passing the
+// firstprivate environment (master's values at the fork, Section 2), and
+// returns after all threads have joined.
+func (m *MC) Parallel(name string, args *Args) {
+	m.n.RunParallel(name, args.bytes())
+}
+
+// ParallelDo opens the named parallel-do region over the iteration space
+// [lo, hi), statically partitioned across the team.
+func (m *MC) ParallelDo(name string, lo, hi int, args *Args) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(int64(lo)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(hi)))
+	m.n.RunParallel(name, append(hdr[:], args.bytes()...))
+}

@@ -1,0 +1,102 @@
+package dsm
+
+import (
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Centralized-manager barriers, Section 4.2: "Barrier arrivals are modeled
+// as releases and barrier departures are acquires. At a barrier arrival
+// each thread sends a release message to the manager and waits for a
+// departure message. The manager broadcasts a barrier departure message to
+// all threads after all have arrived." Node 0 is the manager. Arrival
+// messages piggyback the arriver's new intervals; departures carry, for
+// each node, exactly the intervals it lacks.
+
+// barrierMgr buffers arrival messages at node 0 between the protocol
+// server (which receives them) and the application thread (which consumes
+// P-1 of them per barrier episode).
+type barrierMgr struct {
+	arrivals chan *network.Message
+}
+
+func newBarrierMgr(procs int) *barrierMgr {
+	return &barrierMgr{arrivals: make(chan *network.Message, 4*procs)}
+}
+
+// Barrier synchronizes all processors (OpenMP barrier semantics: all
+// modifications before the barrier are visible to every thread after it).
+func (n *Node) Barrier() {
+	procs := n.sys.cfg.Procs
+	n.mu.Lock()
+	n.stats.Barriers++
+	n.closeIntervalLocked()
+	if procs == 1 {
+		n.mu.Unlock()
+		return
+	}
+	if n.id != 0 {
+		var w wbuf
+		w.vc(n.vc)
+		encodeRecords(&w, n.deltaForLocked(n.knownVC[0]))
+		n.noteSentLocked(0)
+		// Sent under mu: atomic with the estimate update.
+		n.ep.Send(0, msgBarrArrive, network.ClassRequest, w.b)
+		n.mu.Unlock()
+
+		m := n.recvReply(msgBarrDepart)
+		r := rbuf{b: m.Payload}
+		mgrVC := r.vc()
+		recs := decodeRecords(&r)
+		n.mu.Lock()
+		n.incorporateLocked(recs, mgrVC)
+		n.noteHeardLocked(0, mgrVC)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+
+	// Manager: gather P-1 arrivals (the server queued them), then merge
+	// and broadcast departures. Virtual departure time is the latest
+	// arrival plus sequential per-arrival processing at the manager.
+	type arrival struct {
+		from int
+		vc   VectorClock
+	}
+	arrivals := make([]arrival, 0, procs-1)
+	var latest sim.Time
+	for len(arrivals) < procs-1 {
+		var m *network.Message
+		select {
+		case m = <-n.barrier.arrivals:
+		case <-n.sys.done:
+		}
+		if m == nil {
+			panic(abortError{cause: "switch shut down"})
+		}
+		if m.Arrive > latest {
+			latest = m.Arrive
+		}
+		// The write notices were already incorporated by the server in
+		// wire order; only the arriver's clock matters here, to compute
+		// its exact departure delta.
+		r := rbuf{b: m.Payload}
+		senderVC := r.vc()
+		arrivals = append(arrivals, arrival{from: m.From, vc: senderVC})
+	}
+	n.clock.AdvanceTo(latest)
+	n.clock.Advance(sim.Time(procs-1) * n.sys.plat.RequestService)
+
+	n.mu.Lock()
+	for _, a := range arrivals {
+		var w wbuf
+		w.vc(n.vc)
+		// Exact delta against the arriver's reported clock; departures
+		// are reply-class and therefore never update knownVC.
+		encodeRecords(&w, n.deltaForLocked(a.vc))
+		n.mu.Unlock()
+		n.ep.Send(a.from, msgBarrDepart, network.ClassReply, w.b)
+		n.mu.Lock()
+	}
+	n.mu.Unlock()
+}

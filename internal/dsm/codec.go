@@ -1,0 +1,80 @@
+// Package dsm implements a TreadMarks-style software distributed shared
+// memory system on the simulated network of workstations, as described in
+// Section 4 of the paper:
+//
+//   - a paged global shared address space on top of per-node private
+//     memories (each node owns a private copy of every page it touches;
+//     nothing is shared between nodes except protocol messages),
+//   - a lazy invalidate implementation of release consistency (LRC) with
+//     vector clocks, intervals, and write notices,
+//   - a multiple-writer protocol using twins and word-granularity diffs,
+//   - the synchronization primitives of Section 4.2: centralized-manager
+//     barriers, distributed locks with last-holder forwarding, condition
+//     variables attached to locks, semaphores with a manager node, and the
+//     OpenMP flush (kept for the paper's ablation of Section 3.2.3), and
+//   - Tmk_fork / Tmk_join fork-join threading tailored to OpenMP.
+//
+// Access detection substitutes explicit per-access checks for the
+// mprotect/SIGSEGV mechanism of real TreadMarks (which cannot coexist with
+// the Go runtime); every protocol event — fault, twin creation, diff, write
+// notice, invalidation — is reproduced faithfully. See DESIGN.md §1.
+package dsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// wbuf is a tiny append-only little-endian encoder for protocol messages.
+// Message sizes feed the Table 2 byte statistics, so the encodings are kept
+// as compact as the real protocol's.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v uint8)    { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) i32(v int)     { w.u32(uint32(int32(v))) }
+func (w *wbuf) i64(v int64)   { w.u64(uint64(v)) }
+func (w *wbuf) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *wbuf) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+func (w *wbuf) str(s string) { w.bytes([]byte(s)) }
+
+// rbuf decodes what wbuf encodes. Decoding errors indicate protocol bugs,
+// so they panic rather than returning errors.
+type rbuf struct {
+	b   []byte
+	off int
+}
+
+func (r *rbuf) need(n int) []byte {
+	if r.off+n > len(r.b) {
+		panic(fmt.Sprintf("dsm: short message: need %d bytes at offset %d of %d", n, r.off, len(r.b)))
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *rbuf) u8() uint8    { return r.need(1)[0] }
+func (r *rbuf) u32() uint32  { return binary.LittleEndian.Uint32(r.need(4)) }
+func (r *rbuf) u64() uint64  { return binary.LittleEndian.Uint64(r.need(8)) }
+func (r *rbuf) i32() int     { return int(int32(r.u32())) }
+func (r *rbuf) i64() int64   { return int64(r.u64()) }
+func (r *rbuf) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *rbuf) bytes() []byte {
+	n := int(r.u32())
+	out := make([]byte, n)
+	copy(out, r.need(n))
+	return out
+}
+
+func (r *rbuf) str() string { return string(r.bytes()) }
+
+func (r *rbuf) done() bool { return r.off == len(r.b) }

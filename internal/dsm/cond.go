@@ -1,0 +1,194 @@
+package dsm
+
+import (
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Condition variables, Sections 3.2.3 and 4.2: "Each condition variable is
+// associated with a lock. The lock manager maintains a queue of waiting
+// threads for each condition variable. On a cond_wait, a thread releases
+// the lock and contacts the manager, who inserts it in the queue of
+// threads waiting on this condition variable. A cond_signal also contacts
+// the manager. If there are any threads in the condition variable's queue,
+// the manager removes the first thread from that queue and puts it at the
+// end of the queue for the lock. The waiting thread will regain the lock
+// after all previous lock acquires for the same lock are released."
+
+// condQueue lives at the associated lock's manager node.
+type condQueue struct {
+	waiters []semaWaiter // reuse: from, vc-at-wait, arrival time
+}
+
+func (n *Node) condFor(id int) *condQueue {
+	cq, ok := n.conds[id]
+	if !ok {
+		cq = &condQueue{}
+		n.conds[id] = cq
+	}
+	return cq
+}
+
+// CondWait atomically releases lockID (which the caller must hold), blocks
+// on condition variable condID, and re-acquires the lock before returning.
+// Upon wakeup the thread contends for the lock and resumes after the
+// cond_signal issuer's release, importing its consistency information
+// through the normal lock-grant path.
+func (n *Node) CondWait(condID, lockID int) {
+	mgr := n.lockMgr(lockID)
+	n.mu.Lock()
+	n.stats.CondOps++
+	ls := n.lockFor(lockID)
+	if !ls.held {
+		panic("dsm: CondWait requires the associated lock to be held")
+	}
+	// Release semantics: close the interval, free the lock locally, and
+	// serve anyone already queued behind us.
+	n.closeIntervalLocked()
+	myVC := n.vc.clone()
+	ls.held = false
+	if len(ls.pending) > 0 {
+		p := ls.pending[0]
+		ls.pending = ls.pending[1:]
+		ls.haveToken = false
+		n.sendGrantLocked(lockID, p.from, p.vc, n.clock.Now())
+	}
+
+	if n.id == mgr {
+		cq := n.condFor(condID)
+		cq.waiters = append(cq.waiters, semaWaiter{from: n.id, vc: myVC, arrive: n.clock.Now()})
+		n.mu.Unlock()
+	} else {
+		var w wbuf
+		w.i32(condID)
+		w.i32(lockID)
+		w.vc(myVC)
+		n.mu.Unlock()
+		n.ep.Send(mgr, msgCondWait, network.ClassRequest, w.b)
+	}
+
+	// Block until a signal routes the lock back to us.
+	m := n.recvReply(msgLockGrant)
+	r := rbuf{b: m.Payload}
+	if got := r.i32(); got != lockID {
+		panic("dsm: condition wake granted wrong lock")
+	}
+	senderVC := r.vc()
+	recs := decodeRecords(&r)
+	n.mu.Lock()
+	n.incorporateLocked(recs, senderVC)
+	n.noteHeardLocked(m.From, senderVC)
+	ls.haveToken = true
+	ls.held = true
+	n.mu.Unlock()
+}
+
+// CondSignal unblocks one thread waiting on condID (no effect if none).
+// The caller must hold the associated lock; the woken thread regains the
+// lock only after the caller (and any earlier acquirers) release it.
+func (n *Node) CondSignal(condID, lockID int) {
+	n.condNotify(condID, lockID, false)
+}
+
+// CondBroadcast unblocks every thread waiting on condID; the woken threads
+// chain onto the lock's request queue in their wait order.
+func (n *Node) CondBroadcast(condID, lockID int) {
+	n.condNotify(condID, lockID, true)
+}
+
+func (n *Node) condNotify(condID, lockID int, all bool) {
+	mgr := n.lockMgr(lockID)
+	n.mu.Lock()
+	n.stats.CondOps++
+	if n.id == mgr {
+		n.condWakeLocked(condID, lockID, all, n.clock.Now())
+		n.mu.Unlock()
+		return
+	}
+	var w wbuf
+	w.i32(condID)
+	w.i32(lockID)
+	n.mu.Unlock()
+	typ := msgCondSignal
+	if all {
+		typ = msgCondBroadcast
+	}
+	n.ep.Send(mgr, typ, network.ClassRequest, w.b)
+}
+
+// condWakeLocked implements the manager's queue transfer: each woken
+// waiter is treated as a fresh lock request appended to the lock's chain.
+func (n *Node) condWakeLocked(condID, lockID int, all bool, at sim.Time) {
+	cq := n.condFor(condID)
+	for len(cq.waiters) > 0 {
+		wtr := cq.waiters[0]
+		cq.waiters = cq.waiters[1:]
+		n.enqueueLockRequestLocked(lockID, wtr.from, wtr.vc, at)
+		if !all {
+			return
+		}
+	}
+}
+
+// enqueueLockRequestLocked runs the manager's acquire logic on behalf of a
+// remote (or local) requester — exactly what handleAcqReq does for a wire
+// request.
+func (n *Node) enqueueLockRequestLocked(lockID, requester int, reqVC VectorClock, at sim.Time) {
+	ls := n.lockFor(lockID)
+	prev := ls.lastReq
+	ls.lastReq = requester
+	if prev == n.id {
+		if ls.haveToken && !ls.held {
+			ls.haveToken = false
+			n.sendGrantLocked(lockID, requester, reqVC, at)
+			return
+		}
+		ls.pending = append(ls.pending, pendingReq{from: requester, vc: reqVC, arrive: at})
+		return
+	}
+	var w wbuf
+	w.i32(lockID)
+	w.i32(requester)
+	w.vc(reqVC)
+	if prev == requester {
+		// The waiter was itself the chain tail when it went to sleep; its
+		// own node still has the free token, so the forward loops back to
+		// it and its server grants to the local application thread.
+		if requester == n.id {
+			// Manager == waiter == tail: grant locally.
+			if !ls.haveToken || ls.held {
+				panic("dsm: condition wake found manager tail without token")
+			}
+			ls.haveToken = false
+			n.sendGrantLocked(lockID, requester, reqVC, at)
+			return
+		}
+	}
+	n.ep.SendAt(prev, msgAcqFwd, network.ClassRequest, w.b, at)
+}
+
+// handleCondWait runs on the lock manager's protocol server.
+func (n *Node) handleCondWait(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	condID := r.i32()
+	_ = r.i32() // lockID: queue transfer happens at signal time
+	reqVC := r.vc()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chargeInterruptLocked()
+	cq := n.condFor(condID)
+	cq.waiters = append(cq.waiters, semaWaiter{from: m.From, vc: reqVC, arrive: m.Arrive})
+}
+
+// handleCondNotify runs on the lock manager's protocol server for both
+// signal and broadcast.
+func (n *Node) handleCondNotify(m *network.Message, all bool) {
+	r := rbuf{b: m.Payload}
+	condID := r.i32()
+	lockID := r.i32()
+	at := m.Arrive + n.sys.plat.RequestService
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chargeInterruptLocked()
+	n.condWakeLocked(condID, lockID, all, at)
+}

@@ -1,0 +1,79 @@
+package dsm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// debugSquash gates the diff-squash fallback (test hook):
+// bit 0 = cold squash, bit 1 = warm squash, bit 2 = differential verify.
+var debugSquash = 3
+
+// SetDebugSquash toggles the squash fallback (tests only).
+func SetDebugSquash(v bool) {
+	if v {
+		debugSquash = 3
+	} else {
+		debugSquash = 0
+	}
+}
+
+// SetDebugSquashMode sets the squash mode directly (tests only).
+func SetDebugSquashMode(m int) { debugSquash = m }
+
+// debugOracle, when enabled, keeps an authoritative shadow copy of every
+// written byte (valid only for data-race-free programs whose sync order
+// matches real time, which holds for lock-ordered tests). Reads compare
+// against it and report the first divergence.
+var (
+	debugOracleOn bool
+	oracleMu      sync.Mutex
+	oracleMem     map[int][]byte // per system instance? single-run tests only
+)
+
+// SetDebugOracle enables the shadow-memory checker (single-System tests).
+func SetDebugOracle(on bool) {
+	oracleMu.Lock()
+	debugOracleOn = on
+	oracleMem = map[int][]byte{}
+	oracleMu.Unlock()
+}
+
+func oracleWrite(a Addr, src []byte) {
+	if !debugOracleOn {
+		return
+	}
+	oracleMu.Lock()
+	for i, b := range src {
+		off := int(a) + i
+		pg := off / PageSize
+		buf, ok := oracleMem[pg]
+		if !ok {
+			buf = make([]byte, PageSize)
+			oracleMem[pg] = buf
+		}
+		buf[off%PageSize] = b
+	}
+	oracleMu.Unlock()
+}
+
+func oracleCheck(node int, a Addr, got []byte) {
+	if !debugOracleOn {
+		return
+	}
+	oracleMu.Lock()
+	defer oracleMu.Unlock()
+	for i := range got {
+		off := int(a) + i
+		pg := off / PageSize
+		buf, ok := oracleMem[pg]
+		if !ok {
+			continue
+		}
+		if got[i] != buf[off%PageSize] {
+			fmt.Printf("ORACLE-DIVERGE node=%d addr=%d page=%d off=%d got=%d want=%d\n",
+				node, off, pg, off%PageSize, got[i], buf[off%PageSize])
+			return
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package dsm
+
+import (
+	"repro/internal/network"
+)
+
+// Flush implements the OpenMP flush directive the paper argues should be
+// removed (Section 3.2.3): "Without knowing which thread is waiting for
+// the condition, the flushing thread has to notify all other threads of
+// its modifications to the shared memory. For n threads a total of
+// 2(n-1) messages are sent, half of which are used for acknowledgments.
+// Most of these messages are redundant and numerous threads are
+// interrupted unnecessarily."
+//
+// It is retained here so the ablation experiments can measure exactly that
+// cost against the proposed semaphores and condition variables.
+func (n *Node) Flush() {
+	procs := n.sys.cfg.Procs
+	n.mu.Lock()
+	n.stats.Flushes++
+	n.closeIntervalLocked()
+	if procs == 1 {
+		n.mu.Unlock()
+		return
+	}
+	for j := 0; j < procs; j++ {
+		if j == n.id {
+			continue
+		}
+		var w wbuf
+		w.vc(n.vc)
+		encodeRecords(&w, n.deltaForLocked(n.knownVC[j]))
+		n.noteSentLocked(j)
+		// Sent under mu: atomic with the estimate update.
+		n.ep.Send(j, msgFlush, network.ClassRequest, w.b)
+	}
+	n.mu.Unlock()
+	for i := 0; i < procs-1; i++ {
+		n.recvReply(msgFlushAck)
+	}
+}
+
+// handleFlush runs on every other node's protocol server: incorporate the
+// pushed write notices (invalidating pages) and acknowledge. The
+// incorporation is what lets a busy-wait reader eventually observe the
+// flushed value; the interrupt charge is the "unnecessary disturbance" of
+// uninvolved nodes.
+func (n *Node) handleFlush(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	senderVC := r.vc()
+	recs := decodeRecords(&r)
+	at := m.Arrive + n.sys.plat.RequestService
+	n.mu.Lock()
+	n.chargeInterruptLocked()
+	n.incorporateLocked(recs, senderVC)
+	n.noteHeardLocked(m.From, senderVC)
+	n.mu.Unlock()
+	n.ep.SendAt(m.From, msgFlushAck, network.ClassReply, nil, at)
+}

@@ -1,0 +1,98 @@
+package dsm
+
+import (
+	"repro/internal/network"
+)
+
+// This file implements the Tmk_fork / Tmk_join primitives "specifically
+// tailored to the fork-join style of parallelism expected by OpenMP"
+// (Section 4.1). All threads exist for the whole run; during sequential
+// execution the slaves block waiting for the next fork from the master.
+
+// RunParallel forks the named region on every slave, runs it on the master
+// too, and joins. The arg bytes carry the serialized firstprivate
+// environment (pointers to shared variables and copied initial values, as
+// in Section 4.3.2). Fork counts as a release by the master and an acquire
+// by each slave; join is the reverse, so the master sees all slave writes
+// after RunParallel returns.
+func (n *Node) RunParallel(region string, arg []byte) {
+	if n.id != 0 {
+		panic("dsm: RunParallel must be called by the master (node 0)")
+	}
+	fn := n.sys.region(region)
+	procs := n.sys.cfg.Procs
+
+	// Fork: release + broadcast.
+	n.mu.Lock()
+	n.closeIntervalLocked()
+	for i := 1; i < procs; i++ {
+		var w wbuf
+		w.str(region)
+		w.bytes(arg)
+		w.vc(n.vc)
+		encodeRecords(&w, n.deltaForLocked(n.knownVC[i]))
+		n.noteSentLocked(i)
+		// Sent under mu: atomic with the estimate update.
+		n.ep.Send(i, msgFork, network.ClassRequest, w.b)
+	}
+	n.mu.Unlock()
+
+	// The master is thread 0 of the team.
+	fn(n, arg)
+
+	// Join: collect every slave's release.
+	n.mu.Lock()
+	n.closeIntervalLocked()
+	n.mu.Unlock()
+	for i := 1; i < procs; i++ {
+		var m *network.Message
+		select {
+		case m = <-n.joinCh:
+		case <-n.sys.done:
+		}
+		if m == nil {
+			panic(abortError{cause: "switch shut down"})
+		}
+		// Consistency information was already incorporated by the
+		// protocol server, in wire order; the join here only
+		// synchronizes time.
+		n.clock.AdvanceTo(m.Arrive)
+	}
+}
+
+// slaveLoop is the application thread of nodes 1..P-1: block for a fork,
+// run the region, send the join, repeat until exit.
+func (n *Node) slaveLoop() {
+	for {
+		var m *network.Message
+		select {
+		case m = <-n.forkCh:
+		case <-n.sys.done:
+		}
+		if m == nil {
+			panic(abortError{cause: "switch shut down"})
+		}
+		if m.Type == msgExit {
+			n.clock.AdvanceTo(m.Arrive)
+			return
+		}
+		n.clock.AdvanceTo(m.Arrive)
+		r := rbuf{b: m.Payload}
+		region := r.str()
+		arg := r.bytes()
+		// The consistency trailer was already incorporated by the
+		// protocol server, in wire order.
+		fn := n.sys.region(region)
+		fn(n, arg)
+
+		n.mu.Lock()
+		n.closeIntervalLocked()
+		var w wbuf
+		w.vc(n.vc)
+		encodeRecords(&w, n.deltaForLocked(n.knownVC[0]))
+		n.noteSentLocked(0)
+		// Sent under mu: atomic with the estimate update.
+		n.ep.Send(0, msgJoin, network.ClassRequest, w.b)
+		n.mu.Unlock()
+	}
+}

@@ -1,0 +1,222 @@
+package dsm
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Distributed mutex locks, Section 4.2: "Each lock has a statically
+// assigned manager. The manager records which thread has most recently
+// requested the lock. All lock acquire requests are sent to the manager
+// and, if necessary, forwarded by the manager to the thread that last
+// requested the lock." Release is lazy: the releaser propagates
+// consistency information only when the next acquirer's (forwarded)
+// request reaches it.
+//
+// An acquire therefore costs 0 messages (token already local), 2 messages
+// (requester ↔ holder when the manager is one of them), or 3 messages
+// (request, forward, grant) — landing in the paper's 170–700 µs window.
+
+// lockState tracks one lock on one node. Manager fields are meaningful
+// only on the lock's manager; holder fields on whichever node has the
+// token.
+type lockState struct {
+	// manager side
+	lastReq int // tail of the request chain; initially the manager
+
+	// holder side
+	held      bool
+	haveToken bool
+	pending   []pendingReq // forwarded requests awaiting our release
+}
+
+type pendingReq struct {
+	from   int
+	vc     VectorClock
+	arrive sim.Time
+}
+
+func (n *Node) lockMgr(id int) int {
+	p := n.sys.cfg.Procs
+	return ((id % p) + p) % p
+}
+
+// lockFor returns (creating on demand) this node's state for lock id.
+func (n *Node) lockFor(id int) *lockState {
+	ls, ok := n.locks[id]
+	if !ok {
+		ls = &lockState{lastReq: n.lockMgr(id)}
+		if n.id == n.lockMgr(id) {
+			ls.haveToken = true // the token starts at the manager
+		}
+		n.locks[id] = ls
+	}
+	return ls
+}
+
+// Acquire obtains lock id with acquire (consistency-importing) semantics.
+func (n *Node) Acquire(id int) {
+	n.mu.Lock()
+	ls := n.lockFor(id)
+	if ls.held {
+		panic(fmt.Sprintf("dsm: node %d re-acquired held lock %d", n.id, id))
+	}
+	if ls.haveToken && len(ls.pending) == 0 {
+		// Free local re-acquire: no messages, no new consistency info.
+		ls.held = true
+		n.stats.LockAcquires++
+		n.stats.LockLocal++
+		n.mu.Unlock()
+		return
+	}
+	n.stats.LockAcquires++
+	mgr := n.lockMgr(id)
+	myVC := n.vc.clone()
+	if n.id == mgr {
+		// Run the manager logic locally: forward straight to the chain
+		// tail (saves the request hop, as in TreadMarks).
+		prev := ls.lastReq
+		ls.lastReq = n.id
+		if prev == n.id {
+			panic(fmt.Sprintf("dsm: node %d chain tail for lock %d but token absent", n.id, id))
+		}
+		var w wbuf
+		w.i32(id)
+		w.i32(n.id) // requester
+		w.vc(myVC)
+		n.mu.Unlock()
+		n.ep.Send(prev, msgAcqFwd, network.ClassRequest, w.b)
+	} else {
+		var w wbuf
+		w.i32(id)
+		w.vc(myVC)
+		n.mu.Unlock()
+		n.ep.Send(mgr, msgAcqReq, network.ClassRequest, w.b)
+	}
+
+	m := n.recvReply(msgLockGrant)
+	r := rbuf{b: m.Payload}
+	if got := r.i32(); got != id {
+		panic(fmt.Sprintf("dsm: node %d got grant for lock %d while acquiring %d", n.id, got, id))
+	}
+	senderVC := r.vc()
+	recs := decodeRecords(&r)
+	n.mu.Lock()
+	n.incorporateLocked(recs, senderVC)
+	n.noteHeardLocked(m.From, senderVC)
+	ls.haveToken = true
+	ls.held = true
+	n.mu.Unlock()
+}
+
+// Release releases lock id with release (consistency-exporting) semantics.
+// If an acquire request was forwarded here while the lock was held, the
+// token and the consistency delta go straight to that requester.
+func (n *Node) Release(id int) {
+	n.mu.Lock()
+	ls := n.lockFor(id)
+	if !ls.held {
+		panic(fmt.Sprintf("dsm: node %d released lock %d it does not hold", n.id, id))
+	}
+	n.closeIntervalLocked()
+	ls.held = false
+	if len(ls.pending) > 0 {
+		p := ls.pending[0]
+		ls.pending = ls.pending[1:]
+		ls.haveToken = false
+		n.sendGrantLocked(id, p.from, p.vc, n.clock.Now())
+	}
+	n.mu.Unlock()
+}
+
+// grantPayloadLocked builds a lock-grant message body: lock id, our vector
+// clock, and every interval the requester (whose clock is reqVC) lacks.
+// Grants are exact deltas (relative to the requester's own reported clock)
+// so they never update the knownVC estimates: estimates may only grow with
+// request-class sends, whose per-pair FIFO ordering makes the estimate
+// sound (a reply-class grant could overtake an in-flight request-class
+// delta and leave the receiver with an interval gap).
+func (n *Node) grantPayloadLocked(id int, reqVC VectorClock, to int) []byte {
+	var w wbuf
+	w.i32(id)
+	w.vc(n.vc)
+	encodeRecords(&w, n.deltaForLocked(reqVC))
+	return w.b
+}
+
+// sendGrantLocked delivers a grant from protocol-server context at virtual
+// time at, using the self-reply channel when the grantee is this node
+// (e.g. a manager acquiring its own lock via a condition-variable wake).
+func (n *Node) sendGrantLocked(id int, to int, reqVC VectorClock, at sim.Time) {
+	payload := n.grantPayloadLocked(id, reqVC, to)
+	n.sendOrSelfLocked(to, msgLockGrant, payload, at)
+}
+
+// sendOrSelfLocked sends a reply-class message, short-circuiting
+// to the node's own self-reply channel when to == n.id (managers never
+// talk to themselves over the wire).
+func (n *Node) sendOrSelfLocked(to, typ int, payload []byte, at sim.Time) {
+	if to == n.id {
+		n.selfReply <- &network.Message{From: n.id, To: n.id, Type: typ, Payload: payload, Send: at, Arrive: at}
+		return
+	}
+	n.ep.SendAt(to, typ, network.ClassReply, payload, at)
+}
+
+// handleAcqReq runs on the manager's protocol server.
+func (n *Node) handleAcqReq(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	id := r.i32()
+	reqVC := r.vc()
+	at := m.Arrive + n.sys.plat.RequestService
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chargeInterruptLocked()
+	ls := n.lockFor(id)
+	prev := ls.lastReq
+	ls.lastReq = m.From
+	if prev == n.id {
+		// The chain ends here: the token is local (possibly held by our
+		// own application thread).
+		if ls.haveToken && !ls.held {
+			ls.haveToken = false
+			n.sendGrantLocked(id, m.From, reqVC, at)
+			return
+		}
+		ls.pending = append(ls.pending, pendingReq{from: m.From, vc: reqVC, arrive: m.Arrive})
+		return
+	}
+	var w wbuf
+	w.i32(id)
+	w.i32(m.From)
+	w.vc(reqVC)
+	n.ep.SendAt(prev, msgAcqFwd, network.ClassRequest, w.b, at)
+}
+
+// handleAcqFwd runs on the last holder's protocol server.
+func (n *Node) handleAcqFwd(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	id := r.i32()
+	requester := r.i32()
+	reqVC := r.vc()
+	at := m.Arrive + n.sys.plat.RequestService
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chargeInterruptLocked()
+	ls := n.lockFor(id)
+	if ls.haveToken && !ls.held {
+		ls.haveToken = false
+		n.sendGrantLocked(id, requester, reqVC, at)
+		return
+	}
+	ls.pending = append(ls.pending, pendingReq{from: requester, vc: reqVC, arrive: m.Arrive})
+}
+
+func (n *Node) chargeInterruptLocked() {
+	n.stats.Interrupts++
+	n.clock.Advance(n.sys.plat.Interrupt)
+}

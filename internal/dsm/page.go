@@ -1,0 +1,128 @@
+package dsm
+
+import "encoding/binary"
+
+// PageID identifies one page of the global shared address space.
+type PageID int
+
+// Addr is a byte offset into the global shared address space. The same
+// Addr names the same logical location on every node; each node keeps its
+// own private copy of the page behind it.
+type Addr int
+
+// PageSize is the granularity of access detection and consistency, as in
+// TreadMarks on x86.
+const PageSize = 4096
+
+type pageState uint8
+
+const (
+	// pageInvalid: the local copy (if any) is missing the diffs listed in
+	// page.missing, or the page was never fetched (data == nil). Any
+	// access faults.
+	pageInvalid pageState = iota
+	// pageReadOnly: reads proceed; the first write faults to create a
+	// twin (and to encode the pending diff of the previous interval, if
+	// the page was written in an interval that has since closed).
+	pageReadOnly
+	// pageReadWrite: the page has a twin belonging to the node's open
+	// interval; reads and writes proceed at memory speed.
+	pageReadWrite
+)
+
+// page is one node's view of one shared page.
+type page struct {
+	id    PageID
+	state pageState
+
+	// data is the node's private copy; nil until first materialized
+	// (node 0, the allocator, materializes zero pages on demand; other
+	// nodes fetch their first copy from node 0).
+	data []byte
+
+	// twin is a snapshot of data taken at the first write of an interval,
+	// used to compute the interval's diff (multiple-writer protocol).
+	twin []byte
+
+	// twinIvl, when non-nil, is the *closed* interval that still owes a
+	// diff against twin. It is nil while twin belongs to the node's open
+	// interval, and nil when there is no twin.
+	twinIvl *interval
+
+	// missing lists incorporated write notices whose diffs have not yet
+	// been fetched and applied. Non-empty missing implies state ==
+	// pageInvalid, except transiently inside the fault handler.
+	missing []*interval
+
+	// seenVC is the merge of the vector clocks of every interval this
+	// node has ever observed touching the page (remote write notices and
+	// its own write intervals). It enables the diff-squash fallback: if a
+	// missing interval M satisfies seenVC ≤ M.vc, then M's creator has
+	// observed — and its current page content reflects — every
+	// modification this node knows about, so one whole-page transfer can
+	// stand in for the entire accumulated diff chain.
+	seenVC VectorClock
+
+	// inDirty notes membership in the node's open-interval dirty list.
+	inDirty bool
+}
+
+// makeDiff computes the word-granularity (4-byte) delta between data and
+// twin, encoded as runs of [offset u32][length u32][bytes]. The 4-byte
+// word size matches real TreadMarks and is load-bearing for correctness:
+// two nodes may concurrently write ADJACENT 4-byte values of one page
+// (QSORT subarray boundaries land on arbitrary int32 indices), and a
+// coarser diff word would capture the neighbour's stale half and lose one
+// of the two writes when the diffs merge.
+func makeDiff(data, twin []byte) []byte {
+	var w wbuf
+	n := len(data)
+	i := 0
+	for i < n {
+		// Find the next differing word.
+		for i < n && wordEq(data, twin, i) {
+			i += 4
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && !wordEq(data, twin, i) {
+			i += 4
+		}
+		end := i
+		if end > n {
+			end = n
+		}
+		w.u32(uint32(start))
+		w.u32(uint32(end - start))
+		w.b = append(w.b, data[start:end]...)
+	}
+	return w.b
+}
+
+func wordEq(a, b []byte, i int) bool {
+	if i+4 <= len(a) {
+		return binary.LittleEndian.Uint32(a[i:]) == binary.LittleEndian.Uint32(b[i:])
+	}
+	for ; i < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyDiff writes the runs of an encoded diff into data and returns the
+// number of payload bytes applied.
+func applyDiff(data, diff []byte) int {
+	r := rbuf{b: diff}
+	applied := 0
+	for !r.done() {
+		off := int(r.u32())
+		n := int(r.u32())
+		copy(data[off:off+n], r.need(n))
+		applied += n
+	}
+	return applied
+}

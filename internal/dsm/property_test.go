@@ -1,0 +1,243 @@
+package dsm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: applying makeDiff(data, twin) to a copy of twin reconstructs
+// data exactly, for arbitrary page contents.
+func TestDiffRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, PageSize)
+		rng.Read(twin)
+		data := make([]byte, PageSize)
+		copy(data, twin)
+		// Mutate a random set of runs.
+		for k := rng.Intn(20); k >= 0; k-- {
+			off := rng.Intn(PageSize)
+			n := rng.Intn(PageSize - off)
+			for i := 0; i < n; i++ {
+				data[off+i] = byte(rng.Int())
+			}
+		}
+		diff := makeDiff(data, twin)
+		got := make([]byte, PageSize)
+		copy(got, twin)
+		applyDiff(got, diff)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a diff never exceeds the encoded size of the whole page plus
+// one run header, and an unchanged page diffs to nothing.
+func TestDiffSizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, PageSize)
+		rng.Read(twin)
+		same := makeDiff(twin, twin)
+		if len(same) != 0 {
+			return false
+		}
+		data := make([]byte, PageSize)
+		rng.Read(data)
+		diff := makeDiff(data, twin)
+		return len(diff) <= PageSize+8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diffs of disjoint modifications commute — the multiple-writer
+// merge invariant. Two writers modify disjoint byte ranges of the same
+// page; applying their diffs in either order gives the same result.
+func TestDiffCommutativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, PageSize)
+		rng.Read(base)
+		// Writer A mutates the low half, writer B the high half.
+		aData := make([]byte, PageSize)
+		copy(aData, base)
+		bData := make([]byte, PageSize)
+		copy(bData, base)
+		for i := 0; i < 100; i++ {
+			aData[rng.Intn(PageSize/2)] = byte(rng.Int())
+			bData[PageSize/2+rng.Intn(PageSize/2)] = byte(rng.Int())
+		}
+		da := makeDiff(aData, base)
+		db := makeDiff(bData, base)
+
+		ab := make([]byte, PageSize)
+		copy(ab, base)
+		applyDiff(ab, da)
+		applyDiff(ab, db)
+
+		ba := make([]byte, PageSize)
+		copy(ba, base)
+		applyDiff(ba, db)
+		applyDiff(ba, da)
+		return bytes.Equal(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: vector clock merge is commutative, idempotent, and dominant.
+func TestVectorClockMergeProperties(t *testing.T) {
+	f := func(xs, ys [8]uint16) bool {
+		a := make(VectorClock, 8)
+		b := make(VectorClock, 8)
+		for i := 0; i < 8; i++ {
+			a[i] = int32(xs[i])
+			b[i] = int32(ys[i])
+		}
+		ab := a.clone()
+		ab.merge(b)
+		ba := b.clone()
+		ba.merge(a)
+		for i := range ab {
+			if ab[i] != ba[i] {
+				return false
+			}
+		}
+		if !a.dominatedBy(ab) || !b.dominatedBy(ab) {
+			return false
+		}
+		again := ab.clone()
+		again.merge(b)
+		for i := range again {
+			if again[i] != ab[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interval record encode/decode round-trips.
+func TestIntervalRecordCodecProperty(t *testing.T) {
+	f := func(creator uint8, seq uint16, vcs [4]uint16, pages []uint16) bool {
+		ivl := &interval{
+			creator: int(creator),
+			seq:     int(seq),
+			vc:      make(VectorClock, 4),
+		}
+		for i, v := range vcs {
+			ivl.vc[i] = int32(v)
+		}
+		for _, p := range pages {
+			ivl.pages = append(ivl.pages, PageID(p))
+		}
+		var w wbuf
+		ivl.encodeRecord(&w)
+		r := rbuf{b: w.b}
+		got := decodeRecord(&r)
+		if got.creator != ivl.creator || got.seq != ivl.seq || len(got.pages) != len(ivl.pages) {
+			return false
+		}
+		for i := range got.pages {
+			if got.pages[i] != ivl.pages[i] {
+				return false
+			}
+		}
+		for i := range got.vc {
+			if got.vc[i] != ivl.vc[i] {
+				return false
+			}
+		}
+		return r.done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the codec round-trips arbitrary primitive sequences.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(a uint32, b int64, c float64, d []byte, s string) bool {
+		var w wbuf
+		w.u32(a)
+		w.i64(b)
+		w.f64(c)
+		w.bytes(d)
+		w.str(s)
+		r := rbuf{b: w.b}
+		if r.u32() != a || r.i64() != b {
+			return false
+		}
+		if got := r.f64(); got != c && !(got != got && c != c) { // NaN-safe
+			return false
+		}
+		if !bytes.Equal(r.bytes(), d) || r.str() != s {
+			return false
+		}
+		return r.done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (system-level): for random sequences of barrier-separated
+// scattered writes, every node converges to the same array contents as a
+// sequential execution of the same writes.
+func TestScatteredWriteConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const P = 4
+		const words = 256 // spans a page boundary: 2KB…
+		rounds := 1 + rng.Intn(3)
+		plan := make([][]int, rounds) // word -> writer per round
+		for r := range plan {
+			plan[r] = make([]int, words)
+			for w := range plan[r] {
+				plan[r][w] = rng.Intn(P)
+			}
+		}
+		ref := make([]int64, words)
+		for r := range plan {
+			for w, owner := range plan[r] {
+				ref[w] = int64(r*1000 + owner*10 + w%7)
+			}
+		}
+
+		sys := New(Config{Procs: P})
+		base := sys.MallocPage(8 * words)
+		sys.Register("rounds", func(n *Node, _ []byte) {
+			for r := range plan {
+				for w, owner := range plan[r] {
+					if owner == n.ID() {
+						n.WriteI64(base+Addr(8*w), int64(r*1000+owner*10+w%7))
+					}
+				}
+				n.Barrier()
+			}
+		})
+		okCh := true
+		err := sys.Run(func(n *Node) {
+			n.RunParallel("rounds", nil)
+			for w := 0; w < words; w++ {
+				if n.ReadI64(base+Addr(8*w)) != ref[w] {
+					okCh = false
+				}
+			}
+		})
+		return err == nil && okCh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package dsm
+
+import (
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Semaphores, Sections 3.2.3 and 4.2: "A sema_signal corresponds to a
+// release in the release consistency model and a sema_wait corresponds to
+// an acquire. Each semaphore has a statically assigned manager. A
+// signaling thread sends a message to the manager including the
+// consistency information. A thread performing a sema_wait also sends a
+// message to the manager, who replies with the necessary consistency
+// information once the waiting thread is allowed to continue. Thus a
+// sema_signal or a sema_wait costs two messages including an
+// acknowledgment." Waiters block instead of busy-waiting — the paper's
+// argument for adding semaphores to the standard.
+
+// semaState lives at a semaphore's manager node.
+type semaState struct {
+	value   int
+	waiters []semaWaiter
+}
+
+type semaWaiter struct {
+	from   int
+	vc     VectorClock
+	arrive sim.Time
+}
+
+func (n *Node) semaFor(id int) *semaState {
+	ss, ok := n.semas[id]
+	if !ok {
+		ss = &semaState{}
+		n.semas[id] = ss
+	}
+	return ss
+}
+
+// SemaSignal performs V(id): release semantics. Consistency information
+// flows to the manager, which passes it on to the woken waiter (if any).
+func (n *Node) SemaSignal(id int) {
+	mgr := n.lockMgr(id)
+	n.mu.Lock()
+	n.stats.SemaOps++
+	n.closeIntervalLocked()
+	if n.id == mgr {
+		n.semaSignalAtMgrLocked(id, n.vc.clone(), n.id, n.clock.Now())
+		n.mu.Unlock()
+		return
+	}
+	var w wbuf
+	w.i32(id)
+	w.vc(n.vc)
+	encodeRecords(&w, n.deltaForLocked(n.knownVC[mgr]))
+	n.noteSentLocked(mgr)
+	// Send while holding mu: the estimate update and the send must be
+	// atomic with respect to other request-class deltas to mgr.
+	n.ep.Send(mgr, msgSemaSignal, network.ClassRequest, w.b)
+	n.mu.Unlock()
+	n.recvReply(msgSemaAck) // two messages including the acknowledgment
+}
+
+// semaSignalAtMgrLocked applies a signal at the manager: wake the first
+// waiter with a grant carrying its missing intervals, or bank the count.
+func (n *Node) semaSignalAtMgrLocked(id int, _ VectorClock, _ int, at sim.Time) {
+	ss := n.semaFor(id)
+	if len(ss.waiters) == 0 {
+		ss.value++
+		return
+	}
+	wtr := ss.waiters[0]
+	ss.waiters = ss.waiters[1:]
+	var w wbuf
+	w.i32(id)
+	w.vc(n.vc)
+	encodeRecords(&w, n.deltaForLocked(wtr.vc)) // exact delta: no estimate update
+	n.sendOrSelfLocked(wtr.from, msgSemaGrant, w.b, at)
+}
+
+// SemaWait performs P(id): acquire semantics, blocking (not spinning)
+// until a matching signal arrives.
+func (n *Node) SemaWait(id int) {
+	mgr := n.lockMgr(id)
+	n.mu.Lock()
+	n.stats.SemaOps++
+	if n.id == mgr {
+		ss := n.semaFor(id)
+		if ss.value > 0 {
+			// The manager already incorporated the signaler's intervals
+			// when the banked signal arrived; nothing more to import.
+			ss.value--
+			n.mu.Unlock()
+			return
+		}
+		ss.waiters = append(ss.waiters, semaWaiter{from: n.id, vc: n.vc.clone(), arrive: n.clock.Now()})
+		n.mu.Unlock()
+	} else {
+		var w wbuf
+		w.i32(id)
+		w.vc(n.vc)
+		n.mu.Unlock()
+		n.ep.Send(mgr, msgSemaWait, network.ClassRequest, w.b)
+	}
+
+	m := n.recvReply(msgSemaGrant)
+	r := rbuf{b: m.Payload}
+	if got := r.i32(); got != id {
+		panic("dsm: semaphore grant for wrong semaphore")
+	}
+	senderVC := r.vc()
+	recs := decodeRecords(&r)
+	n.mu.Lock()
+	n.incorporateLocked(recs, senderVC)
+	n.noteHeardLocked(m.From, senderVC)
+	n.mu.Unlock()
+}
+
+// handleSemaSignal runs on the manager's protocol server.
+func (n *Node) handleSemaSignal(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	id := r.i32()
+	senderVC := r.vc()
+	recs := decodeRecords(&r)
+	at := m.Arrive + n.sys.plat.RequestService
+
+	n.mu.Lock()
+	n.chargeInterruptLocked()
+	// The manager merges the signaler's knowledge so later grants can
+	// carry it to waiters.
+	n.incorporateLocked(recs, senderVC)
+	n.noteHeardLocked(m.From, senderVC)
+	n.semaSignalAtMgrLocked(id, senderVC, m.From, at)
+	n.mu.Unlock()
+	n.ep.SendAt(m.From, msgSemaAck, network.ClassReply, nil, at)
+}
+
+// handleSemaWait runs on the manager's protocol server.
+func (n *Node) handleSemaWait(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	id := r.i32()
+	reqVC := r.vc()
+	at := m.Arrive + n.sys.plat.RequestService
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chargeInterruptLocked()
+	ss := n.semaFor(id)
+	if ss.value > 0 {
+		ss.value--
+		var w wbuf
+		w.i32(id)
+		w.vc(n.vc)
+		encodeRecords(&w, n.deltaForLocked(reqVC)) // exact delta
+		n.ep.SendAt(m.From, msgSemaGrant, network.ClassReply, w.b, at)
+		return
+	}
+	ss.waiters = append(ss.waiters, semaWaiter{from: m.From, vc: reqVC, arrive: m.Arrive})
+}

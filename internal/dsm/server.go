@@ -1,0 +1,150 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// serve is each node's protocol-server goroutine: the simulation analogue
+// of TreadMarks' SIGIO handler. It processes remote requests concurrently
+// with the node's application thread, acting at each request's virtual
+// arrival time (interrupt semantics) and charging the application thread
+// the platform's interrupt overhead.
+func (n *Node) serve() {
+	for {
+		m := n.ep.RecvRaw(network.ClassRequest)
+		if m == nil {
+			return // switch shut down
+		}
+		switch m.Type {
+		case msgExit:
+			n.forkCh <- m
+		case msgFork:
+			// Incorporate the piggybacked consistency information HERE,
+			// in wire order, before handing the fork to the application
+			// thread: a semaphore signal or flush right behind this fork
+			// in the FIFO may carry a delta that assumes the fork's
+			// intervals have already been seen.
+			r := rbuf{b: m.Payload}
+			_ = r.str()   // region
+			_ = r.bytes() // args
+			n.incorporateWire(&r, m.From)
+			n.forkCh <- m // consumed by the slave's application thread
+		case msgJoin:
+			r := rbuf{b: m.Payload}
+			n.incorporateWire(&r, m.From)
+			n.joinCh <- m // consumed by the master's application thread
+		case msgBarrArrive:
+			r := rbuf{b: m.Payload}
+			n.incorporateWire(&r, m.From)
+			n.barrier.arrivals <- m // consumed by the manager's thread
+		case msgPageReq:
+			n.handlePageReq(m)
+		case msgDiffReq:
+			n.handleDiffReq(m)
+		case msgAcqReq:
+			n.handleAcqReq(m)
+		case msgAcqFwd:
+			n.handleAcqFwd(m)
+		case msgSemaSignal:
+			n.handleSemaSignal(m)
+		case msgSemaWait:
+			n.handleSemaWait(m)
+		case msgCondWait:
+			n.handleCondWait(m)
+		case msgCondSignal:
+			n.handleCondNotify(m, false)
+		case msgCondBroadcast:
+			n.handleCondNotify(m, true)
+		case msgFlush:
+			n.handleFlush(m)
+		default:
+			panic(fmt.Sprintf("dsm: node %d: unknown request type %d", n.id, m.Type))
+		}
+	}
+}
+
+// incorporateWire decodes a (vc, records) trailer and merges it into the
+// node's knowledge, recording the sender's reported clock.
+func (n *Node) incorporateWire(r *rbuf, from int) {
+	senderVC := r.vc()
+	recs := decodeRecords(r)
+	n.mu.Lock()
+	n.incorporateLocked(recs, senderVC)
+	n.noteHeardLocked(from, senderVC)
+	n.mu.Unlock()
+}
+
+// handlePageReq serves a first-copy request. Node 0 (the allocator) is the
+// initial owner of every page; its current content is a correct base for
+// the requester, which then applies every diff named by its own missing
+// write notices (see DESIGN.md for the argument).
+func (n *Node) handlePageReq(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	pid := PageID(r.u32())
+	n.mu.Lock()
+	n.chargeInterruptLocked()
+	pg := n.pageFor(pid)
+	if pg.data == nil {
+		if n.id != 0 {
+			// Only the allocator may materialize fresh zero pages;
+			// squashed fetches always target a node that wrote the page.
+			panic(fmt.Sprintf("dsm: node %d asked for page %d it never held", n.id, pid))
+		}
+		pg.data = make([]byte, PageSize)
+		if pg.state == pageInvalid && len(pg.missing) == 0 {
+			pg.state = pageReadOnly
+		}
+	}
+	var w wbuf
+	w.u32(uint32(pid))
+	w.bytes(pg.data)
+	n.mu.Unlock()
+	at := m.Arrive + n.sys.plat.RequestService + n.sys.plat.PageCopy
+	n.ep.SendAt(m.From, msgPageRep, network.ClassReply, w.b, at)
+}
+
+// handleDiffReq serves a batched diff request for one page from this node
+// (the creator of the requested intervals), encoding any diff that is
+// still pending against the page's twin.
+func (n *Node) handleDiffReq(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	pid := PageID(r.u32())
+	cnt := int(r.u32())
+	seqs := make([]int, cnt)
+	for i := range seqs {
+		seqs[i] = int(r.u32())
+	}
+	sort.Ints(seqs)
+
+	service := n.sys.plat.RequestService
+	n.mu.Lock()
+	n.chargeInterruptLocked()
+	var w wbuf
+	w.u32(uint32(pid))
+	w.u32(uint32(cnt))
+	for _, seq := range seqs {
+		own := n.intervals[n.id]
+		if seq >= len(own) {
+			panic(fmt.Sprintf("dsm: node %d asked for diff of unknown interval (%d,%d)", n.id, n.id, seq))
+		}
+		ivl := own[seq]
+		d, ok := ivl.diffs[pid]
+		if !ok {
+			pg := n.pageFor(pid)
+			if pg.twinIvl != ivl {
+				panic(fmt.Sprintf("dsm: node %d has no diff and no twin for page %d interval %d", n.id, pid, seq))
+			}
+			n.ensureDiffEncodedLocked(pg)
+			service += n.sys.plat.DiffCreate + sim.Time(float64(PageSize)*n.sys.plat.DiffPerByte)
+			d = ivl.diffs[pid]
+		}
+		w.u32(uint32(seq))
+		w.bytes(d)
+	}
+	n.mu.Unlock()
+	n.ep.SendAt(m.From, msgDiffRep, network.ClassReply, w.b, m.Arrive+service)
+}

@@ -1,0 +1,280 @@
+package dsm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Protocol message types.
+const (
+	msgAcqReq        = iota + 1 // app   → lock manager: acquire request (carries vc)
+	msgAcqFwd                   // manager/server → last holder: forwarded request
+	msgLockGrant                // holder → requester: grant + consistency delta
+	msgBarrArrive               // app → barrier manager: arrival + delta
+	msgBarrDepart               // manager → app: departure + delta
+	msgSemaSignal               // app → sema manager: V + delta
+	msgSemaAck                  // manager → app: signal acknowledgment
+	msgSemaWait                 // app → sema manager: P request (carries vc)
+	msgSemaGrant                // manager → app: P granted + delta
+	msgCondWait                 // app → lock manager: enqueue on condition variable
+	msgCondSignal               // app → lock manager: wake one waiter
+	msgCondBroadcast            // app → lock manager: wake all waiters
+	msgPageReq                  // app → node 0: first copy of a page
+	msgPageRep                  // node 0 → app: page contents
+	msgDiffReq                  // app → interval creator: batched diff request
+	msgDiffRep                  // creator → app: requested diffs
+	msgFlush                    // app → every node: pushed write notices (ablation)
+	msgFlushAck                 // node → flusher
+	msgFork                     // master → slave: run a parallel region
+	msgJoin                     // slave → master: region finished + delta
+	msgExit                     // master → slave: shut down
+)
+
+// RegionFunc is the body of a parallel region, registered under a name on
+// every node (the analogue of the compiler emitting one subroutine per
+// region, Section 4.3.2). arg carries the serialized firstprivate
+// environment broadcast at fork time.
+type RegionFunc func(n *Node, arg []byte)
+
+// Config describes one simulated NOW run.
+type Config struct {
+	// Procs is the number of workstations (the paper uses up to 8).
+	Procs int
+	// HeapBytes is the size of the global shared address space
+	// (default 64 MiB).
+	HeapBytes int
+	// Platform overrides the calibrated cost model (default
+	// sim.DefaultPlatform).
+	Platform *sim.Platform
+}
+
+// System is one simulated network of workstations running TreadMarks.
+type System struct {
+	cfg       Config
+	plat      *sim.Platform
+	sw        *network.Switch
+	nodes     []*Node
+	heapBytes int
+
+	regionsMu sync.Mutex
+	regions   map[string]RegionFunc
+
+	heapMu   sync.Mutex
+	heapNext Addr
+
+	errOnce sync.Once
+	err     error
+	done    chan struct{} // closed on abort to unblock channel waits
+
+	serverWG sync.WaitGroup
+}
+
+// New creates a system with cfg.Procs nodes and starts their protocol
+// servers. Register parallel regions with Register, then call Run.
+func New(cfg Config) *System {
+	if cfg.Procs <= 0 {
+		panic("dsm: Config.Procs must be positive")
+	}
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = 64 << 20
+	}
+	if cfg.HeapBytes%PageSize != 0 {
+		cfg.HeapBytes += PageSize - cfg.HeapBytes%PageSize
+	}
+	plat := cfg.Platform
+	if plat == nil {
+		plat = sim.DefaultPlatform()
+	}
+	s := &System{
+		cfg:       cfg,
+		plat:      plat,
+		sw:        network.NewSwitch(cfg.Procs, plat.UDP),
+		heapBytes: cfg.HeapBytes,
+		regions:   make(map[string]RegionFunc),
+		done:      make(chan struct{}),
+	}
+	npages := cfg.HeapBytes / PageSize
+	for i := 0; i < cfg.Procs; i++ {
+		n := &Node{
+			sys:       s,
+			id:        i,
+			vc:        newVC(cfg.Procs),
+			intervals: make([][]*interval, cfg.Procs),
+			pages:     make([]*page, npages),
+			knownVC:   make([]VectorClock, cfg.Procs),
+			locks:     make(map[int]*lockState),
+			semas:     make(map[int]*semaState),
+			conds:     make(map[int]*condQueue),
+			forkCh:    make(chan *network.Message, 8),
+			joinCh:    make(chan *network.Message, cfg.Procs),
+			selfReply: make(chan *network.Message, 16),
+		}
+		for j := range n.knownVC {
+			n.knownVC[j] = newVC(cfg.Procs)
+		}
+		n.ep = s.sw.Endpoint(i, &n.clock)
+		s.nodes = append(s.nodes, n)
+	}
+	s.nodes[0].barrier = newBarrierMgr(cfg.Procs)
+	for _, n := range s.nodes {
+		s.serverWG.Add(1)
+		go func(n *Node) {
+			defer s.serverWG.Done()
+			n.serve()
+		}(n)
+	}
+	return s
+}
+
+// Procs returns the number of nodes.
+func (s *System) Procs() int { return s.cfg.Procs }
+
+// Platform returns the cost model in use.
+func (s *System) Platform() *sim.Platform { return s.plat }
+
+// Switch exposes the interconnect (for statistics).
+func (s *System) Switch() *network.Switch { return s.sw }
+
+// Register binds a parallel-region body to a name on every node. It must
+// be called before Run forks the region. Registering models all nodes
+// running the same compiled binary.
+func (s *System) Register(name string, fn RegionFunc) {
+	s.regionsMu.Lock()
+	defer s.regionsMu.Unlock()
+	if _, dup := s.regions[name]; dup {
+		panic(fmt.Sprintf("dsm: region %q registered twice", name))
+	}
+	s.regions[name] = fn
+}
+
+func (s *System) region(name string) RegionFunc {
+	s.regionsMu.Lock()
+	defer s.regionsMu.Unlock()
+	fn, ok := s.regions[name]
+	if !ok {
+		panic(fmt.Sprintf("dsm: region %q not registered", name))
+	}
+	return fn
+}
+
+// Malloc allocates size bytes in the global shared address space and
+// returns its address. Like Tmk_malloc, allocation is a master-side
+// operation whose result is distributed to the slaves (here through fork
+// arguments or the central allocator state). The returned block is 8-byte
+// aligned and initially zero.
+func (s *System) Malloc(size int) Addr {
+	if size <= 0 {
+		panic("dsm: Malloc with non-positive size")
+	}
+	s.heapMu.Lock()
+	defer s.heapMu.Unlock()
+	a := s.heapNext
+	size = (size + 7) &^ 7
+	s.heapNext += Addr(size)
+	if int(s.heapNext) > s.heapBytes {
+		panic(fmt.Sprintf("dsm: shared heap exhausted (%d bytes requested beyond %d)", size, s.heapBytes))
+	}
+	return a
+}
+
+// MallocPage allocates size bytes starting on a fresh page, so that
+// unrelated allocations never share a page (the usual defence against
+// false sharing for the applications' main arrays).
+func (s *System) MallocPage(size int) Addr {
+	s.heapMu.Lock()
+	if rem := int(s.heapNext) % PageSize; rem != 0 {
+		s.heapNext += Addr(PageSize - rem)
+	}
+	s.heapMu.Unlock()
+	return s.Malloc(size)
+}
+
+// abort records the first failure and tears the switch down so every
+// blocked thread unwinds.
+func (s *System) abort(err error) {
+	s.errOnce.Do(func() {
+		s.err = err
+		close(s.done)
+		s.sw.Shutdown()
+	})
+}
+
+// Run executes master on node 0 while nodes 1..P-1 wait for forked
+// regions. It returns when master returns (after shutting the slaves
+// down), propagating the first panic from any node as an error.
+func (s *System) Run(master func(n *Node)) error {
+	var appWG sync.WaitGroup
+	for _, n := range s.nodes[1:] {
+		appWG.Add(1)
+		go func(n *Node) {
+			defer appWG.Done()
+			defer s.recoverAbort(n)
+			n.slaveLoop()
+		}(n)
+	}
+	appWG.Add(1)
+	go func() {
+		n := s.nodes[0]
+		defer appWG.Done()
+		defer s.recoverAbort(n)
+		master(n)
+		// Shut the slaves down at the master's final virtual time.
+		for i := 1; i < s.cfg.Procs; i++ {
+			n.ep.Send(i, msgExit, network.ClassRequest, nil)
+		}
+	}()
+	appWG.Wait()
+	s.errOnce.Do(func() { s.sw.Shutdown() })
+	s.serverWG.Wait()
+	return s.err
+}
+
+func (s *System) recoverAbort(n *Node) {
+	if r := recover(); r != nil {
+		if _, isAbort := r.(abortError); isAbort {
+			return // secondary victim of another node's failure
+		}
+		s.abort(fmt.Errorf("dsm: node %d: %v", n.id, r))
+	}
+}
+
+// Node returns node i (valid after New; used by the harness to read
+// clocks and statistics after Run).
+func (s *System) Node(i int) *Node { return s.nodes[i] }
+
+// MaxClock returns the latest virtual time across all nodes: the parallel
+// execution time of the run.
+func (s *System) MaxClock() sim.Time {
+	var m sim.Time
+	for _, n := range s.nodes {
+		if t := n.clock.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// TotalStats sums the per-node protocol counters.
+func (s *System) TotalStats() NodeStats {
+	var t NodeStats
+	for _, n := range s.nodes {
+		st := n.Stats()
+		t.ReadFaults += st.ReadFaults
+		t.WriteFaults += st.WriteFaults
+		t.PageFetches += st.PageFetches
+		t.DiffsCreated += st.DiffsCreated
+		t.DiffsApplied += st.DiffsApplied
+		t.DiffBytes += st.DiffBytes
+		t.LockAcquires += st.LockAcquires
+		t.LockLocal += st.LockLocal
+		t.Barriers += st.Barriers
+		t.SemaOps += st.SemaOps
+		t.CondOps += st.CondOps
+		t.Flushes += st.Flushes
+		t.Interrupts += st.Interrupts
+	}
+	return t
+}

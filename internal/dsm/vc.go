@@ -1,0 +1,131 @@
+package dsm
+
+// VectorClock counts, per creating node, how many of that node's intervals
+// the owning node has seen (so vc[c] is also the next expected interval
+// sequence number from node c). Interval stores always hold a gap-free
+// prefix per creator; the protocol guarantees this because every
+// consistency-bearing message carries all intervals the receiver lacks
+// relative to a sound lower bound of its clock.
+type VectorClock []int32
+
+func newVC(n int) VectorClock { return make(VectorClock, n) }
+
+func (v VectorClock) clone() VectorClock {
+	out := make(VectorClock, len(v))
+	copy(out, v)
+	return out
+}
+
+// merge raises each component to the max of the two clocks.
+func (v VectorClock) merge(o VectorClock) {
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// covers reports whether the clock includes interval (creator, seq).
+func (v VectorClock) covers(creator, seq int) bool {
+	return int(v[creator]) > seq
+}
+
+// dominatedBy reports whether v ≤ o componentwise.
+func (v VectorClock) dominatedBy(o VectorClock) bool {
+	for i, x := range v {
+		if x > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sum returns the component total. Sorting intervals by (sum, creator, seq)
+// is a valid topological linearization of the happens-before partial order,
+// because strict dominance implies a strictly smaller sum; diffs of
+// concurrent intervals touch disjoint bytes in data-race-free programs, so
+// their relative order is immaterial.
+func (v VectorClock) sum() int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x)
+	}
+	return s
+}
+
+func (w *wbuf) vc(v VectorClock) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.u32(uint32(x))
+	}
+}
+
+func (r *rbuf) vc() VectorClock {
+	n := int(r.u32())
+	v := make(VectorClock, n)
+	for i := range v {
+		v[i] = int32(r.u32())
+	}
+	return v
+}
+
+// interval is one node's record of a closed write interval: the unit of
+// consistency information in lazy release consistency. A write notice is
+// the pair (interval, page); we represent the notices of an interval as its
+// page list. The creator additionally caches the diffs of the interval's
+// pages, created lazily on first request (or when the creator must reuse
+// the page's twin).
+type interval struct {
+	creator int
+	seq     int // 0-based; creator's vc[creator] == seq+1 after closing it
+	vc      VectorClock
+	pages   []PageID
+
+	// diffs is populated only at the creator: encoded diff per page,
+	// created lazily by ensureDiffEncoded. Never garbage collected (the
+	// paper does not evaluate TreadMarks GC; see DESIGN.md §6).
+	diffs map[PageID][]byte
+}
+
+// encodeRecord appends the wire form of the interval's metadata (creator,
+// seq, vc, write-notice page list) — diffs travel separately, on demand.
+func (ivl *interval) encodeRecord(w *wbuf) {
+	w.i32(ivl.creator)
+	w.i32(ivl.seq)
+	w.vc(ivl.vc)
+	w.u32(uint32(len(ivl.pages)))
+	for _, p := range ivl.pages {
+		w.u32(uint32(p))
+	}
+}
+
+func decodeRecord(r *rbuf) *interval {
+	ivl := &interval{
+		creator: r.i32(),
+		seq:     r.i32(),
+		vc:      r.vc(),
+	}
+	n := int(r.u32())
+	ivl.pages = make([]PageID, n)
+	for i := range ivl.pages {
+		ivl.pages[i] = PageID(r.u32())
+	}
+	return ivl
+}
+
+// encodeRecords writes a counted sequence of interval records.
+func encodeRecords(w *wbuf, ivls []*interval) {
+	w.u32(uint32(len(ivls)))
+	for _, ivl := range ivls {
+		ivl.encodeRecord(w)
+	}
+}
+
+func decodeRecords(r *rbuf) []*interval {
+	n := int(r.u32())
+	out := make([]*interval, n)
+	for i := range out {
+		out[i] = decodeRecord(r)
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"io"
+
+	"repro/internal/dsm"
+	"repro/internal/sim"
+)
+
+// The Section 3 ablations: the paper's Figures 1-4 are code listings that
+// motivate replacing flush with semaphores and condition variables. These
+// experiments run both variants and measure exactly the costs the paper
+// argues about — messages sent, nodes interrupted, and time.
+
+// AblationResult compares a flush-based construct with its proposed
+// replacement.
+type AblationResult struct {
+	Name                           string
+	Rounds                         int
+	Procs                          int
+	FlushTime, NewTime             sim.Time
+	FlushMsgs, NewMsgs             int64
+	FlushInterrupts, NewInterrupts int64
+}
+
+// AblationPipeline runs the producer/consumer pipeline of Figures 1 and 3:
+// flush + busy-wait flags versus a semaphore pair, on `procs` nodes
+// (the extra nodes model the uninvolved threads that flush interrupts).
+func AblationPipeline(rounds, procs int) (AblationResult, error) {
+	out := AblationResult{Name: "pipeline", Rounds: rounds, Procs: procs}
+
+	// Figure 1: shared volatile flags `available` and `done`, flush after
+	// every update, busy-waiting consumers.
+	{
+		sys := dsm.New(dsm.Config{Procs: procs})
+		data := sys.MallocPage(8)
+		avail := sys.MallocPage(8)
+		done := sys.MallocPage(8)
+		sys.Register("flush-pipe", func(n *dsm.Node, _ []byte) {
+			switch n.ID() {
+			case 0: // producer
+				for i := 1; i <= rounds; i++ {
+					n.WriteI64(data, int64(i))
+					n.WriteI64(avail, int64(i))
+					n.Flush()
+					for n.ReadI64(done) != int64(i) {
+						n.Poll()
+					}
+				}
+			case 1: // consumer
+				for i := 1; i <= rounds; i++ {
+					for n.ReadI64(avail) != int64(i) {
+						n.Poll()
+					}
+					_ = n.ReadI64(data)
+					n.WriteI64(done, int64(i))
+					n.Flush()
+				}
+			default: // uninvolved, but interrupted by every flush
+				n.Compute(float64(rounds) * 1000)
+			}
+		})
+		if err := sys.Run(func(n *dsm.Node) { n.RunParallel("flush-pipe", nil) }); err != nil {
+			return out, err
+		}
+		out.FlushTime = sys.MaxClock()
+		out.FlushMsgs, _ = sys.Switch().Stats().Snapshot()
+		out.FlushInterrupts = sys.TotalStats().Interrupts
+	}
+
+	// Figure 3: two semaphores, no busy-waiting, no third parties.
+	{
+		sys := dsm.New(dsm.Config{Procs: procs})
+		data := sys.MallocPage(8)
+		const semAvail, semDone = 2, 3
+		sys.Register("sema-pipe", func(n *dsm.Node, _ []byte) {
+			switch n.ID() {
+			case 0:
+				for i := 1; i <= rounds; i++ {
+					n.WriteI64(data, int64(i))
+					n.SemaSignal(semAvail)
+					n.SemaWait(semDone)
+				}
+			case 1:
+				for i := 1; i <= rounds; i++ {
+					n.SemaWait(semAvail)
+					_ = n.ReadI64(data)
+					n.SemaSignal(semDone)
+				}
+			default:
+				n.Compute(float64(rounds) * 1000)
+			}
+		})
+		if err := sys.Run(func(n *dsm.Node) { n.RunParallel("sema-pipe", nil) }); err != nil {
+			return out, err
+		}
+		out.NewTime = sys.MaxClock()
+		out.NewMsgs, _ = sys.Switch().Stats().Snapshot()
+		out.NewInterrupts = sys.TotalStats().Interrupts
+	}
+	return out, nil
+}
+
+// AblationTaskQueue runs the task queue of Figures 2 and 4: critical
+// sections + flush + busy-wait versus critical sections + one condition
+// variable. Thread 0 produces the tasks, releasing each one only after
+// every consumer is parked waiting for work — so each EnQueue is a
+// guaranteed wake-from-wait event, which is precisely the situation the
+// paper's Section 3.2.3 analyzes: the flush variant must push notices to
+// (and interrupt) every thread and stampede all spinners at the lock,
+// while cond_signal wakes exactly one waiter.
+func AblationTaskQueue(tasks, procs int) (AblationResult, error) {
+	out := AblationResult{Name: "taskqueue", Rounds: tasks, Procs: procs}
+	const lockID = 5
+	const condID = 1
+
+	build := func(useCond bool) (*dsm.System, error) {
+		sys := dsm.New(dsm.Config{Procs: procs})
+		head := sys.MallocPage(8)
+		tail := sys.Malloc(8)
+		nwait := sys.Malloc(8)
+		ring := sys.MallocPage(8 * (tasks + 8))
+		cap64 := int64(tasks + 8)
+
+		// deQueue is Figure 2 (busy-wait + flush) or Figure 4 (condvar).
+		deQueue := func(n *dsm.Node) int64 {
+			var task int64 = -1
+			n.Acquire(lockID)
+			for {
+				h, t := n.ReadI64(head), n.ReadI64(tail)
+				if h < t {
+					task = n.ReadI64(ring + dsm.Addr(8*(h%cap64)))
+					n.WriteI64(head, h+1)
+					break
+				}
+				nw := n.ReadI64(nwait) + 1
+				n.WriteI64(nwait, nw)
+				if nw == int64(procs) {
+					if useCond {
+						n.CondBroadcast(condID, lockID)
+					} else {
+						n.Flush()
+					}
+					break
+				}
+				if useCond {
+					n.CondWait(condID, lockID)
+					if n.ReadI64(nwait) == int64(procs) {
+						break
+					}
+					n.WriteI64(nwait, n.ReadI64(nwait)-1)
+				} else {
+					// Figure 2: leave the critical section and spin.
+					n.Release(lockID)
+					for {
+						n.Poll()
+						if n.ReadI64(nwait) == int64(procs) || n.ReadI64(head) < n.ReadI64(tail) {
+							break
+						}
+					}
+					n.Acquire(lockID)
+					if n.ReadI64(nwait) == int64(procs) {
+						break
+					}
+					n.WriteI64(nwait, n.ReadI64(nwait)-1)
+				}
+			}
+			n.Release(lockID)
+			return task
+		}
+
+		sys.Register("tq", func(n *dsm.Node, _ []byte) {
+			if n.ID() == 0 {
+				// Producer: hand out each task only once every consumer
+				// is parked, so each EnQueue wakes a waiting thread.
+				for t := 0; t < tasks; t++ {
+					for {
+						n.Acquire(lockID)
+						if n.ReadI64(nwait) == int64(procs-1) {
+							tl := n.ReadI64(tail)
+							n.WriteI64(ring+dsm.Addr(8*(tl%cap64)), int64(t))
+							n.WriteI64(tail, tl+1)
+							if useCond {
+								n.CondSignal(condID, lockID)
+							}
+							n.Release(lockID)
+							if !useCond {
+								n.Flush() // Figure 2: notify everyone
+							}
+							break
+						}
+						n.Release(lockID)
+						n.Poll()
+					}
+				}
+				// Then drain alongside the consumers until termination.
+			}
+			for deQueue(n) >= 0 {
+				n.Compute(20000) // ~0.5 ms of "work" per task
+			}
+		})
+		return sys, sys.Run(func(n *dsm.Node) {
+			n.RunParallel("tq", nil)
+		})
+	}
+
+	sysF, err := build(false)
+	if err != nil {
+		return out, err
+	}
+	out.FlushTime = sysF.MaxClock()
+	out.FlushMsgs, _ = sysF.Switch().Stats().Snapshot()
+	out.FlushInterrupts = sysF.TotalStats().Interrupts
+
+	sysC, err := build(true)
+	if err != nil {
+		return out, err
+	}
+	out.NewTime = sysC.MaxClock()
+	out.NewMsgs, _ = sysC.Switch().Stats().Snapshot()
+	out.NewInterrupts = sysC.TotalStats().Interrupts
+	return out, nil
+}
+
+// FlushCostRow is one row of the 2(n-1) message-cost demonstration.
+type FlushCostRow struct {
+	Procs     int
+	FlushMsgs int64 // messages for one flush
+	SemaMsgs  int64 // messages for one signal/wait pair
+}
+
+// AblationFlushCost verifies Section 3.2.3: one flush costs 2(n-1)
+// messages while a semaphore operation costs a small constant.
+func AblationFlushCost(procsList []int) ([]FlushCostRow, error) {
+	var rows []FlushCostRow
+	for _, procs := range procsList {
+		sys := dsm.New(dsm.Config{Procs: procs})
+		a := sys.MallocPage(8)
+		var flushMsgs, semaMsgs int64
+		sys.Register("noop", func(n *dsm.Node, _ []byte) {})
+		sys.Register("sema-pair", func(n *dsm.Node, _ []byte) {
+			// Producer on the last node, consumer on node 0, manager on
+			// a third node where possible: the general (worst) case.
+			if n.ID() == n.NumProcs()-1 {
+				n.WriteI64(a, 7)
+				n.SemaSignal(1)
+			} else if n.ID() == 0 {
+				n.SemaWait(1)
+			}
+		})
+		err := sys.Run(func(n *dsm.Node) {
+			n.RunParallel("noop", nil) // warm the team
+			n.WriteI64(a, 1)
+			sys.Switch().ResetStats()
+			n.Flush()
+			flushMsgs, _ = sys.Switch().Stats().Snapshot()
+			// Measure the fork/join framing of an empty region, then
+			// subtract it from the semaphore region's traffic.
+			sys.Switch().ResetStats()
+			n.RunParallel("noop", nil)
+			framing, _ := sys.Switch().Stats().Snapshot()
+			sys.Switch().ResetStats()
+			n.RunParallel("sema-pair", nil)
+			m, _ := sys.Switch().Stats().Snapshot()
+			semaMsgs = m - framing
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FlushCostRow{Procs: procs, FlushMsgs: flushMsgs, SemaMsgs: semaMsgs})
+	}
+	return rows, nil
+}
+
+// PrintAblations runs and formats all three ablations.
+func PrintAblations(w io.Writer) error {
+	pipe, err := AblationPipeline(50, 8)
+	if err != nil {
+		return err
+	}
+	tq, err := AblationTaskQueue(64, 8)
+	if err != nil {
+		return err
+	}
+	fprintf(w, "Section 3 ablations (8 processors)\n\n")
+	fprintf(w, "%-22s %12s %10s %12s\n", "variant", "time", "messages", "interrupts")
+	fprintf(w, "%-22s %12s %10d %12d\n", "pipeline: flush", pipe.FlushTime, pipe.FlushMsgs, pipe.FlushInterrupts)
+	fprintf(w, "%-22s %12s %10d %12d\n", "pipeline: semaphores", pipe.NewTime, pipe.NewMsgs, pipe.NewInterrupts)
+	fprintf(w, "%-22s %12s %10d %12d\n", "taskqueue: flush", tq.FlushTime, tq.FlushMsgs, tq.FlushInterrupts)
+	fprintf(w, "%-22s %12s %10d %12d\n", "taskqueue: condvars", tq.NewTime, tq.NewMsgs, tq.NewInterrupts)
+
+	rows, err := AblationFlushCost([]int{2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fprintf(w, "\nflush message cost vs semaphores (Section 3.2.3: flush = 2(n-1))\n\n")
+	fprintf(w, "%6s %12s %12s %12s\n", "procs", "flush msgs", "2(n-1)", "sema msgs")
+	for _, r := range rows {
+		fprintf(w, "%6d %12d %12d %12d\n", r.Procs, r.FlushMsgs, 2*(r.Procs-1), r.SemaMsgs)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package harness drives every experiment of the paper's evaluation
+// (Section 6) and prints the corresponding table or figure: Table 1
+// (applications and sequential times), Figure 6 (8-processor speedups of
+// OpenMP vs TreadMarks vs MPI), Table 2 (data and message counts), the
+// Section 6 platform microbenchmarks, and the Section 3 ablations
+// (flush-based vs semaphore/condition-variable synchronization).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/apps/fft3d"
+	"repro/internal/apps/qsort"
+	"repro/internal/apps/sweep3d"
+	"repro/internal/apps/tsp"
+	"repro/internal/apps/water"
+)
+
+// Impl selects one of the paper's three implementations (plus sequential).
+type Impl string
+
+// Implementations.
+const (
+	Seq Impl = "seq"
+	OMP Impl = "omp"
+	Tmk Impl = "tmk"
+	MPI Impl = "mpi"
+)
+
+// Impls is the comparison order used in the paper's figures.
+var Impls = []Impl{OMP, Tmk, MPI}
+
+// Scale selects the workload size.
+type Scale string
+
+// Scales. Full is the paper-scale workload of DESIGN.md's experiment
+// index; Test is a fast configuration for CI and unit tests.
+const (
+	Full Scale = "full"
+	Test Scale = "test"
+)
+
+// App is one of the five applications, wired to its four implementations.
+type App struct {
+	Name string
+	// DataSize describes the Full workload for Table 1.
+	DataSize string
+	// Directives lists the parallel + synchronization directives the
+	// OpenMP version uses (the last two columns of Table 1).
+	Parallel string
+	Synch    string
+
+	RunSeq func(Scale) apps.Result
+	Run    func(s Scale, impl Impl, procs int) (apps.Result, error)
+}
+
+// Apps lists the applications in the paper's Table 1 order.
+var Apps = []App{
+	{
+		Name:     "Sweep3D",
+		DataSize: "50x50x50, 6 angles",
+		Parallel: "parallel region",
+		Synch:    "semaphore",
+		RunSeq:   func(s Scale) apps.Result { return sweep3d.RunSeq(sweepParams(s)) },
+		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
+			p := sweepParams(s)
+			switch impl {
+			case OMP:
+				return sweep3d.RunOMP(p, procs)
+			case Tmk:
+				return sweep3d.RunTmk(p, procs)
+			case MPI:
+				return sweep3d.RunMPI(p, procs)
+			}
+			return sweep3d.RunSeq(p), nil
+		},
+	},
+	{
+		Name:     "3D-FFT",
+		DataSize: "64x64x64, 2 iters",
+		Parallel: "parallel do",
+		Synch:    "none",
+		RunSeq:   func(s Scale) apps.Result { return fft3d.RunSeq(fftParams(s)) },
+		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
+			p := fftParams(s)
+			switch impl {
+			case OMP:
+				return fft3d.RunOMP(p, procs)
+			case Tmk:
+				return fft3d.RunTmk(p, procs)
+			case MPI:
+				return fft3d.RunMPI(p, procs)
+			}
+			return fft3d.RunSeq(p), nil
+		},
+	},
+	{
+		Name:     "Water",
+		DataSize: "512 molecules, 2 steps",
+		Parallel: "parallel do/region",
+		Synch:    "barrier",
+		RunSeq:   func(s Scale) apps.Result { return water.RunSeq(waterParams(s)) },
+		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
+			p := waterParams(s)
+			switch impl {
+			case OMP:
+				return water.RunOMP(p, procs)
+			case Tmk:
+				return water.RunTmk(p, procs)
+			case MPI:
+				return water.RunMPI(p, procs)
+			}
+			return water.RunSeq(p), nil
+		},
+	},
+	{
+		Name:     "TSP",
+		DataSize: "14 cities",
+		Parallel: "parallel region",
+		Synch:    "critical",
+		RunSeq:   func(s Scale) apps.Result { return tsp.RunSeq(tspParams(s)) },
+		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
+			p := tspParams(s)
+			switch impl {
+			case OMP:
+				return tsp.RunOMP(p, procs)
+			case Tmk:
+				return tsp.RunTmk(p, procs)
+			case MPI:
+				return tsp.RunMPI(p, procs)
+			}
+			return tsp.RunSeq(p), nil
+		},
+	},
+	{
+		Name:     "QSORT",
+		DataSize: "256K ints, bubble threshold 1024",
+		Parallel: "parallel region",
+		Synch:    "critical, condition variables",
+		RunSeq:   func(s Scale) apps.Result { return qsort.RunSeq(qsortParams(s)) },
+		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
+			p := qsortParams(s)
+			switch impl {
+			case OMP:
+				return qsort.RunOMP(p, procs)
+			case Tmk:
+				return qsort.RunTmk(p, procs)
+			case MPI:
+				return qsort.RunMPI(p, procs)
+			}
+			return qsort.RunSeq(p), nil
+		},
+	},
+}
+
+func sweepParams(s Scale) sweep3d.Params {
+	if s == Full {
+		return sweep3d.Default()
+	}
+	return sweep3d.Small()
+}
+
+func fftParams(s Scale) fft3d.Params {
+	if s == Full {
+		return fft3d.Default()
+	}
+	return fft3d.Small()
+}
+
+func waterParams(s Scale) water.Params {
+	if s == Full {
+		return water.Default()
+	}
+	return water.Small()
+}
+
+func tspParams(s Scale) tsp.Params {
+	if s == Full {
+		return tsp.Default()
+	}
+	return tsp.Small()
+}
+
+func qsortParams(s Scale) qsort.Params {
+	if s == Full {
+		return qsort.Default()
+	}
+	return qsort.Small()
+}
+
+// seqCache memoizes sequential runs: they are deterministic, and every
+// Verified call needs the sequential checksum as its oracle.
+var (
+	seqCacheMu sync.Mutex
+	seqCache   = map[string]apps.Result{}
+)
+
+// SeqCached returns the (memoized) sequential result of an application.
+func SeqCached(a App, s Scale) apps.Result {
+	key := a.Name + "/" + string(s)
+	seqCacheMu.Lock()
+	res, ok := seqCache[key]
+	seqCacheMu.Unlock()
+	if ok {
+		return res
+	}
+	res = a.RunSeq(s)
+	seqCacheMu.Lock()
+	seqCache[key] = res
+	seqCacheMu.Unlock()
+	return res
+}
+
+// FindApp returns the application with the given (case-sensitive) name.
+func FindApp(name string) (App, bool) {
+	for _, a := range Apps {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// AppNames lists the application names in table order.
+func AppNames() []string {
+	out := make([]string, len(Apps))
+	for i, a := range Apps {
+		out[i] = a.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Verified runs one implementation and checks its checksum against the
+// sequential run, returning an error on divergence — every reported
+// number comes from a validated computation.
+func Verified(a App, s Scale, impl Impl, procs int) (apps.Result, error) {
+	want := SeqCached(a, s)
+	if impl == Seq {
+		return want, nil
+	}
+	got, err := a.Run(s, impl, procs)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	if err := apps.CheckClose(a.Name+"/"+string(impl), got.Checksum, want.Checksum, 1e-8); err != nil {
+		return apps.Result{}, err
+	}
+	return got, nil
+}
+
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable1TestScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, Test); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"Sweep3D", "3D-FFT", "Water", "TSP", "QSORT"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "semaphore") || !strings.Contains(out, "condition variables") {
+		t.Errorf("Table 1 missing directive columns:\n%s", out)
+	}
+}
+
+func TestFigure6TestScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure6(&buf, Test, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "OpenMP") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+}
+
+func TestTable2TestScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf, Test, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Messages") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+}
+
+func TestVerifiedCatchesNothingOnGoodRuns(t *testing.T) {
+	for _, a := range Apps {
+		if _, err := Verified(a, Test, OMP, 2); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestMicroResultsInPaperBands(t *testing.T) {
+	m, err := Micro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Section 6 calibration targets (generous bands).
+	us := func(t2 interface{ Micros() float64 }) float64 { return t2.Micros() }
+	if got := us(m.UDPRoundTrip); got < 100 || got > 160 {
+		t.Errorf("UDP RTT %.1fµs, want ~126µs", got)
+	}
+	if got := us(m.LockLow); got < 100 || got > 700 {
+		t.Errorf("lock low %.1fµs, want 170-700µs band", got)
+	}
+	if got := us(m.LockHigh); got <= us(m.LockLow) {
+		t.Errorf("lock high (%.1fµs) should exceed lock low (%.1fµs)", got, us(m.LockLow))
+	}
+	if got := us(m.Barrier8); got < 200 || got > 2000 {
+		t.Errorf("8-proc barrier %.1fµs, want hundreds of µs", got)
+	}
+	if got := us(m.DiffLow); got < 100 || got > 900 {
+		t.Errorf("diff low %.1fµs, want in 313-827µs band-ish", got)
+	}
+	if m.DiffHigh <= m.DiffLow {
+		t.Errorf("full-page diff (%v) should cost more than 1-word diff (%v)", m.DiffHigh, m.DiffLow)
+	}
+	if got := us(m.TCPRoundTrip); got < 150 || got > 280 {
+		t.Errorf("TCP RTT %.1fµs, want ~200µs", got)
+	}
+	if m.TCPBandwidth < 5 || m.TCPBandwidth > 12 {
+		t.Errorf("TCP bandwidth %.1f MB/s, want ~8.6", m.TCPBandwidth)
+	}
+}
+
+func TestAblationPipelineFavorsSemaphores(t *testing.T) {
+	res, err := AblationPipeline(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewMsgs >= res.FlushMsgs {
+		t.Errorf("semaphores sent %d messages, flush %d — semaphores must send fewer", res.NewMsgs, res.FlushMsgs)
+	}
+	if res.NewTime >= res.FlushTime {
+		t.Errorf("semaphores took %v, flush %v — semaphores must be faster", res.NewTime, res.FlushTime)
+	}
+	if res.NewInterrupts >= res.FlushInterrupts {
+		t.Errorf("semaphores interrupted %d times, flush %d", res.NewInterrupts, res.FlushInterrupts)
+	}
+}
+
+func TestAblationTaskQueueFavorsCondvars(t *testing.T) {
+	res, err := AblationTaskQueue(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewMsgs >= res.FlushMsgs {
+		t.Errorf("condvars sent %d messages, flush %d", res.NewMsgs, res.FlushMsgs)
+	}
+}
+
+func TestFlushCostIsTwoNMinusOne(t *testing.T) {
+	rows, err := AblationFlushCost([]int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.FlushMsgs != int64(2*(r.Procs-1)) {
+			t.Errorf("procs=%d: flush cost %d, want %d", r.Procs, r.FlushMsgs, 2*(r.Procs-1))
+		}
+		// A signal/wait pair costs two 2-message exchanges plus at most
+		// one forwarded hop — a small constant, independent of n.
+		if r.SemaMsgs > 8 {
+			t.Errorf("procs=%d: semaphore pair cost %d messages, want small constant", r.Procs, r.SemaMsgs)
+		}
+	}
+	// The semaphore cost must not grow with the processor count while
+	// flush grows linearly: that is the paper's Section 3.2.3 claim.
+	if last := rows[len(rows)-1]; last.SemaMsgs > rows[0].SemaMsgs+4 {
+		t.Errorf("semaphore cost grew with procs: %v", rows)
+	}
+}
+
+func TestPrintAblationsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 8-proc ablations")
+	}
+	var buf bytes.Buffer
+	if err := PrintAblations(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2(n-1)") {
+		t.Errorf("missing flush-cost section:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1 prints the paper's Table 1: applications, input data sets,
+// sequential execution time, and the parallel and synchronization
+// directives used in the OpenMP versions.
+func Table1(w io.Writer, s Scale) error {
+	fprintf(w, "Table 1: applications, input data sets, sequential execution time,\n")
+	fprintf(w, "and parallel and synchronization directives in the OpenMP versions\n\n")
+	fprintf(w, "%-10s %-32s %12s  %-20s %-28s\n", "App", "Data size", "Seq time", "Parallel", "Synchronization")
+	for _, a := range Apps {
+		res := SeqCached(a, s)
+		size := a.DataSize
+		if s != Full {
+			size = "(test scale)"
+		}
+		fprintf(w, "%-10s %-32s %12s  %-20s %-28s\n", a.Name, size, res.Time.String(), a.Parallel, a.Synch)
+	}
+	return nil
+}
+
+// Figure6 prints the paper's Figure 6: speedup on `procs` processors for
+// the OpenMP, TreadMarks, and MPI versions of each application (speedups
+// relative to the sequential time of Table 1).
+func Figure6(w io.Writer, s Scale, procs int) error {
+	fprintf(w, "Figure 6: speedup comparison among the OpenMP, TreadMarks and MPI\n")
+	fprintf(w, "versions of the applications (%d processors)\n\n", procs)
+	fprintf(w, "%-10s %8s %8s %8s\n", "App", "OpenMP", "Tmk", "MPI")
+	for _, a := range Apps {
+		seq := SeqCached(a, s)
+		row := fmt.Sprintf("%-10s", a.Name)
+		for _, impl := range Impls {
+			res, err := Verified(a, s, impl, procs)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %8.2f", seq.Time.Seconds()/res.Time.Seconds())
+		}
+		fprintf(w, "%s\n", row)
+	}
+	return nil
+}
+
+// Table2 prints the paper's Table 2: amount of data transmitted and
+// number of messages in the OpenMP, TreadMarks, and MPI versions.
+func Table2(w io.Writer, s Scale, procs int) error {
+	fprintf(w, "Table 2: amount of data transmitted and number of messages in the\n")
+	fprintf(w, "OpenMP, TreadMarks and MPI versions (%d processors)\n\n", procs)
+	fprintf(w, "%-10s | %10s %10s %10s | %10s %10s %10s\n",
+		"", "Data (MB)", "", "", "Messages", "", "")
+	fprintf(w, "%-10s | %10s %10s %10s | %10s %10s %10s\n",
+		"App", "OpenMP", "Tmk", "MPI", "OpenMP", "Tmk", "MPI")
+	for _, a := range Apps {
+		var mb [3]float64
+		var msgs [3]int64
+		for i, impl := range Impls {
+			res, err := Verified(a, s, impl, procs)
+			if err != nil {
+				return err
+			}
+			mb[i] = float64(res.Bytes) / 1e6
+			msgs[i] = res.Messages
+		}
+		fprintf(w, "%-10s | %10.2f %10.2f %10.2f | %10d %10d %10d\n",
+			a.Name, mb[0], mb[1], mb[2], msgs[0], msgs[1], msgs[2])
+	}
+	return nil
+}
+
+// SpeedupSweep prints speedup curves over processor counts for every
+// application and implementation (the supplementary scalability series).
+func SpeedupSweep(w io.Writer, s Scale, procsList []int) error {
+	fprintf(w, "Speedup sweep: speedup vs processors per application and version\n\n")
+	for _, a := range Apps {
+		seq := SeqCached(a, s)
+		fprintf(w, "%s (seq %s)\n", a.Name, seq.Time)
+		fprintf(w, "  %-8s", "procs")
+		for _, p := range procsList {
+			fprintf(w, " %7d", p)
+		}
+		fprintf(w, "\n")
+		for _, impl := range Impls {
+			fprintf(w, "  %-8s", impl)
+			for _, p := range procsList {
+				res, err := Verified(a, s, impl, p)
+				if err != nil {
+					return err
+				}
+				fprintf(w, " %7.2f", seq.Time.Seconds()/res.Time.Seconds())
+			}
+			fprintf(w, "\n")
+		}
+	}
+	return nil
+}

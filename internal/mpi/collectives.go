@@ -1,0 +1,193 @@
+package mpi
+
+// Binomial-tree collectives in the style of period-correct MPICH. All
+// internal tags are large negative numbers so they never collide with
+// application tags (which must be non-negative).
+
+const (
+	tagBarrierUp = -1000 - iota
+	tagBarrierDown
+	tagBcast
+	tagReduce
+	tagGather
+	tagAlltoall
+	tagScatter
+)
+
+// Barrier blocks until every rank has entered it (binomial gather to rank
+// 0 followed by a binomial broadcast).
+func (r *Rank) Barrier() {
+	r.gatherTree(tagBarrierUp, nil, nil)
+	r.bcastTree(tagBarrierDown, nil)
+}
+
+// Bcast distributes root's data to every rank and returns each rank's
+// copy. Non-root ranks pass nil.
+func (r *Rank) Bcast(root int, data []byte) []byte {
+	// Rotate so the tree is rooted at `root`.
+	if r.virt(root) == 0 {
+		return r.bcastTree(tagBcast, data)
+	}
+	return r.bcastTree(tagBcast, nil)
+}
+
+// virt maps the rank id into a tree rooted at... (identity for root 0;
+// the applications only broadcast from 0, so the general rotation is a
+// simple relabeling).
+func (r *Rank) virt(root int) int {
+	return (r.id - root + r.Procs()) % r.Procs()
+}
+
+// bcastTree runs a binomial broadcast rooted at rank 0.
+func (r *Rank) bcastTree(tag int, data []byte) []byte {
+	p := r.Procs()
+	me := r.id
+	if me != 0 {
+		data = r.Recv(AnySource, tag)
+	}
+	// mask walks from the highest power of two below p down to 1.
+	mask := 1
+	for mask < p {
+		mask <<= 1
+	}
+	mask >>= 1
+	// Find my level: lowest set bit (rank 0 acts at every level).
+	for ; mask > 0; mask >>= 1 {
+		if me&(mask-1) == 0 && me&mask == 0 {
+			peer := me | mask
+			if peer < p {
+				r.Send(peer, tag, data)
+			}
+		}
+	}
+	return data
+}
+
+// gatherTree runs a binomial gather to rank 0, combining payloads with
+// combine (which may be nil when only synchronization is needed). It
+// returns the combined value at rank 0 and nil elsewhere.
+func (r *Rank) gatherTree(tag int, data []byte, combine func(a, b []byte) []byte) []byte {
+	p := r.Procs()
+	me := r.id
+	for mask := 1; mask < p; mask <<= 1 {
+		if me&mask != 0 {
+			r.Send(me&^mask, tag, data)
+			return nil
+		}
+		peer := me | mask
+		if peer < p {
+			got := r.Recv(peer, tag)
+			if combine != nil {
+				data = combine(data, got)
+			}
+		}
+	}
+	return data
+}
+
+// ReduceOp combines two float64 values.
+type ReduceOp func(a, b float64) float64
+
+// OpSum adds; OpMin and OpMax select.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if b < a {
+			return b
+		}
+		return a
+	}
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if b > a {
+			return b
+		}
+		return a
+	}
+)
+
+// Reduce combines the element-wise reduction of data across ranks at rank
+// 0 (binomial tree) and returns it there; other ranks get nil.
+func (r *Rank) Reduce(op ReduceOp, data []float64) []float64 {
+	out := r.gatherTree(tagReduce, f64sToBytes(data), func(a, b []byte) []byte {
+		av, bv := bytesToF64s(a), bytesToF64s(b)
+		for i := range av {
+			av[i] = op(av[i], bv[i])
+		}
+		return f64sToBytes(av)
+	})
+	if r.id != 0 {
+		return nil
+	}
+	return bytesToF64s(out)
+}
+
+// Allreduce is Reduce followed by Bcast; every rank gets the result.
+func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
+	red := r.Reduce(op, data)
+	var b []byte
+	if r.id == 0 {
+		b = f64sToBytes(red)
+	}
+	return bytesToF64s(r.bcastTree(tagBcast, b))
+}
+
+// Gather collects each rank's data at rank 0, ordered by rank; other
+// ranks get nil. (Linear, as period MPICH gathers were for small counts.)
+func (r *Rank) Gather(data []byte) [][]byte {
+	p := r.Procs()
+	if r.id != 0 {
+		r.Send(0, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, p)
+	out[0] = data
+	for i := 1; i < p; i++ {
+		out[i] = r.Recv(i, tagGather)
+	}
+	return out
+}
+
+// Alltoall performs the complete exchange at the heart of the 3D-FFT
+// transpose: chunks[i] goes to rank i; the returned slice holds the chunk
+// received from each rank. Implemented pairwise (rank r exchanges with
+// rank r XOR k in step k when p is a power of two, falling back to a
+// shifted schedule otherwise).
+func (r *Rank) Alltoall(chunks [][]byte) [][]byte {
+	p := r.Procs()
+	if len(chunks) != p {
+		panic("mpi: Alltoall needs exactly one chunk per rank")
+	}
+	out := make([][]byte, p)
+	out[r.id] = chunks[r.id]
+	for step := 1; step < p; step++ {
+		var peer int
+		if p&(p-1) == 0 {
+			peer = r.id ^ step
+		} else {
+			peer = (r.id + step) % p
+		}
+		recvPeer := peer
+		if p&(p-1) != 0 {
+			recvPeer = (r.id - step + p) % p
+		}
+		r.Send(peer, tagAlltoall, chunks[peer])
+		out[recvPeer] = r.Recv(recvPeer, tagAlltoall)
+	}
+	return out
+}
+
+// Scatter distributes chunks from rank 0: rank i receives chunks[i].
+// Non-root ranks pass nil.
+func (r *Rank) Scatter(chunks [][]byte) []byte {
+	p := r.Procs()
+	if r.id == 0 {
+		if len(chunks) != p {
+			panic("mpi: Scatter needs exactly one chunk per rank")
+		}
+		for i := 1; i < p; i++ {
+			r.Send(i, tagScatter, chunks[i])
+		}
+		return chunks[0]
+	}
+	return r.Recv(0, tagScatter)
+}

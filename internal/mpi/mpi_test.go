@@ -1,0 +1,231 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func runWorld(t *testing.T, procs int, fn func(r *Rank)) *World {
+	t.Helper()
+	w := New(Config{Procs: procs})
+	if err := w.Run(fn); err != nil {
+		t.Fatalf("mpi run failed: %v", err)
+	}
+	return w
+}
+
+func TestSendRecvOrdering(t *testing.T) {
+	runWorld(t, 2, func(r *Rank) {
+		const rounds = 10
+		if r.ID() == 0 {
+			for i := 0; i < rounds; i++ {
+				r.Send(1, 5, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < rounds; i++ {
+				got := r.Recv(0, 5)
+				if got[0] != byte(i) {
+					t.Errorf("round %d: got %d", i, got[0])
+				}
+			}
+		}
+	})
+}
+
+func TestRecvTagSelectivity(t *testing.T) {
+	runWorld(t, 2, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, []byte("seven"))
+			r.Send(1, 8, []byte("eight"))
+		} else {
+			// Receive out of order by tag; message 7 must be buffered.
+			if got := string(r.Recv(0, 8)); got != "eight" {
+				t.Errorf("tag 8: got %q", got)
+			}
+			if got := string(r.Recv(0, 7)); got != "seven" {
+				t.Errorf("tag 7: got %q", got)
+			}
+		}
+	})
+}
+
+func TestAnySource(t *testing.T) {
+	runWorld(t, 4, func(r *Rank) {
+		if r.ID() == 0 {
+			seen := make(map[int]bool)
+			for i := 0; i < 3; i++ {
+				from, body := r.RecvFrom(AnySource, 1)
+				if int(body[0]) != from {
+					t.Errorf("body %d from %d", body[0], from)
+				}
+				seen[from] = true
+			}
+			if len(seen) != 3 {
+				t.Errorf("saw %d distinct sources, want 3", len(seen))
+			}
+		} else {
+			r.Send(0, 1, []byte{byte(r.ID())})
+		}
+	})
+}
+
+func TestBarrierAndClocks(t *testing.T) {
+	w := runWorld(t, 8, func(r *Rank) {
+		// Rank 3 computes 5 ms of work; everyone's post-barrier clock
+		// must be at least that.
+		if r.ID() == 3 {
+			r.Compute(500_000)
+		}
+		r.Barrier()
+		if r.Now() < 5_000_000 {
+			t.Errorf("rank %d clock %v after barrier, want >= 5ms", r.ID(), r.Now())
+		}
+	})
+	_ = w
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7, 8} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(r *Rank) {
+				var data []byte
+				if r.ID() == 0 {
+					data = []byte("hello now")
+				}
+				got := r.Bcast(0, data)
+				if string(got) != "hello now" {
+					t.Errorf("rank %d got %q", r.ID(), got)
+				}
+			})
+		})
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(r *Rank) {
+				in := []float64{float64(r.ID() + 1), 1}
+				want0 := float64(p*(p+1)) / 2
+				if red := r.Reduce(OpSum, in); r.ID() == 0 {
+					if red[0] != want0 || red[1] != float64(p) {
+						t.Errorf("reduce got %v", red)
+					}
+				}
+				all := r.Allreduce(OpSum, in)
+				if all[0] != want0 {
+					t.Errorf("rank %d allreduce got %v, want %v", r.ID(), all[0], want0)
+				}
+				mx := r.Allreduce(OpMax, []float64{float64(r.ID())})
+				if mx[0] != float64(p-1) {
+					t.Errorf("allreduce max got %v", mx[0])
+				}
+			})
+		})
+	}
+}
+
+func TestGather(t *testing.T) {
+	runWorld(t, 5, func(r *Rank) {
+		out := r.Gather([]byte{byte(10 * r.ID())})
+		if r.ID() == 0 {
+			for i, b := range out {
+				if int(b[0]) != 10*i {
+					t.Errorf("slot %d = %d", i, b[0])
+				}
+			}
+		} else if out != nil {
+			t.Errorf("non-root got non-nil gather")
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 6} { // power-of-two and not
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(r *Rank) {
+				chunks := make([][]byte, p)
+				for i := range chunks {
+					chunks[i] = []byte{byte(r.ID()), byte(i)}
+				}
+				got := r.Alltoall(chunks)
+				for i, c := range got {
+					if int(c[0]) != i || int(c[1]) != r.ID() {
+						t.Errorf("rank %d slot %d = %v", r.ID(), i, c)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestScatter(t *testing.T) {
+	runWorld(t, 4, func(r *Rank) {
+		var chunks [][]byte
+		if r.ID() == 0 {
+			chunks = [][]byte{{0}, {10}, {20}, {30}}
+		}
+		got := r.Scatter(chunks)
+		if int(got[0]) != 10*r.ID() {
+			t.Errorf("rank %d got %d", r.ID(), got[0])
+		}
+	})
+}
+
+func TestSendrecvNoDeadlock(t *testing.T) {
+	runWorld(t, 4, func(r *Rank) {
+		p := r.Procs()
+		right, left := (r.ID()+1)%p, (r.ID()-1+p)%p
+		got := r.Sendrecv(right, []byte{byte(r.ID())}, left, 9)
+		if int(got[0]) != left {
+			t.Errorf("rank %d got %d, want %d", r.ID(), got[0], left)
+		}
+	})
+}
+
+func TestF64Helpers(t *testing.T) {
+	runWorld(t, 2, func(r *Rank) {
+		if r.ID() == 0 {
+			r.SendF64s(1, 2, []float64{1.5, -2.25, 1e300})
+		} else {
+			got := r.RecvF64s(0, 2)
+			want := []float64{1.5, -2.25, 1e300}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("elem %d: %v != %v", i, got[i], want[i])
+				}
+			}
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	w := New(Config{Procs: 2})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			panic("rank failure")
+		}
+		r.Recv(1, 3) // would hang without abort
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMessageStatsCount(t *testing.T) {
+	w := New(Config{Procs: 2})
+	_ = w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, make([]byte, 1000))
+		} else {
+			r.Recv(0, 1)
+		}
+	})
+	msgs, bytes := w.Switch().Stats().Snapshot()
+	if msgs != 1 {
+		t.Errorf("messages = %d, want 1", msgs)
+	}
+	if bytes < 1000 {
+		t.Errorf("bytes = %d, want >= 1000", bytes)
+	}
+}

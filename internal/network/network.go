@@ -1,0 +1,197 @@
+// Package network simulates the paper's interconnect: a switched,
+// full-duplex 100 Mbps Ethernet connecting eight workstations.
+//
+// A Switch moves Messages between Endpoints. Delivery is reliable and
+// per-sender-pair ordered (both UDP-with-retransmit in TreadMarks and TCP
+// in MPICH behave this way at the level we model). Each message is stamped
+// with a virtual send time and a virtual arrival time computed from the
+// switch's WireProfile; receivers advance their clocks to the arrival time,
+// which is how virtual time propagates between nodes.
+//
+// The Switch also keeps the statistics behind the paper's Table 2: total
+// message count and total bytes (payload plus per-message header overhead)
+// for each run.
+package network
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Class separates the two delivery queues of an endpoint. Protocol
+// requests are handled by a node's server goroutine (the analogue of the
+// SIGIO handler in TreadMarks), while replies and grants are awaited by the
+// application thread. Splitting them keeps a blocked application thread
+// from ever stalling protocol service.
+type Class int
+
+const (
+	// ClassRequest messages are consumed by the node's protocol server.
+	ClassRequest Class = iota
+	// ClassReply messages are consumed by the blocked application thread.
+	ClassReply
+)
+
+// Message is one simulated datagram.
+type Message struct {
+	From, To int
+	Type     int    // protocol-defined tag
+	Class    Class  // which queue it is delivered to
+	Payload  []byte // opaque encoded body
+
+	Send   sim.Time // virtual time at which the sender issued it
+	Arrive sim.Time // virtual time at which it reaches the receiver
+}
+
+// Stats accumulates traffic totals for one run. All fields are updated
+// atomically and may be read while the run is in flight.
+type Stats struct {
+	Messages atomic.Int64
+	Bytes    atomic.Int64
+}
+
+// Snapshot returns the current totals.
+func (s *Stats) Snapshot() (messages, bytes int64) {
+	return s.Messages.Load(), s.Bytes.Load()
+}
+
+// Switch connects n endpoints with a shared wire profile.
+type Switch struct {
+	n       int
+	profile sim.WireProfile
+	stats   Stats
+	inboxes [][2]chan *Message // [node][class]
+}
+
+// queueDepth bounds in-flight messages per (node, class). It only provides
+// backpressure against runaway senders; the protocols in this repository
+// never deadlock on it because requests are always drained by a dedicated
+// server goroutine.
+const queueDepth = 4096
+
+// NewSwitch creates a switch for n endpoints using the given wire profile.
+func NewSwitch(n int, profile sim.WireProfile) *Switch {
+	sw := &Switch{n: n, profile: profile}
+	sw.inboxes = make([][2]chan *Message, n)
+	for i := range sw.inboxes {
+		sw.inboxes[i][0] = make(chan *Message, queueDepth)
+		sw.inboxes[i][1] = make(chan *Message, queueDepth)
+	}
+	return sw
+}
+
+// N returns the number of endpoints.
+func (s *Switch) N() int { return s.n }
+
+// Profile returns the wire profile in use.
+func (s *Switch) Profile() sim.WireProfile { return s.profile }
+
+// Stats returns the switch's traffic counters.
+func (s *Switch) Stats() *Stats { return &s.stats }
+
+// ResetStats zeroes the traffic counters (used between harness phases so
+// that Table 2 counts only the measured region of an application).
+func (s *Switch) ResetStats() {
+	s.stats.Messages.Store(0)
+	s.stats.Bytes.Store(0)
+}
+
+// Endpoint returns node id's attachment to the switch. The clock is the
+// node's virtual clock; receives advance it to each message's arrival time.
+func (s *Switch) Endpoint(id int, clock *sim.Clock) *Endpoint {
+	if id < 0 || id >= s.n {
+		panic(fmt.Sprintf("network: endpoint id %d out of range [0,%d)", id, s.n))
+	}
+	return &Endpoint{id: id, sw: s, clock: clock}
+}
+
+// Endpoint is one node's interface to the switch.
+type Endpoint struct {
+	id    int
+	sw    *Switch
+	clock *sim.Clock
+}
+
+// ID returns the endpoint's node id.
+func (e *Endpoint) ID() int { return e.id }
+
+// Clock returns the clock receives are applied to.
+func (e *Endpoint) Clock() *sim.Clock { return e.clock }
+
+// Send transmits payload to node `to` at the sender's current virtual
+// time. It never blocks the simulation's correctness: the underlying
+// channel is large and drained by the receiver's server or application
+// thread.
+func (e *Endpoint) Send(to, typ int, class Class, payload []byte) {
+	e.SendAt(to, typ, class, payload, e.clock.Now())
+}
+
+// SendAt transmits like Send but with an explicit virtual send time. It is
+// used by protocol servers, which act at a request's arrival time rather
+// than at the application thread's current time (interrupt semantics).
+func (e *Endpoint) SendAt(to, typ int, class Class, payload []byte, at sim.Time) {
+	if to == e.id {
+		panic("network: node sent a message to itself")
+	}
+	m := &Message{
+		From:    e.id,
+		To:      to,
+		Type:    typ,
+		Class:   class,
+		Payload: payload,
+		Send:    at,
+		Arrive:  at + e.sw.profile.Latency(len(payload)),
+	}
+	e.sw.stats.Messages.Add(1)
+	e.sw.stats.Bytes.Add(int64(len(payload) + e.sw.profile.HeaderBytes))
+	e.sw.inboxes[to][m.Class] <- m
+}
+
+// Recv blocks until a message of the given class arrives and advances the
+// endpoint's clock to its arrival time. It returns nil if the switch has
+// been shut down.
+func (e *Endpoint) Recv(class Class) *Message {
+	m := <-e.sw.inboxes[e.id][class]
+	if m != nil {
+		e.clock.AdvanceTo(m.Arrive)
+	}
+	return m
+}
+
+// RecvRaw blocks until a message of the given class arrives but does NOT
+// touch the clock. Protocol servers use it: a server acts at the message's
+// own arrival time, not at the application thread's time. It returns nil
+// if the switch has been shut down.
+func (e *Endpoint) RecvRaw(class Class) *Message {
+	return <-e.sw.inboxes[e.id][class]
+}
+
+// Shutdown closes every inbox, releasing any goroutine blocked in Recv or
+// RecvRaw with a nil message. It must be called only after all application
+// threads have finished sending.
+func (s *Switch) Shutdown() {
+	for i := range s.inboxes {
+		close(s.inboxes[i][0])
+		close(s.inboxes[i][1])
+	}
+}
+
+// Chan exposes the delivery channel of one class so callers can select on
+// message arrival together with other events (e.g. a node's local-grant
+// channel). Receivers taken from the channel directly must advance their
+// clock to Message.Arrive themselves.
+func (e *Endpoint) Chan(class Class) <-chan *Message {
+	return e.sw.inboxes[e.id][class]
+}
+
+// TryRecvRaw returns a pending message of the given class, or nil.
+func (e *Endpoint) TryRecvRaw(class Class) *Message {
+	select {
+	case m := <-e.sw.inboxes[e.id][class]:
+		return m
+	default:
+		return nil
+	}
+}

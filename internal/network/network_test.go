@@ -1,0 +1,133 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testSwitch(n int) *Switch {
+	return NewSwitch(n, sim.WireProfile{OneWay: 1000, PerByteNS: 10, HeaderBytes: 36})
+}
+
+func TestSendStampsVirtualTimes(t *testing.T) {
+	sw := testSwitch(2)
+	var c0, c1 sim.Clock
+	e0 := sw.Endpoint(0, &c0)
+	e1 := sw.Endpoint(1, &c1)
+
+	c0.Advance(5000)
+	e0.Send(1, 7, ClassRequest, make([]byte, 100))
+	m := e1.Recv(ClassRequest)
+	if m.Send != 5000 {
+		t.Errorf("send time %v, want 5000", m.Send)
+	}
+	if want := sim.Time(5000 + 1000 + 100*10); m.Arrive != want {
+		t.Errorf("arrive %v, want %v", m.Arrive, want)
+	}
+	if c1.Now() != m.Arrive {
+		t.Errorf("receiver clock %v, want %v", c1.Now(), m.Arrive)
+	}
+}
+
+func TestRecvDoesNotRewindClock(t *testing.T) {
+	sw := testSwitch(2)
+	var c0, c1 sim.Clock
+	e0 := sw.Endpoint(0, &c0)
+	e1 := sw.Endpoint(1, &c1)
+	c1.Advance(1_000_000) // receiver is already far ahead
+	e0.Send(1, 1, ClassReply, nil)
+	e1.Recv(ClassReply)
+	if c1.Now() != 1_000_000 {
+		t.Errorf("receiver clock moved to %v", c1.Now())
+	}
+}
+
+func TestClassesAreSeparateQueues(t *testing.T) {
+	sw := testSwitch(2)
+	var c0, c1 sim.Clock
+	e0 := sw.Endpoint(0, &c0)
+	e1 := sw.Endpoint(1, &c1)
+	e0.Send(1, 1, ClassRequest, nil)
+	e0.Send(1, 2, ClassReply, nil)
+	if m := e1.Recv(ClassReply); m.Type != 2 {
+		t.Errorf("reply queue delivered type %d", m.Type)
+	}
+	if m := e1.Recv(ClassRequest); m.Type != 1 {
+		t.Errorf("request queue delivered type %d", m.Type)
+	}
+}
+
+func TestPerPairFIFO(t *testing.T) {
+	sw := testSwitch(2)
+	var c0, c1 sim.Clock
+	e0 := sw.Endpoint(0, &c0)
+	e1 := sw.Endpoint(1, &c1)
+	for i := 0; i < 50; i++ {
+		e0.Send(1, i, ClassRequest, nil)
+	}
+	for i := 0; i < 50; i++ {
+		if m := e1.RecvRaw(ClassRequest); m.Type != i {
+			t.Fatalf("message %d arrived out of order (type %d)", i, m.Type)
+		}
+	}
+}
+
+func TestStatsCountMessagesAndHeaderBytes(t *testing.T) {
+	sw := testSwitch(2)
+	var c0, c1 sim.Clock
+	e0 := sw.Endpoint(0, &c0)
+	sw.Endpoint(1, &c1)
+	e0.Send(1, 1, ClassRequest, make([]byte, 64))
+	e0.Send(1, 1, ClassRequest, nil)
+	msgs, bytes := sw.Stats().Snapshot()
+	if msgs != 2 {
+		t.Errorf("messages = %d", msgs)
+	}
+	if want := int64(64 + 36 + 36); bytes != want {
+		t.Errorf("bytes = %d, want %d", bytes, want)
+	}
+	sw.ResetStats()
+	if m, b := sw.Stats().Snapshot(); m != 0 || b != 0 {
+		t.Errorf("reset left %d/%d", m, b)
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	sw := testSwitch(2)
+	var c0 sim.Clock
+	e0 := sw.Endpoint(0, &c0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-send")
+		}
+	}()
+	e0.Send(0, 1, ClassRequest, nil)
+}
+
+func TestShutdownUnblocksReceivers(t *testing.T) {
+	sw := testSwitch(2)
+	var c1 sim.Clock
+	e1 := sw.Endpoint(1, &c1)
+	done := make(chan *Message, 1)
+	go func() { done <- e1.RecvRaw(ClassRequest) }()
+	sw.Shutdown()
+	if m := <-done; m != nil {
+		t.Fatalf("expected nil after shutdown, got %+v", m)
+	}
+}
+
+func TestLatencyMonotonicInSizeProperty(t *testing.T) {
+	p := sim.WireProfile{OneWay: 63000, PerByteNS: 90}
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.Latency(x) <= p.Latency(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package ompc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Analysis is the result of the two-phase compiler analysis of Section
+// 4.3.1: which storage locations must be allocated in shared memory,
+// which variables need per-region redeclaration, and any errors.
+type Analysis struct {
+	// SharedLocs lists every storage location (global or subroutine
+	// local) that must be relocated to the shared address space.
+	SharedLocs []Loc
+	// Redeclared lists locations declared shared in one region and
+	// private in another: non-pointers get a private copy in the regions
+	// that declare them private ("the compiler resorts to the hardware
+	// shared memory solution for private variables and redeclares the
+	// variable", Section 3.1).
+	Redeclared []Loc
+	// SharedParams records, per subroutine, which by-ref formal
+	// parameters carry pointers to shared data (phase 2's downward
+	// propagation).
+	SharedParams map[string][]string
+	// Errors collects fatal findings: recursion, unknown names, and
+	// pointer variables with conflicting shared/private declarations.
+	Errors []error
+}
+
+// IsShared reports whether the analysis placed loc in shared memory.
+func (a *Analysis) IsShared(loc Loc) bool {
+	for _, l := range a.SharedLocs {
+		if l == loc {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs both phases. "In the absence of recursion and variable
+// subroutine names each can be done by one pass over the subroutines."
+// (Section 4.3.1.)
+func Analyze(p *Program) *Analysis {
+	a := &Analysis{SharedParams: make(map[string][]string)}
+
+	order, err := calleeFirst(p)
+	if err != nil {
+		a.Errors = append(a.Errors, err)
+		return a
+	}
+
+	// sharing[loc] accumulates every attribute a location receives
+	// across all regions (to detect conflicts in phase 2).
+	sharedSet := make(map[Loc]bool)
+	privateSet := make(map[Loc]bool)
+	// sharedFormals[sub][param] marks formals that must refer to shared
+	// storage, as established by clauses in the callee or its callees.
+	sharedFormals := make(map[string]map[string]bool)
+	for _, s := range p.Subs {
+		sharedFormals[s.Name] = make(map[string]bool)
+	}
+
+	// resolve maps a name used inside sub to the storage location it
+	// denotes, or to a formal parameter (loc.Sub == sub.Name, isParam).
+	resolve := func(s *Subroutine, name string) (Loc, bool, error) {
+		if _, prm := s.param(name); prm != nil {
+			return Loc{Sub: s.Name, Var: name}, true, nil
+		}
+		if s.local(name) != nil {
+			return Loc{Sub: s.Name, Var: name}, false, nil
+		}
+		if p.global(name) != nil {
+			return Loc{Var: name}, false, nil
+		}
+		return Loc{}, false, fmt.Errorf("ompc: %s: unknown variable %q", s.Name, name)
+	}
+
+	// --- Phase 1: callees first. "The subroutines are sorted so that a
+	// callee always appears before its callers... An actual parameter is
+	// marked shared if the variable is passed by reference and the
+	// corresponding formal parameter is already marked shared in the
+	// callee." ---
+	for _, s := range order {
+		// Directive clauses inside this subroutine's regions.
+		for _, r := range s.Regions {
+			for _, c := range r.Clauses {
+				loc, isParam, err := resolve(s, c.Var)
+				if err != nil {
+					a.Errors = append(a.Errors, err)
+					continue
+				}
+				switch c.Sharing {
+				case Shared, Reduction:
+					if isParam {
+						sharedFormals[s.Name][c.Var] = true
+					} else {
+						sharedSet[loc] = true
+					}
+				case Private, FirstPrivate:
+					if !isParam {
+						privateSet[loc] = true
+					}
+				}
+			}
+		}
+		// Propagate from this subroutine's callees (already processed).
+		for _, call := range s.Calls {
+			callee := p.sub(call.Callee)
+			if callee == nil {
+				a.Errors = append(a.Errors, fmt.Errorf("ompc: %s calls unknown subroutine %q", s.Name, call.Callee))
+				continue
+			}
+			if len(call.Args) != len(callee.Params) {
+				a.Errors = append(a.Errors, fmt.Errorf("ompc: %s calls %s with %d args, want %d",
+					s.Name, callee.Name, len(call.Args), len(callee.Params)))
+				continue
+			}
+			for i, actual := range call.Args {
+				formal := callee.Params[i]
+				if !formal.ByRef || !sharedFormals[callee.Name][formal.Name] {
+					continue
+				}
+				loc, isParam, err := resolve(s, actual)
+				if err != nil {
+					a.Errors = append(a.Errors, err)
+					continue
+				}
+				if isParam {
+					sharedFormals[s.Name][actual] = true
+				} else {
+					sharedSet[loc] = true
+				}
+			}
+		}
+	}
+
+	// --- Phase 2: callers first. "if a pointer to the shared data is
+	// passed down in a subroutine call, the corresponding formal
+	// parameter is marked shared" — and conflicts are detected. ---
+	for i := len(order) - 1; i >= 0; i-- {
+		s := order[i]
+		for _, call := range s.Calls {
+			callee := p.sub(call.Callee)
+			if callee == nil || len(call.Args) != len(callee.Params) {
+				continue // already reported in phase 1
+			}
+			for j, actual := range call.Args {
+				formal := callee.Params[j]
+				if !formal.ByRef {
+					continue
+				}
+				loc, isParam, err := resolve(s, actual)
+				if err != nil {
+					continue
+				}
+				actualShared := (isParam && sharedFormals[s.Name][actual]) || (!isParam && sharedSet[loc])
+				if actualShared {
+					sharedFormals[callee.Name][formal.Name] = true
+				}
+			}
+		}
+	}
+
+	// Conflicts: a location both shared and private across regions.
+	for loc := range sharedSet {
+		if !privateSet[loc] {
+			continue
+		}
+		v := p.locVar(loc)
+		if v != nil && v.Kind == Pointer {
+			a.Errors = append(a.Errors,
+				fmt.Errorf("ompc: pointer %s declared both shared and private in different parallel regions", loc))
+			continue
+		}
+		a.Redeclared = append(a.Redeclared, loc)
+	}
+
+	for loc := range sharedSet {
+		a.SharedLocs = append(a.SharedLocs, loc)
+	}
+	sort.Slice(a.SharedLocs, func(i, j int) bool {
+		if a.SharedLocs[i].Sub != a.SharedLocs[j].Sub {
+			return a.SharedLocs[i].Sub < a.SharedLocs[j].Sub
+		}
+		return a.SharedLocs[i].Var < a.SharedLocs[j].Var
+	})
+	sort.Slice(a.Redeclared, func(i, j int) bool { return a.Redeclared[i].String() < a.Redeclared[j].String() })
+	for sub, formals := range sharedFormals {
+		for f := range formals {
+			a.SharedParams[sub] = append(a.SharedParams[sub], f)
+		}
+		sort.Strings(a.SharedParams[sub])
+	}
+	return a
+}
+
+// locVar finds the Var declaration behind a storage location.
+func (p *Program) locVar(loc Loc) *Var {
+	if loc.Sub == "" {
+		return p.global(loc.Var)
+	}
+	if s := p.sub(loc.Sub); s != nil {
+		return s.local(loc.Var)
+	}
+	return nil
+}
+
+// calleeFirst topologically sorts the call graph with callees before
+// callers, reporting recursion as an error (the paper's analysis assumes
+// its absence).
+func calleeFirst(p *Program) ([]*Subroutine, error) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var order []*Subroutine
+	var visit func(s *Subroutine, path []string) error
+	visit = func(s *Subroutine, path []string) error {
+		switch color[s.Name] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("ompc: recursion detected through %q (path %v): not supported by the analysis", s.Name, path)
+		}
+		color[s.Name] = grey
+		for _, c := range s.Calls {
+			callee := p.sub(c.Callee)
+			if callee == nil {
+				continue // reported later by phase 1
+			}
+			if err := visit(callee, append(path, s.Name)); err != nil {
+				return err
+			}
+		}
+		color[s.Name] = black
+		order = append(order, s)
+		return nil
+	}
+	for _, s := range p.Subs {
+		if err := visit(s, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,259 @@
+package ompc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsm"
+)
+
+// paperProgram builds an IR shaped like the paper's running situation:
+// a main subroutine with a parallel region declaring an array shared, a
+// helper that receives a pointer to it by reference, and a scratch scalar
+// that is shared in one region and private in another.
+func paperProgram() *Program {
+	return &Program{
+		Globals: []*Var{
+			{Name: "grid", Kind: Array, Size: 4096},
+			{Name: "scratch", Kind: Scalar, Size: 8},
+		},
+		Subs: []*Subroutine{
+			{
+				Name:   "kernel",
+				Params: []Param{{Name: "g", Kind: Pointer, ByRef: true}},
+				Regions: []*Region{
+					{Name: "sweep", Clauses: []Clause{{Var: "g", Sharing: Shared}}},
+				},
+			},
+			{
+				Name: "main",
+				Regions: []*Region{
+					{Name: "init", Clauses: []Clause{
+						{Var: "grid", Sharing: Shared},
+						{Var: "scratch", Sharing: Shared},
+					}},
+					{Name: "post", Clauses: []Clause{
+						{Var: "scratch", Sharing: Private},
+					}},
+				},
+				Calls: []Call{{Callee: "kernel", Args: []string{"grid"}}},
+			},
+		},
+	}
+}
+
+func TestPhase1SharedInference(t *testing.T) {
+	an := Analyze(paperProgram())
+	if err := joinErrors(an.Errors); err != nil {
+		t.Fatalf("unexpected errors: %v", err)
+	}
+	if !an.IsShared(Loc{Var: "grid"}) {
+		t.Error("grid should be shared (declared in main and passed to kernel's shared formal)")
+	}
+	if !an.IsShared(Loc{Var: "scratch"}) {
+		t.Error("scratch should be shared (declared shared in main/init)")
+	}
+}
+
+func TestPhase1PropagatesThroughCallChain(t *testing.T) {
+	// leaf marks its by-ref formal shared; mid passes its own formal
+	// down; top passes a local array. The local must end up shared.
+	p := &Program{
+		Subs: []*Subroutine{
+			{
+				Name:   "leaf",
+				Params: []Param{{Name: "x", Kind: Pointer, ByRef: true}},
+				Regions: []*Region{
+					{Name: "r", Clauses: []Clause{{Var: "x", Sharing: Shared}}},
+				},
+			},
+			{
+				Name:   "mid",
+				Params: []Param{{Name: "y", Kind: Pointer, ByRef: true}},
+				Calls:  []Call{{Callee: "leaf", Args: []string{"y"}}},
+			},
+			{
+				Name:   "top",
+				Locals: []*Var{{Name: "buf", Kind: Array, Size: 128}},
+				Calls:  []Call{{Callee: "mid", Args: []string{"buf"}}},
+			},
+		},
+	}
+	an := Analyze(p)
+	if err := joinErrors(an.Errors); err != nil {
+		t.Fatalf("unexpected errors: %v", err)
+	}
+	if !an.IsShared(Loc{Sub: "top", Var: "buf"}) {
+		t.Errorf("top.buf should be shared via leaf←mid←top chain; shared = %v", an.SharedLocs)
+	}
+	if got := an.SharedParams["mid"]; len(got) != 1 || got[0] != "y" {
+		t.Errorf("mid's formal y should be marked shared, got %v", got)
+	}
+}
+
+func TestPhase2DownwardPropagation(t *testing.T) {
+	// main declares global `table` shared and passes it to helper, which
+	// has no directives of its own: phase 2 must still mark helper's
+	// formal as referring to shared data.
+	p := &Program{
+		Globals: []*Var{{Name: "table", Kind: Array, Size: 64}},
+		Subs: []*Subroutine{
+			{
+				Name:   "helper",
+				Params: []Param{{Name: "t", Kind: Pointer, ByRef: true}},
+			},
+			{
+				Name: "main",
+				Regions: []*Region{
+					{Name: "r", Clauses: []Clause{{Var: "table", Sharing: Shared}}},
+				},
+				Calls: []Call{{Callee: "helper", Args: []string{"table"}}},
+			},
+		},
+	}
+	an := Analyze(p)
+	if err := joinErrors(an.Errors); err != nil {
+		t.Fatalf("unexpected errors: %v", err)
+	}
+	if got := an.SharedParams["helper"]; len(got) != 1 || got[0] != "t" {
+		t.Errorf("helper's formal t should be marked shared by phase 2, got %v", got)
+	}
+}
+
+func TestScalarConflictRedeclared(t *testing.T) {
+	an := Analyze(paperProgram())
+	if len(an.Redeclared) != 1 || an.Redeclared[0] != (Loc{Var: "scratch"}) {
+		t.Errorf("scratch should be redeclared (shared in init, private in post); got %v", an.Redeclared)
+	}
+}
+
+func TestPointerConflictIsError(t *testing.T) {
+	p := &Program{
+		Globals: []*Var{{Name: "ptr", Kind: Pointer, Size: 8}},
+		Subs: []*Subroutine{{
+			Name: "main",
+			Regions: []*Region{
+				{Name: "a", Clauses: []Clause{{Var: "ptr", Sharing: Shared}}},
+				{Name: "b", Clauses: []Clause{{Var: "ptr", Sharing: Private}}},
+			},
+		}},
+	}
+	an := Analyze(p)
+	err := joinErrors(an.Errors)
+	if err == nil || !strings.Contains(err.Error(), "pointer") {
+		t.Fatalf("expected pointer conflict error, got %v", err)
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	p := &Program{
+		Subs: []*Subroutine{
+			{Name: "a", Calls: []Call{{Callee: "b"}}},
+			{Name: "b", Calls: []Call{{Callee: "a"}}},
+		},
+	}
+	an := Analyze(p)
+	err := joinErrors(an.Errors)
+	if err == nil || !strings.Contains(err.Error(), "recursion") {
+		t.Fatalf("expected recursion error, got %v", err)
+	}
+}
+
+func TestUnknownVariableReported(t *testing.T) {
+	p := &Program{
+		Subs: []*Subroutine{{
+			Name:    "main",
+			Regions: []*Region{{Name: "r", Clauses: []Clause{{Var: "ghost", Sharing: Shared}}}},
+		}},
+	}
+	an := Analyze(p)
+	if joinErrors(an.Errors) == nil {
+		t.Fatal("expected unknown-variable error")
+	}
+}
+
+func TestPrivateByDefault(t *testing.T) {
+	// A variable with no clause anywhere must not be placed in shared
+	// memory — the paper's Section 3.1 proposal.
+	p := &Program{
+		Globals: []*Var{{Name: "quiet", Kind: Scalar, Size: 8}},
+		Subs: []*Subroutine{{
+			Name:    "main",
+			Regions: []*Region{{Name: "r"}},
+		}},
+	}
+	an := Analyze(p)
+	if an.IsShared(Loc{Var: "quiet"}) {
+		t.Error("undeclared variable must default to private")
+	}
+	if len(an.SharedLocs) != 0 {
+		t.Errorf("nothing should be shared, got %v", an.SharedLocs)
+	}
+}
+
+func TestCompileAndRunEndToEnd(t *testing.T) {
+	// Compile a small program and actually run its region on 4 threads:
+	// the region sums its thread number into a shared accumulator array
+	// via the environment, proving analysis → allocation → fork-join.
+	const P = 4
+	ir := &Program{
+		Globals: []*Var{{Name: "acc", Kind: Array, Size: 8 * P}},
+		Subs: []*Subroutine{{
+			Name: "main",
+			Regions: []*Region{{
+				Name:    "work",
+				Clauses: []Clause{{Var: "acc", Sharing: Shared}},
+			}},
+		}},
+	}
+	bodies := map[string]Body{
+		"main/work": func(tc *core.TC, env *Env) {
+			a := env.Addr("acc")
+			tc.Node().WriteI64(a+dsm.Addr(8*tc.ThreadNum()), int64(10+tc.ThreadNum()))
+		},
+	}
+	c, err := Compile(ir, core.Config{Threads: P}, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(m *core.MC) {
+		m.Parallel("main/work", core.NoArgs())
+		env := c.Env("main")
+		for i := 0; i < P; i++ {
+			if got := m.Node().ReadI64(env.Addr("acc") + dsm.Addr(8*i)); got != int64(10+i) {
+				t.Errorf("acc[%d] = %d, want %d", i, got, 10+i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileRejectsUnmatchedBody(t *testing.T) {
+	ir := &Program{Subs: []*Subroutine{{Name: "main"}}}
+	_, err := Compile(ir, core.Config{Threads: 1}, map[string]Body{
+		"main/nosuch": func(tc *core.TC, env *Env) {},
+	})
+	if err == nil {
+		t.Fatal("expected error for body without matching region")
+	}
+}
+
+func TestEnvPanicsOnPrivate(t *testing.T) {
+	ir := &Program{
+		Globals: []*Var{{Name: "p", Kind: Scalar, Size: 8}},
+		Subs:    []*Subroutine{{Name: "main", Regions: []*Region{{Name: "r"}}}},
+	}
+	c, err := Compile(ir, core.Config{Threads: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic addressing a private variable through Env")
+		}
+	}()
+	c.Env("main").Addr("p")
+}

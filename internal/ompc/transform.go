@@ -1,0 +1,128 @@
+package ompc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dsm"
+)
+
+// The fork-join transformation of Section 4.3.2: "Our compiler translates
+// the sequential program annotated with a subset of OpenMP directives into
+// a fork-join parallel program. The compiler encapsulates each parallel
+// region into a separate subroutine... At the beginning of a parallel
+// region the master passes a pointer to this subroutine to the slaves at
+// the time of the fork."
+//
+// Here the "separate subroutine" is a region registered with the core
+// runtime under "subroutine/region", and the shared variables the analysis
+// relocated to DSM memory are resolved through an Env.
+
+// Body is an executable parallel-region body attached to an IR region.
+type Body func(tc *core.TC, env *Env)
+
+// Env resolves the names a region can see to their shared-memory
+// addresses (for locations the analysis relocated to the DSM).
+type Env struct {
+	addrs map[Loc]dsm.Addr
+	sub   string
+}
+
+// Addr returns the shared address of a variable name visible in the
+// region's subroutine (its own locals first, then globals). It panics on
+// names the analysis did not place in shared memory — by construction the
+// compiled code can only address shared storage through the environment.
+func (e *Env) Addr(name string) dsm.Addr {
+	if a, ok := e.addrs[Loc{Sub: e.sub, Var: name}]; ok {
+		return a
+	}
+	if a, ok := e.addrs[Loc{Var: name}]; ok {
+		return a
+	}
+	panic(fmt.Sprintf("ompc: variable %q is not in shared memory (analysis marked it private)", name))
+}
+
+// Compiled is the output of Compile: a runnable fork-join program with its
+// shared-data layout.
+type Compiled struct {
+	Analysis *Analysis
+	Prog     *core.Program
+	ir       *Program
+	addrs    map[Loc]dsm.Addr
+	bodies   map[string]Body
+}
+
+// AnalysisErrors joins the analysis findings into one error, or nil.
+func joinErrors(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:] {
+		msg += "; " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// Compile analyzes the program, allocates every shared location in DSM
+// memory, and registers each executable region body with the runtime.
+// bodies maps "subroutine/region" to the code to run.
+func Compile(ir *Program, cfg core.Config, bodies map[string]Body) (*Compiled, error) {
+	an := Analyze(ir)
+	if err := joinErrors(an.Errors); err != nil {
+		return nil, err
+	}
+	prog := core.NewProgram(cfg)
+	c := &Compiled{Analysis: an, Prog: prog, ir: ir, addrs: make(map[Loc]dsm.Addr), bodies: bodies}
+
+	// "The compiler then allocates shared variables on the shared
+	// memory." Each relocated location gets its own page-aligned block so
+	// logically unrelated variables never false-share.
+	for _, loc := range an.SharedLocs {
+		v := ir.locVar(loc)
+		size := 8
+		if v != nil && v.Size > 0 {
+			size = v.Size
+		}
+		c.addrs[loc] = prog.SharedPage(size)
+	}
+
+	// Register one runtime region per IR region with a body.
+	claimed := make(map[string]bool)
+	for _, s := range ir.Subs {
+		for _, r := range s.Regions {
+			key := s.Name + "/" + r.Name
+			body, ok := bodies[key]
+			if !ok {
+				continue
+			}
+			claimed[key] = true
+			env := &Env{addrs: c.addrs, sub: s.Name}
+			prog.RegisterRegion(key, func(tc *core.TC) { body(tc, env) })
+		}
+	}
+	for key := range bodies {
+		if !claimed[key] {
+			return nil, fmt.Errorf("ompc: body %q does not match any subroutine/region in the IR", key)
+		}
+	}
+	return c, nil
+}
+
+// SharedAddr returns the allocated address of a shared location.
+func (c *Compiled) SharedAddr(loc Loc) (dsm.Addr, bool) {
+	a, ok := c.addrs[loc]
+	return a, ok
+}
+
+// Env returns the name-resolution environment of one subroutine (for the
+// master's sequential code).
+func (c *Compiled) Env(sub string) *Env {
+	return &Env{addrs: c.addrs, sub: sub}
+}
+
+// Run executes the compiled program's master function; inside it,
+// m.Parallel("subroutine/region", args) opens the transformed regions.
+func (c *Compiled) Run(master func(m *core.MC)) error {
+	return c.Prog.Run(master)
+}

@@ -1,0 +1,125 @@
+// Package sim provides the virtual-time foundation for the simulated
+// network of workstations (NOW).
+//
+// The paper's testbed was eight 200 MHz Pentium Pro machines on a switched
+// 100 Mbps Ethernet. We reproduce its *timing structure* with a
+// direct-execution simulation: application code really runs (so results can
+// be validated against sequential execution), while every node keeps a
+// virtual clock that is advanced by a calibrated cost model — compute
+// segments charge a per-flop cost, messages charge latency plus a per-byte
+// cost, and synchronization operations take the maximum over their
+// participants' clocks.
+//
+// All durations are virtual nanoseconds (type Time). The clocks are safe
+// for concurrent use because a node's protocol-server goroutine charges
+// interrupt overhead to the application thread's clock.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Time is a point in (or duration of) virtual time, in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a virtual time to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit, e.g. "1.25ms".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.2fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clock is a node's virtual clock. The zero value reads 0 ns and is ready
+// to use. Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now Time
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative d is ignored so that
+// cost-model arithmetic can never move a clock backwards.
+func (c *Clock) Advance(d Time) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current
+// time; otherwise the clock is unchanged. It returns the resulting time.
+// This is the fundamental "message arrival" operation: a receiver resumes
+// at max(its own time, the message's arrival time).
+func (c *Clock) AdvanceTo(t Time) Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Meter is the cost-accounting context handed to *sequential* versions of
+// the applications: it carries a clock and a platform but no network, so
+// sequential runs charge only compute time. Parallel nodes embed the same
+// accounting through their DSM or MPI context.
+type Meter struct {
+	Clock    Clock
+	Platform *Platform
+}
+
+// NewMeter returns a Meter using the given platform (or the default
+// platform if p is nil).
+func NewMeter(p *Platform) *Meter {
+	if p == nil {
+		p = DefaultPlatform()
+	}
+	return &Meter{Platform: p}
+}
+
+// Compute charges the virtual cost of executing n floating-point
+// operations (or comparable units of work) at the platform's compute rate.
+func (m *Meter) Compute(flops float64) {
+	m.Clock.Advance(m.Platform.ComputeCost(flops))
+}
+
+// Elapsed returns the virtual time consumed so far.
+func (m *Meter) Elapsed() Time { return m.Clock.Now() }

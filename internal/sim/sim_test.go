@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(-50) // negative advances are ignored
+	if c.Now() != 100 {
+		t.Fatalf("negative advance moved the clock: %v", c.Now())
+	}
+	c.AdvanceTo(50) // earlier target is ignored
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo moved the clock backwards: %v", c.Now())
+	}
+	if got := c.AdvanceTo(250); got != 250 || c.Now() != 250 {
+		t.Fatalf("AdvanceTo(250) = %v, clock %v", got, c.Now())
+	}
+}
+
+func TestClockConcurrentAdvances(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8000 {
+		t.Fatalf("lost advances: %v", c.Now())
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.00µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2500 * Millisecond, "2.500s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestWireProfileLatency(t *testing.T) {
+	w := WireProfile{OneWay: 1000, PerByteNS: 10}
+	if got := w.Latency(0); got != 1000 {
+		t.Errorf("empty message latency %v", got)
+	}
+	if got := w.Latency(100); got != 2000 {
+		t.Errorf("100-byte latency %v, want 2000", got)
+	}
+}
+
+func TestDefaultPlatformCalibration(t *testing.T) {
+	p := DefaultPlatform()
+	// 126 µs UDP round trip for a 1-byte message.
+	if rtt := 2 * p.UDP.Latency(1); rtt < 120*Microsecond || rtt > 132*Microsecond {
+		t.Errorf("UDP 1-byte RTT %v, want ≈126µs", rtt)
+	}
+	// 200 µs TCP empty-message round trip.
+	if rtt := 2 * p.TCP.Latency(0); rtt != 200*Microsecond {
+		t.Errorf("TCP empty RTT %v, want 200µs", rtt)
+	}
+	// TCP effective bandwidth ≈ 8.6 MB/s.
+	perMB := p.TCP.Latency(1<<20) - p.TCP.OneWay
+	bw := float64(1<<20) / perMB.Seconds() / 1e6
+	if bw < 8 || bw > 9.5 {
+		t.Errorf("TCP bandwidth %.2f MB/s, want ≈8.6", bw)
+	}
+	if p.ComputeCost(1e6) != Time(25*1e6) {
+		t.Errorf("compute cost %v", p.ComputeCost(1e6))
+	}
+	if p.ComputeCost(-5) != 0 {
+		t.Errorf("negative flops must cost nothing")
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter(nil)
+	m.Compute(1000)
+	m.Compute(1000)
+	if got := m.Elapsed(); got != Time(2*1000*25) {
+		t.Errorf("Elapsed = %v", got)
+	}
+}
+
+func TestRNGDeterministicAndUniform(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	// Different seeds should differ immediately (probabilistically).
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("seeds 1 and 2 collide")
+	}
+	r := NewRNG(7)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Errorf("mean %v, want ≈0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	f := func(seed uint64, bound uint8) bool {
+		n := int(bound)%100 + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestMaxHelper(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 || Max(-1, -2) != -1 {
+		t.Fatal("Max broken")
+	}
+}
