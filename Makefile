@@ -1,0 +1,34 @@
+# Repro of conf_sc_LuHZ98 — build/test entry points. CI runs `make ci`.
+
+GO ?= go
+
+.PHONY: build test test-short test-race bench-smoke bench tables ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Race-detector pass over every package, including the concurrent
+# harness grid and the simulated DSM/MPI runtimes.
+test-race:
+	$(GO) test -race ./...
+
+# One-iteration benchmark smoke: compiles and executes every benchmark
+# family (Table 1 / Figure 6 / Table 2 / micro / ablations) so they can
+# never silently rot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem
+
+# Regenerate every paper artifact at full scale.
+tables:
+	$(GO) run ./cmd/nowbench -all
+
+ci: build test test-race bench-smoke

@@ -67,6 +67,8 @@ func BenchmarkTable1_3DFFT(b *testing.B)   { benchSeq(b, "3D-FFT") }
 func BenchmarkTable1_Water(b *testing.B)   { benchSeq(b, "Water") }
 func BenchmarkTable1_TSP(b *testing.B)     { benchSeq(b, "TSP") }
 func BenchmarkTable1_QSORT(b *testing.B)   { benchSeq(b, "QSORT") }
+func BenchmarkTable1_LU(b *testing.B)      { benchSeq(b, "LU") }
+func BenchmarkTable1_Barnes(b *testing.B)  { benchSeq(b, "Barnes") }
 
 // --- Figure 6: speedups at 8 processors, all three versions ----------
 
@@ -90,6 +92,14 @@ func BenchmarkFigure6_QSORT_OpenMP(b *testing.B) { benchApp(b, "QSORT", harness.
 func BenchmarkFigure6_QSORT_Tmk(b *testing.B)    { benchApp(b, "QSORT", harness.Tmk, 8) }
 func BenchmarkFigure6_QSORT_MPI(b *testing.B)    { benchApp(b, "QSORT", harness.MPI, 8) }
 
+func BenchmarkFigure6_LU_OpenMP(b *testing.B) { benchApp(b, "LU", harness.OMP, 8) }
+func BenchmarkFigure6_LU_Tmk(b *testing.B)    { benchApp(b, "LU", harness.Tmk, 8) }
+func BenchmarkFigure6_LU_MPI(b *testing.B)    { benchApp(b, "LU", harness.MPI, 8) }
+
+func BenchmarkFigure6_Barnes_OpenMP(b *testing.B) { benchApp(b, "Barnes", harness.OMP, 8) }
+func BenchmarkFigure6_Barnes_Tmk(b *testing.B)    { benchApp(b, "Barnes", harness.Tmk, 8) }
+func BenchmarkFigure6_Barnes_MPI(b *testing.B)    { benchApp(b, "Barnes", harness.MPI, 8) }
+
 // --- Table 2 is the traffic columns of the same runs -----------------
 // (separate benchmarks so the table can be regenerated in isolation).
 
@@ -98,6 +108,8 @@ func BenchmarkTable2_3DFFT_OpenMP(b *testing.B)   { benchApp(b, "3D-FFT", harnes
 func BenchmarkTable2_Water_OpenMP(b *testing.B)   { benchApp(b, "Water", harness.OMP, 8) }
 func BenchmarkTable2_TSP_OpenMP(b *testing.B)     { benchApp(b, "TSP", harness.OMP, 8) }
 func BenchmarkTable2_QSORT_OpenMP(b *testing.B)   { benchApp(b, "QSORT", harness.OMP, 8) }
+func BenchmarkTable2_LU_OpenMP(b *testing.B)      { benchApp(b, "LU", harness.OMP, 8) }
+func BenchmarkTable2_Barnes_OpenMP(b *testing.B)  { benchApp(b, "Barnes", harness.OMP, 8) }
 
 // --- Section 6 microbenchmarks ---------------------------------------
 

@@ -10,7 +10,10 @@
 //	nowbench -all                  everything above
 //
 // Add -scale test for a fast run on reduced inputs, and -procs N to change
-// the processor count of Figure 6 / Table 2.
+// the processor count of Figure 6 / Table 2. Independent experiment cells
+// run concurrently on a bounded worker pool (output order is unaffected);
+// -workers N bounds the pool, with -workers 1 reproducing the fully
+// sequential harness.
 package main
 
 import (
@@ -31,12 +34,16 @@ func main() {
 		all      = flag.Bool("all", false, "run every experiment")
 		procs    = flag.Int("procs", 8, "processor count for Figure 6 and Table 2")
 		scale    = flag.String("scale", "full", "workload scale: full or test")
+		workers  = flag.Int("workers", 0, "grid worker pool width (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
 	s := harness.Scale(*scale)
 	if s != harness.Full && s != harness.Test {
 		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	if *workers > 0 {
+		harness.Workers = *workers
 	}
 	ran := false
 	out := os.Stdout

@@ -1,0 +1,85 @@
+package barnes
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dsm"
+)
+
+// RunOMP executes the OpenMP version: one coarse parallel region in which
+// the master thread rebuilds the octree each step and publishes it through
+// shared memory, a barrier orders the publication, and every thread then
+// traverses the read-shared tree for its contiguous body block. The packed
+// body arrays are updated in place, so block boundaries false-share pages
+// — the irregular-application stress case for the page-based DSM.
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	n := p.NBody
+	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform})
+	posA := prog.SharedPage(8 * 3 * n)
+	velA := prog.SharedPage(8 * 3 * n)
+	massA := prog.SharedPage(8 * n)
+	treeA := prog.SharedPage(treeBytes(n))
+	digestRed := prog.NewReduction(core.OpSum)
+
+	prog.RegisterRegion("nbody", func(tc *core.TC) {
+		nd := tc.Node()
+		me := tc.ThreadNum()
+		lo, hi := tc.StaticRange(0, n)
+		cnt := 3 * (hi - lo)
+
+		mass := make([]float64, n)
+		nd.ReadF64s(massA, mass)
+		vel := make([]float64, cnt)
+		nd.ReadF64s(velA+dsm.Addr(8*3*lo), vel)
+		pos := make([]float64, 3*n)
+		acc := make([]float64, cnt)
+
+		eval := func() {
+			nd.ReadF64s(posA, pos) // whole array: the traversal is irregular
+			if me == 0 {
+				t := BuildTree(pos, mass, n)
+				tc.Compute(buildFlops(t))
+				writeTree(nd, treeA, t, n)
+			}
+			tc.Barrier()
+			t := readTree(nd, treeA)
+			inter := AccelRange(t, pos, acc, lo, hi)
+			tc.Compute(flopsPerInteract * float64(inter))
+		}
+
+		eval()
+		for step := 0; step < p.Steps; step++ {
+			Kick(vel, acc, 0, hi-lo)
+			myPos := pos[3*lo : 3*hi]
+			Drift(myPos, vel, 0, hi-lo)
+			nd.WriteF64s(posA+dsm.Addr(8*3*lo), myPos)
+			tc.Compute(2 * flopsPerKick * float64(hi-lo))
+			tc.Barrier() // everyone's new positions visible before rebuild
+			eval()
+			Kick(vel, acc, 0, hi-lo)
+			tc.Compute(flopsPerKick * float64(hi-lo))
+		}
+
+		ke := Kinetic(vel, mass[lo:hi], 0, hi-lo)
+		digestRed.Reduce(tc, Digest(pos[3*lo:3*hi], ke, 0, hi-lo))
+		tc.Compute(10 * float64(hi-lo))
+	})
+
+	var checksum float64
+	err := prog.Run(func(m *core.MC) {
+		pos, vel, mass := InitBodies(p)
+		nd := m.Node()
+		nd.WriteF64s(posA, pos)
+		nd.WriteF64s(velA, vel)
+		nd.WriteF64s(massA, mass)
+		m.Compute(20 * float64(n))
+		digestRed.Reset(&m.TC)
+		m.Parallel("nbody", core.NoArgs())
+		checksum = digestRed.Value(&m.TC)
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+	msgs, bytes := prog.Traffic()
+	return apps.Result{Checksum: checksum, Time: prog.Elapsed(), Messages: msgs, Bytes: bytes}, nil
+}

@@ -1,0 +1,70 @@
+package barnes
+
+import "repro/internal/dsm"
+
+// Helpers shared by the OpenMP and TreadMarks versions: the octree
+// travels through DSM memory as one flat float64 image (children and body
+// indices are exact in float64 far beyond any tree size used here), and
+// the body arrays are deliberately packed — block boundaries false-share
+// pages, which is the sharing pattern this application exists to stress.
+
+// cellF64s is the per-cell footprint of the tree image: 8 scalars, 8
+// child refs, 1 body ref.
+const cellF64s = 17
+
+// maxCells bounds the shared tree buffer; a uniform distribution builds
+// ~2n cells, so 8n leaves generous slack.
+func maxCells(n int) int { return 8*n + 64 }
+
+// treeBytes sizes the shared tree buffer (one leading count slot).
+func treeBytes(n int) int { return 8 * (1 + maxCells(n)*cellF64s) }
+
+// encodeTree flattens a finalized tree into a float64 image.
+func encodeTree(t *Tree) []float64 {
+	out := make([]float64, 1+len(t.Cells)*cellF64s)
+	out[0] = float64(len(t.Cells))
+	for i := range t.Cells {
+		c := &t.Cells[i]
+		b := 1 + i*cellF64s
+		out[b+0], out[b+1], out[b+2], out[b+3] = c.CX, c.CY, c.CZ, c.Half
+		out[b+4], out[b+5], out[b+6], out[b+7] = c.Mass, c.MX, c.MY, c.MZ
+		for o := 0; o < 8; o++ {
+			out[b+8+o] = float64(c.Child[o])
+		}
+		out[b+16] = float64(c.Body)
+	}
+	return out
+}
+
+// decodeTree rebuilds a Tree from its float64 image.
+func decodeTree(img []float64) *Tree {
+	nc := int(img[0])
+	t := &Tree{Cells: make([]Cell, nc)}
+	for i := 0; i < nc; i++ {
+		c := &t.Cells[i]
+		b := 1 + i*cellF64s
+		c.CX, c.CY, c.CZ, c.Half = img[b+0], img[b+1], img[b+2], img[b+3]
+		c.Mass, c.MX, c.MY, c.MZ = img[b+4], img[b+5], img[b+6], img[b+7]
+		for o := 0; o < 8; o++ {
+			c.Child[o] = int32(img[b+8+o])
+		}
+		c.Body = int32(img[b+16])
+	}
+	return t
+}
+
+// writeTree publishes a tree image into shared memory at base.
+func writeTree(nd *dsm.Node, base dsm.Addr, t *Tree, n int) {
+	if len(t.Cells) > maxCells(n) {
+		panic("barnes: shared tree buffer overflow")
+	}
+	nd.WriteF64s(base, encodeTree(t))
+}
+
+// readTree loads the tree image published at base.
+func readTree(nd *dsm.Node, base dsm.Addr) *Tree {
+	nc := int(nd.ReadF64(base))
+	img := make([]float64, 1+nc*cellF64s)
+	nd.ReadF64s(base, img)
+	return decodeTree(img)
+}

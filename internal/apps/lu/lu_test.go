@@ -1,0 +1,84 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// TestFactorizationReconstructsMatrix multiplies the in-place L and U
+// factors back together and checks them against the original matrix.
+func TestFactorizationReconstructsMatrix(t *testing.T) {
+	p := Params{N: 24, Seed: 99}
+	orig := InitMatrix(p)
+	n := p.N
+
+	a := make([]float64, len(orig))
+	copy(a, orig)
+	for k := 0; k < n; k++ {
+		pivot := a[k*n : (k+1)*n]
+		for i := k + 1; i < n; i++ {
+			UpdateRow(a[i*n:(i+1)*n], pivot, k)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (L·U)_ij with L unit-lower and U upper, both stored in a.
+			var s float64
+			for k := 0; k <= i && k <= j; k++ {
+				l := a[i*n+k]
+				if k == i {
+					l = 1
+				}
+				s += l * a[k*n+j]
+			}
+			if math.Abs(s-orig[i*n+j]) > 1e-9*float64(n) {
+				t.Fatalf("(LU)[%d][%d] = %v, want %v", i, j, s, orig[i*n+j])
+			}
+		}
+	}
+}
+
+func TestDiagonalDominanceKeepsPivotsLarge(t *testing.T) {
+	res := RunSeq(Small())
+	if res.Checksum <= 0 || math.IsNaN(res.Checksum) {
+		t.Fatalf("bad sequential checksum %v", res.Checksum)
+	}
+	// The min-pivot monitor contributes at least the dominance floor.
+	p := Small()
+	a := InitMatrix(p)
+	for i := 0; i < p.N; i++ {
+		var off float64
+		for j := 0; j < p.N; j++ {
+			if j != i {
+				off += math.Abs(a[i*p.N+j])
+			}
+		}
+		if math.Abs(a[i*p.N+i]) <= off {
+			t.Fatalf("row %d not diagonally dominant: |diag|=%v off=%v", i, math.Abs(a[i*p.N+i]), off)
+		}
+	}
+}
+
+// TestImplementationsMatchSequential cross-checks all three parallel
+// versions against the sequential checksum at a small size (the full grid
+// runs in the harness equivalence suite).
+func TestImplementationsMatchSequential(t *testing.T) {
+	p := Params{N: 32, Seed: 7}
+	want := RunSeq(p).Checksum
+	for name, run := range map[string]func(Params, int) (apps.Result, error){
+		"omp": RunOMP, "tmk": RunTmk, "mpi": RunMPI,
+	} {
+		for _, procs := range []int{1, 3, 4} {
+			got, err := run(p, procs)
+			if err != nil {
+				t.Fatalf("%s/p%d: %v", name, procs, err)
+			}
+			if err := apps.CheckClose(name, got.Checksum, want, 1e-10); err != nil {
+				t.Errorf("p%d: %v", procs, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package lu
+
+import (
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dsm"
+)
+
+// RunOMP executes the OpenMP version: one coarse parallel region in which
+// each thread factors its contiguous block of rows. Step k is ordered by a
+// barrier between the owner publishing the pivot row and everyone reading
+// it; the minimum-pivot monitor is merged under a named critical section
+// and the checksum digest through a scalar reduction — the lock/barrier
+// synchronization mix of the SPLASH-2 kernel.
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	n := p.N
+	rb := rowBytes(n)
+	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform, HeapBytes: heapFor(n)})
+	mat := prog.SharedPage(rb * n)
+	pivA := prog.SharedPage(dsm.PageSize) // min |pivot|, lock-protected
+	digestRed := prog.NewReduction(core.OpSum)
+
+	prog.RegisterRegion("lu", func(tc *core.TC) {
+		nd := tc.Node()
+		lo, hi := tc.StaticRange(0, n)
+		rows := readBlock(nd, mat, n, lo, hi)
+
+		myMin := math.MaxFloat64
+		pivot := make([]float64, n)
+		for k := 0; k < n; k++ {
+			if k >= lo && k < hi {
+				// Row k is final: publish it and observe its pivot.
+				nd.WriteF64s(rowAddr(mat, rb, k), rows[k-lo])
+				if mag := math.Abs(rows[k-lo][k]); mag < myMin {
+					myMin = mag
+				}
+			}
+			tc.Barrier()
+			nd.ReadF64s(rowAddr(mat, rb, k), pivot)
+			start := k + 1
+			if lo > start {
+				start = lo
+			}
+			for i := start; i < hi; i++ {
+				UpdateRow(rows[i-lo], pivot, k)
+			}
+			if cnt := hi - start; cnt > 0 {
+				tc.Compute(float64(cnt) * ElimFlops(k, n))
+			}
+		}
+
+		tc.Critical("lu-pivot", func() {
+			if cur := nd.ReadF64(pivA); myMin < cur {
+				nd.WriteF64(pivA, myMin)
+			}
+		})
+		var digest float64
+		for _, row := range rows {
+			digest += DigestRows(row, n, 0, 1)
+		}
+		digestRed.Reduce(tc, digest)
+		tc.Compute(flopsPerDigest * float64((hi-lo)*n))
+	})
+
+	var checksum float64
+	err := prog.Run(func(m *core.MC) {
+		a := InitMatrix(p)
+		writeMatrix(m.Node(), mat, a, n)
+		m.Node().WriteF64(pivA, math.MaxFloat64)
+		m.Compute(flopsPerInit * float64(n*n))
+		digestRed.Reset(&m.TC)
+		m.Parallel("lu", core.NoArgs())
+		checksum = Checksum(digestRed.Value(&m.TC), m.Node().ReadF64(pivA))
+	})
+	if err != nil {
+		return apps.Result{}, err
+	}
+	msgs, bytes := prog.Traffic()
+	return apps.Result{Checksum: checksum, Time: prog.Elapsed(), Messages: msgs, Bytes: bytes}, nil
+}
+
+// heapFor sizes the shared heap: the padded matrix plus slack for the
+// monitor page and reduction slots.
+func heapFor(n int) int {
+	need := rowBytes(n)*n + 64*dsm.PageSize
+	if min := 16 << 20; need < min {
+		return min
+	}
+	return need
+}

@@ -1,0 +1,42 @@
+package lu
+
+import "repro/internal/dsm"
+
+// Helpers shared by the OpenMP and TreadMarks versions: the matrix lives
+// in DSM memory one page-aligned row at a time (the SPLASH-2 "contiguous
+// block allocation"), so a row owner's writes never false-share a page
+// with another owner's rows.
+
+// rowBytes returns the padded size of one N-element row.
+func rowBytes(n int) int {
+	b := 8 * n
+	if r := b % dsm.PageSize; r != 0 {
+		b += dsm.PageSize - r
+	}
+	return b
+}
+
+// rowAddr returns the shared address of row i.
+func rowAddr(base dsm.Addr, rb, i int) dsm.Addr {
+	return base + dsm.Addr(rb*i)
+}
+
+// writeMatrix stores the whole row-major matrix into the padded layout.
+func writeMatrix(nd *dsm.Node, base dsm.Addr, a []float64, n int) {
+	rb := rowBytes(n)
+	for i := 0; i < n; i++ {
+		nd.WriteF64s(rowAddr(base, rb, i), a[i*n:(i+1)*n])
+	}
+}
+
+// readBlock loads rows [lo, hi) into private storage, one slice per row.
+func readBlock(nd *dsm.Node, base dsm.Addr, n, lo, hi int) [][]float64 {
+	rb := rowBytes(n)
+	rows := make([][]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		row := make([]float64, n)
+		nd.ReadF64s(rowAddr(base, rb, i), row)
+		rows[i-lo] = row
+	}
+	return rows
+}

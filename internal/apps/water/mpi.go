@@ -43,15 +43,7 @@ func RunMPI(p Params, procs int) (apps.Result, error) {
 		allgatherPos := func() {
 			own := make([]float64, cnt)
 			copy(own, pos[lo*dof:hi*dof])
-			parts := r.Gather(f64sBytes(own))
-			var full []byte
-			if me == 0 {
-				for _, part := range parts {
-					full = append(full, part...)
-				}
-			}
-			full = r.Bcast(0, full)
-			copy(pos, bytesF64s(full))
+			copy(pos, mpi.BytesToF64s(r.Allgather(mpi.F64sToBytes(own))))
 		}
 
 		eval()
@@ -81,20 +73,4 @@ func RunMPI(p Params, procs int) (apps.Result, error) {
 	}
 	msgs, bytes := world.Switch().Stats().Snapshot()
 	return apps.Result{Checksum: checksum, Time: world.MaxClock(), Messages: msgs, Bytes: bytes}, nil
-}
-
-func f64sBytes(v []float64) []byte {
-	b := make([]byte, 8*len(v))
-	for i, x := range v {
-		put64(b[8*i:], x)
-	}
-	return b
-}
-
-func bytesF64s(b []byte) []float64 {
-	out := make([]float64, len(b)/8)
-	for i := range out {
-		out[i] = get64(b[8*i:])
-	}
-	return out
 }

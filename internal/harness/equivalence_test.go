@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCrossImplementationEquivalence asserts that the OpenMP, TreadMarks,
+// and MPI versions of EVERY registered application reproduce the
+// sequential checksum at test scale for procs ∈ EquivalenceProcs. New
+// applications are covered automatically on registration in Apps.
+func TestCrossImplementationEquivalence(t *testing.T) {
+	for _, a := range Apps {
+		for _, impl := range Impls {
+			for _, procs := range EquivalenceProcs {
+				a, impl, procs := a, impl, procs
+				name := fmt.Sprintf("%s/%s/p%d", a.Name, impl, procs)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					if err := CheckEquivalence(a, Test, impl, procs); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEquivalenceCoversAllApps guards the suite itself: if the app
+// registry grows, the equivalence grid grows with it (7 apps after the
+// LU/Barnes addition).
+func TestEquivalenceCoversAllApps(t *testing.T) {
+	if len(Apps) < 7 {
+		t.Fatalf("only %d registered apps; LU/Barnes missing?", len(Apps))
+	}
+	for _, name := range []string{"Sweep3D", "3D-FFT", "Water", "TSP", "QSORT", "LU", "Barnes"} {
+		if _, ok := FindApp(name); !ok {
+			t.Errorf("app %q not registered", name)
+		}
+	}
+}

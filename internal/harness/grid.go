@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/apps"
+)
+
+// The experiment grid. Every table and figure of the evaluation is a set
+// of independent (app, impl, procs) cells; computing them one after
+// another makes regeneration cost the sum of all cells. The functions
+// here run the cells of one artifact concurrently on a bounded worker
+// pool — each cell is its own simulated machine, so cells do not share
+// state — and hand the collected results back to the printer, which walks
+// them in table order. Output is therefore byte-identical to a sequential
+// harness run regardless of pool width.
+
+// Workers bounds the grid worker pool. 1 reproduces the fully sequential
+// harness; the default uses one worker per host CPU (each cell already
+// runs `procs` goroutines of its own, so oversubscribing buys nothing).
+var Workers = runtime.NumCPU()
+
+// cellKey identifies one grid cell. Impl == Seq means the sequential
+// reference run (Procs is ignored).
+type cellKey struct {
+	App   string
+	Impl  Impl
+	Procs int
+}
+
+// cellResult is the outcome of one grid cell.
+type cellResult struct {
+	Res apps.Result
+	Err error
+}
+
+// runCell computes one grid cell. Tests swap it to probe the pool's
+// ordering behaviour with deterministic results.
+var runCell = func(a App, s Scale, impl Impl, procs int) (apps.Result, error) {
+	return Verified(a, s, impl, procs)
+}
+
+// computeCells evaluates every cell on the worker pool and returns the
+// complete result set. Sequential oracles are deduplicated behind
+// SeqCached's singleflight, so concurrent cells of one application fault
+// in the oracle exactly once.
+func computeCells(s Scale, cells []cellKey) map[cellKey]cellResult {
+	w := Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > len(cells) {
+		w = len(cells)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		out      = make(map[cellKey]cellResult, len(cells))
+		wg       sync.WaitGroup
+		ch       = make(chan cellKey)
+	)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range ch {
+				// Fail fast: once any cell has failed, remaining cells are
+				// not computed — they inherit the first error instead of
+				// burning minutes on cells whose table will never print.
+				// With one worker, dispatch order equals print order, so
+				// this reproduces the sequential harness's
+				// abort-at-first-error behaviour exactly; with a wider pool
+				// the inherited error may surface at an earlier table row
+				// than the cell that actually failed.
+				mu.Lock()
+				ferr := firstErr
+				mu.Unlock()
+				var r cellResult
+				if ferr != nil {
+					r.Err = ferr
+				} else if a, ok := FindApp(k.App); ok {
+					r.Res, r.Err = runCell(a, s, k.Impl, k.Procs)
+				} else {
+					r.Err = fmt.Errorf("harness: unknown app %q", k.App)
+				}
+				mu.Lock()
+				if r.Err != nil && firstErr == nil {
+					firstErr = r.Err
+				}
+				out[k] = r
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, k := range cells {
+		ch <- k
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}

@@ -13,7 +13,9 @@ import (
 	"sync"
 
 	"repro/internal/apps"
+	"repro/internal/apps/barnes"
 	"repro/internal/apps/fft3d"
+	"repro/internal/apps/lu"
 	"repro/internal/apps/qsort"
 	"repro/internal/apps/sweep3d"
 	"repro/internal/apps/tsp"
@@ -155,6 +157,44 @@ var Apps = []App{
 			return qsort.RunSeq(p), nil
 		},
 	},
+	{
+		Name:     "LU",
+		DataSize: "512x512, contiguous blocks",
+		Parallel: "parallel region",
+		Synch:    "barrier, critical",
+		RunSeq:   func(s Scale) apps.Result { return lu.RunSeq(luParams(s)) },
+		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
+			p := luParams(s)
+			switch impl {
+			case OMP:
+				return lu.RunOMP(p, procs)
+			case Tmk:
+				return lu.RunTmk(p, procs)
+			case MPI:
+				return lu.RunMPI(p, procs)
+			}
+			return lu.RunSeq(p), nil
+		},
+	},
+	{
+		Name:     "Barnes",
+		DataSize: "4096 bodies, 2 steps",
+		Parallel: "parallel region",
+		Synch:    "barrier",
+		RunSeq:   func(s Scale) apps.Result { return barnes.RunSeq(barnesParams(s)) },
+		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
+			p := barnesParams(s)
+			switch impl {
+			case OMP:
+				return barnes.RunOMP(p, procs)
+			case Tmk:
+				return barnes.RunTmk(p, procs)
+			case MPI:
+				return barnes.RunMPI(p, procs)
+			}
+			return barnes.RunSeq(p), nil
+		},
+	},
 }
 
 func sweepParams(s Scale) sweep3d.Params {
@@ -192,27 +232,47 @@ func qsortParams(s Scale) qsort.Params {
 	return qsort.Small()
 }
 
+func luParams(s Scale) lu.Params {
+	if s == Full {
+		return lu.Default()
+	}
+	return lu.Small()
+}
+
+func barnesParams(s Scale) barnes.Params {
+	if s == Full {
+		return barnes.Default()
+	}
+	return barnes.Small()
+}
+
 // seqCache memoizes sequential runs: they are deterministic, and every
-// Verified call needs the sequential checksum as its oracle.
+// Verified call needs the sequential checksum as its oracle. Entries are
+// singleflight so concurrent grid cells of one application share a single
+// oracle run instead of racing to compute duplicates.
+type seqEntry struct {
+	once sync.Once
+	res  apps.Result
+}
+
 var (
 	seqCacheMu sync.Mutex
-	seqCache   = map[string]apps.Result{}
+	seqCache   = map[string]*seqEntry{}
 )
 
 // SeqCached returns the (memoized) sequential result of an application.
+// It is safe for concurrent use.
 func SeqCached(a App, s Scale) apps.Result {
 	key := a.Name + "/" + string(s)
 	seqCacheMu.Lock()
-	res, ok := seqCache[key]
-	seqCacheMu.Unlock()
-	if ok {
-		return res
+	e, ok := seqCache[key]
+	if !ok {
+		e = &seqEntry{}
+		seqCache[key] = e
 	}
-	res = a.RunSeq(s)
-	seqCacheMu.Lock()
-	seqCache[key] = res
 	seqCacheMu.Unlock()
-	return res
+	e.once.Do(func() { e.res = a.RunSeq(s) })
+	return e.res
 }
 
 // FindApp returns the application with the given (case-sensitive) name.

@@ -12,7 +12,7 @@ func TestTable1TestScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, name := range []string{"Sweep3D", "3D-FFT", "Water", "TSP", "QSORT"} {
+	for _, name := range []string{"Sweep3D", "3D-FFT", "Water", "TSP", "QSORT", "LU", "Barnes"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("Table 1 missing %s:\n%s", name, out)
 		}

@@ -5,20 +5,38 @@ import (
 	"io"
 )
 
+// Every artifact below computes its full cell grid concurrently (see
+// grid.go) and only then prints, walking the applications in Table 1
+// order — on success the printed bytes do not depend on the worker pool
+// width. On a cell failure the rows before the first failing result are
+// printed and the error returned; with Workers == 1 this reproduces the
+// sequential harness exactly, while wider pools may surface the error at
+// an earlier row (fail-fast poisons cells still queued when another cell
+// fails — see computeCells).
+
 // Table1 prints the paper's Table 1: applications, input data sets,
 // sequential execution time, and the parallel and synchronization
 // directives used in the OpenMP versions.
 func Table1(w io.Writer, s Scale) error {
+	cells := make([]cellKey, 0, len(Apps))
+	for _, a := range Apps {
+		cells = append(cells, cellKey{App: a.Name, Impl: Seq})
+	}
+	got := computeCells(s, cells)
+
 	fprintf(w, "Table 1: applications, input data sets, sequential execution time,\n")
 	fprintf(w, "and parallel and synchronization directives in the OpenMP versions\n\n")
 	fprintf(w, "%-10s %-32s %12s  %-20s %-28s\n", "App", "Data size", "Seq time", "Parallel", "Synchronization")
 	for _, a := range Apps {
-		res := SeqCached(a, s)
+		c := got[cellKey{App: a.Name, Impl: Seq}]
+		if c.Err != nil {
+			return c.Err
+		}
 		size := a.DataSize
 		if s != Full {
 			size = "(test scale)"
 		}
-		fprintf(w, "%-10s %-32s %12s  %-20s %-28s\n", a.Name, size, res.Time.String(), a.Parallel, a.Synch)
+		fprintf(w, "%-10s %-32s %12s  %-20s %-28s\n", a.Name, size, c.Res.Time.String(), a.Parallel, a.Synch)
 	}
 	return nil
 }
@@ -27,18 +45,30 @@ func Table1(w io.Writer, s Scale) error {
 // the OpenMP, TreadMarks, and MPI versions of each application (speedups
 // relative to the sequential time of Table 1).
 func Figure6(w io.Writer, s Scale, procs int) error {
+	cells := make([]cellKey, 0, len(Apps)*(len(Impls)+1))
+	for _, a := range Apps {
+		cells = append(cells, cellKey{App: a.Name, Impl: Seq})
+		for _, impl := range Impls {
+			cells = append(cells, cellKey{App: a.Name, Impl: impl, Procs: procs})
+		}
+	}
+	got := computeCells(s, cells)
+
 	fprintf(w, "Figure 6: speedup comparison among the OpenMP, TreadMarks and MPI\n")
 	fprintf(w, "versions of the applications (%d processors)\n\n", procs)
 	fprintf(w, "%-10s %8s %8s %8s\n", "App", "OpenMP", "Tmk", "MPI")
 	for _, a := range Apps {
-		seq := SeqCached(a, s)
+		seq := got[cellKey{App: a.Name, Impl: Seq}]
+		if seq.Err != nil {
+			return seq.Err
+		}
 		row := fmt.Sprintf("%-10s", a.Name)
 		for _, impl := range Impls {
-			res, err := Verified(a, s, impl, procs)
-			if err != nil {
-				return err
+			c := got[cellKey{App: a.Name, Impl: impl, Procs: procs}]
+			if c.Err != nil {
+				return c.Err
 			}
-			row += fmt.Sprintf(" %8.2f", seq.Time.Seconds()/res.Time.Seconds())
+			row += fmt.Sprintf(" %8.2f", seq.Res.Time.Seconds()/c.Res.Time.Seconds())
 		}
 		fprintf(w, "%s\n", row)
 	}
@@ -48,6 +78,14 @@ func Figure6(w io.Writer, s Scale, procs int) error {
 // Table2 prints the paper's Table 2: amount of data transmitted and
 // number of messages in the OpenMP, TreadMarks, and MPI versions.
 func Table2(w io.Writer, s Scale, procs int) error {
+	cells := make([]cellKey, 0, len(Apps)*len(Impls))
+	for _, a := range Apps {
+		for _, impl := range Impls {
+			cells = append(cells, cellKey{App: a.Name, Impl: impl, Procs: procs})
+		}
+	}
+	got := computeCells(s, cells)
+
 	fprintf(w, "Table 2: amount of data transmitted and number of messages in the\n")
 	fprintf(w, "OpenMP, TreadMarks and MPI versions (%d processors)\n\n", procs)
 	fprintf(w, "%-10s | %10s %10s %10s | %10s %10s %10s\n",
@@ -58,12 +96,12 @@ func Table2(w io.Writer, s Scale, procs int) error {
 		var mb [3]float64
 		var msgs [3]int64
 		for i, impl := range Impls {
-			res, err := Verified(a, s, impl, procs)
-			if err != nil {
-				return err
+			c := got[cellKey{App: a.Name, Impl: impl, Procs: procs}]
+			if c.Err != nil {
+				return c.Err
 			}
-			mb[i] = float64(res.Bytes) / 1e6
-			msgs[i] = res.Messages
+			mb[i] = float64(c.Res.Bytes) / 1e6
+			msgs[i] = c.Res.Messages
 		}
 		fprintf(w, "%-10s | %10.2f %10.2f %10.2f | %10d %10d %10d\n",
 			a.Name, mb[0], mb[1], mb[2], msgs[0], msgs[1], msgs[2])
@@ -74,10 +112,24 @@ func Table2(w io.Writer, s Scale, procs int) error {
 // SpeedupSweep prints speedup curves over processor counts for every
 // application and implementation (the supplementary scalability series).
 func SpeedupSweep(w io.Writer, s Scale, procsList []int) error {
+	cells := make([]cellKey, 0, len(Apps)*(1+len(Impls)*len(procsList)))
+	for _, a := range Apps {
+		cells = append(cells, cellKey{App: a.Name, Impl: Seq})
+		for _, impl := range Impls {
+			for _, p := range procsList {
+				cells = append(cells, cellKey{App: a.Name, Impl: impl, Procs: p})
+			}
+		}
+	}
+	got := computeCells(s, cells)
+
 	fprintf(w, "Speedup sweep: speedup vs processors per application and version\n\n")
 	for _, a := range Apps {
-		seq := SeqCached(a, s)
-		fprintf(w, "%s (seq %s)\n", a.Name, seq.Time)
+		seq := got[cellKey{App: a.Name, Impl: Seq}]
+		if seq.Err != nil {
+			return seq.Err
+		}
+		fprintf(w, "%s (seq %s)\n", a.Name, seq.Res.Time)
 		fprintf(w, "  %-8s", "procs")
 		for _, p := range procsList {
 			fprintf(w, " %7d", p)
@@ -86,11 +138,11 @@ func SpeedupSweep(w io.Writer, s Scale, procsList []int) error {
 		for _, impl := range Impls {
 			fprintf(w, "  %-8s", impl)
 			for _, p := range procsList {
-				res, err := Verified(a, s, impl, p)
-				if err != nil {
-					return err
+				c := got[cellKey{App: a.Name, Impl: impl, Procs: p}]
+				if c.Err != nil {
+					return c.Err
 				}
-				fprintf(w, " %7.2f", seq.Time.Seconds()/res.Time.Seconds())
+				fprintf(w, " %7.2f", seq.Res.Time.Seconds()/c.Res.Time.Seconds())
 			}
 			fprintf(w, "\n")
 		}

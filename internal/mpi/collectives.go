@@ -24,26 +24,29 @@ func (r *Rank) Barrier() {
 // Bcast distributes root's data to every rank and returns each rank's
 // copy. Non-root ranks pass nil.
 func (r *Rank) Bcast(root int, data []byte) []byte {
-	// Rotate so the tree is rooted at `root`.
-	if r.virt(root) == 0 {
-		return r.bcastTree(tagBcast, data)
+	if r.id != root {
+		data = nil
 	}
-	return r.bcastTree(tagBcast, nil)
-}
-
-// virt maps the rank id into a tree rooted at... (identity for root 0;
-// the applications only broadcast from 0, so the general rotation is a
-// simple relabeling).
-func (r *Rank) virt(root int) int {
-	return (r.id - root + r.Procs()) % r.Procs()
+	return r.bcastTreeAt(tagBcast, root, data)
 }
 
 // bcastTree runs a binomial broadcast rooted at rank 0.
 func (r *Rank) bcastTree(tag int, data []byte) []byte {
+	return r.bcastTreeAt(tag, 0, data)
+}
+
+// bcastTreeAt runs a binomial broadcast rooted at `root`: ranks are
+// relabeled so the root becomes virtual rank 0, and messages are addressed
+// back through the inverse relabeling. Each rank receives from its exact
+// tree parent (the virtual rank with my lowest set bit cleared) — with
+// per-pair FIFO delivery this keeps back-to-back broadcasts from
+// different roots from stealing each other's payloads.
+func (r *Rank) bcastTreeAt(tag, root int, data []byte) []byte {
 	p := r.Procs()
-	me := r.id
-	if me != 0 {
-		data = r.Recv(AnySource, tag)
+	vme := (r.id - root + p) % p
+	if vme != 0 {
+		vparent := vme & (vme - 1)
+		data = r.Recv((vparent+root)%p, tag)
 	}
 	// mask walks from the highest power of two below p down to 1.
 	mask := 1
@@ -51,12 +54,12 @@ func (r *Rank) bcastTree(tag int, data []byte) []byte {
 		mask <<= 1
 	}
 	mask >>= 1
-	// Find my level: lowest set bit (rank 0 acts at every level).
+	// Find my level: lowest set bit (virtual rank 0 acts at every level).
 	for ; mask > 0; mask >>= 1 {
-		if me&(mask-1) == 0 && me&mask == 0 {
-			peer := me | mask
-			if peer < p {
-				r.Send(peer, tag, data)
+		if vme&(mask-1) == 0 && vme&mask == 0 {
+			vpeer := vme | mask
+			if vpeer < p {
+				r.Send((vpeer+root)%p, tag, data)
 			}
 		}
 	}
@@ -108,17 +111,17 @@ var (
 // Reduce combines the element-wise reduction of data across ranks at rank
 // 0 (binomial tree) and returns it there; other ranks get nil.
 func (r *Rank) Reduce(op ReduceOp, data []float64) []float64 {
-	out := r.gatherTree(tagReduce, f64sToBytes(data), func(a, b []byte) []byte {
-		av, bv := bytesToF64s(a), bytesToF64s(b)
+	out := r.gatherTree(tagReduce, F64sToBytes(data), func(a, b []byte) []byte {
+		av, bv := BytesToF64s(a), BytesToF64s(b)
 		for i := range av {
 			av[i] = op(av[i], bv[i])
 		}
-		return f64sToBytes(av)
+		return F64sToBytes(av)
 	})
 	if r.id != 0 {
 		return nil
 	}
-	return bytesToF64s(out)
+	return BytesToF64s(out)
 }
 
 // Allreduce is Reduce followed by Bcast; every rank gets the result.
@@ -126,9 +129,9 @@ func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 	red := r.Reduce(op, data)
 	var b []byte
 	if r.id == 0 {
-		b = f64sToBytes(red)
+		b = F64sToBytes(red)
 	}
-	return bytesToF64s(r.bcastTree(tagBcast, b))
+	return BytesToF64s(r.bcastTree(tagBcast, b))
 }
 
 // Gather collects each rank's data at rank 0, ordered by rank; other
@@ -145,6 +148,20 @@ func (r *Rank) Gather(data []byte) [][]byte {
 		out[i] = r.Recv(i, tagGather)
 	}
 	return out
+}
+
+// Allgather collects each rank's data and hands every rank the
+// rank-ordered concatenation (a gather at rank 0 followed by a broadcast,
+// as period MPICH implemented it for small counts).
+func (r *Rank) Allgather(data []byte) []byte {
+	parts := r.Gather(data)
+	var full []byte
+	if r.id == 0 {
+		for _, part := range parts {
+			full = append(full, part...)
+		}
+	}
+	return r.Bcast(0, full)
 }
 
 // Alltoall performs the complete exchange at the heart of the 3D-FFT

@@ -200,15 +200,18 @@ func (r *Rank) Sendrecv(to int, sendData []byte, from, tag int) []byte {
 
 // SendF64s sends a float64 slice.
 func (r *Rank) SendF64s(to, tag int, data []float64) {
-	r.Send(to, tag, f64sToBytes(data))
+	r.Send(to, tag, F64sToBytes(data))
 }
 
 // RecvF64s receives a float64 slice.
 func (r *Rank) RecvF64s(from, tag int) []float64 {
-	return bytesToF64s(r.Recv(from, tag))
+	return BytesToF64s(r.Recv(from, tag))
 }
 
-func f64sToBytes(data []float64) []byte {
+// F64sToBytes encodes a float64 slice in the wire format of SendF64s —
+// exported so applications can pack float payloads for Gather, Bcast, and
+// the other []byte collectives without each keeping its own codec.
+func F64sToBytes(data []float64) []byte {
 	b := make([]byte, 8*len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
@@ -216,7 +219,8 @@ func f64sToBytes(data []float64) []byte {
 	return b
 }
 
-func bytesToF64s(b []byte) []float64 {
+// BytesToF64s decodes the F64sToBytes wire format.
+func BytesToF64s(b []byte) []float64 {
 	out := make([]float64, len(b)/8)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))

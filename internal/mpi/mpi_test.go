@@ -101,6 +101,49 @@ func TestBcast(t *testing.T) {
 	}
 }
 
+func TestBcastNonzeroRoot(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(r *Rank) {
+				for root := 0; root < p; root++ {
+					var data []byte
+					if r.ID() == root {
+						data = []byte{byte(root), byte(root + 1)}
+					}
+					got := r.Bcast(root, data)
+					if len(got) != 2 || got[0] != byte(root) || got[1] != byte(root+1) {
+						t.Errorf("rank %d root %d got %v", r.ID(), root, got)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestBcastBackToBack pipelines broadcasts from rotating roots with no
+// intervening synchronization: payloads must never cross between steps
+// (each rank receives from its exact tree parent).
+func TestBcastBackToBack(t *testing.T) {
+	const rounds = 32
+	for _, p := range []int{3, 4, 8} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(r *Rank) {
+				for i := 0; i < rounds; i++ {
+					root := i % p
+					var data []byte
+					if r.ID() == root {
+						data = []byte{byte(i)}
+					}
+					got := r.Bcast(root, data)
+					if len(got) != 1 || got[0] != byte(i) {
+						t.Errorf("rank %d round %d got %v", r.ID(), i, got)
+					}
+				}
+			})
+		})
+	}
+}
+
 func TestReduceAndAllreduce(t *testing.T) {
 	for _, p := range []int{1, 2, 5, 8} {
 		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
@@ -119,6 +162,24 @@ func TestReduceAndAllreduce(t *testing.T) {
 				mx := r.Allreduce(OpMax, []float64{float64(r.ID())})
 				if mx[0] != float64(p-1) {
 					t.Errorf("allreduce max got %v", mx[0])
+				}
+			})
+		})
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(r *Rank) {
+				got := r.Allgather([]byte{byte(r.ID()), byte(r.ID())})
+				if len(got) != 2*p {
+					t.Fatalf("rank %d: %d bytes, want %d", r.ID(), len(got), 2*p)
+				}
+				for i := 0; i < p; i++ {
+					if got[2*i] != byte(i) || got[2*i+1] != byte(i) {
+						t.Errorf("rank %d: chunk %d = %v", r.ID(), i, got[2*i:2*i+2])
+					}
 				}
 			})
 		})
