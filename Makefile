@@ -2,10 +2,13 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench-smoke bench tables ci
+.PHONY: build vet test test-short test-race bench-smoke bench tables ci
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -31,4 +34,4 @@ bench:
 tables:
 	$(GO) run ./cmd/nowbench -all
 
-ci: build test test-race bench-smoke
+ci: build vet test test-race bench-smoke

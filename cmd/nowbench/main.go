@@ -4,8 +4,11 @@
 //	nowbench -table 1              Table 1 (apps, sizes, sequential times)
 //	nowbench -figure 6             Figure 6 (8-processor speedups)
 //	nowbench -table 2              Table 2 (data and message counts)
+//	nowbench -gc                   protocol-metadata GC accounting table
 //	nowbench -micro                Section 6 platform characteristics
-//	nowbench -ablation all         Section 3 flush-vs-sema/condvar studies
+//	nowbench -ablation section3    Section 3 flush-vs-sema/condvar studies
+//	nowbench -ablation gc          the barrier-epoch GC on/off ablation
+//	nowbench -ablation all         both of the above
 //	nowbench -sweep                speedup curves for P = 1,2,4,8
 //	nowbench -all                  everything above
 //
@@ -29,7 +32,8 @@ func main() {
 		table    = flag.Int("table", 0, "regenerate Table 1 or 2")
 		figure   = flag.Int("figure", 0, "regenerate Figure 6")
 		micro    = flag.Bool("micro", false, "run the Section 6 platform microbenchmarks")
-		ablation = flag.String("ablation", "", "run an ablation: pipeline, taskqueue, flushcost, or all")
+		gcTable  = flag.Bool("gc", false, "print the protocol-metadata GC accounting table")
+		ablation = flag.String("ablation", "", "run ablations: section3 (the flush-vs-sema/condvar studies, also selected by the legacy names pipeline/taskqueue/flushcost), gc, or all")
 		sweep    = flag.Bool("sweep", false, "print speedup curves over processor counts")
 		all      = flag.Bool("all", false, "run every experiment")
 		procs    = flag.Int("procs", 8, "processor count for Figure 6 and Table 2")
@@ -63,14 +67,27 @@ func main() {
 		check(harness.Table2(out, s, *procs))
 		fmt.Fprintln(out)
 	}
+	if *all || *gcTable {
+		ran = true
+		check(harness.TableGC(out, s, *procs))
+		fmt.Fprintln(out)
+	}
 	if *all || *micro {
 		ran = true
 		check(harness.PrintMicro(out))
 		fmt.Fprintln(out)
 	}
-	if *all || *ablation == "all" || *ablation == "pipeline" || *ablation == "taskqueue" || *ablation == "flushcost" {
+	// The three Section 3 studies print as one artifact; any of their
+	// names selects the set.
+	section3 := *ablation == "section3" || *ablation == "pipeline" || *ablation == "taskqueue" || *ablation == "flushcost"
+	if *all || *ablation == "all" || section3 {
 		ran = true
 		check(harness.PrintAblations(out))
+		fmt.Fprintln(out)
+	}
+	if *all || *ablation == "all" || *ablation == "gc" {
+		ran = true
+		check(harness.PrintAblationGC(out))
 		fmt.Fprintln(out)
 	}
 	if *all || *sweep {

@@ -30,6 +30,31 @@ type Result struct {
 	// (zero for sequential runs) — the raw material of Table 2.
 	Messages int64
 	Bytes    int64
+	// Protocol-metadata footprint of DSM-backed runs (TreadMarks and
+	// OpenMP implementations; zero for sequential and MPI runs):
+	// IntervalsRetired counts interval records reclaimed by the
+	// barrier-epoch garbage collector, PeakIntervalChain is the longest
+	// per-creator interval list retained on any node, and
+	// PeakProtoBytes is the largest metadata footprint (records + diffs
+	// + twins) any node ever held.
+	IntervalsRetired  int64
+	PeakIntervalChain int64
+	PeakProtoBytes    int64
+}
+
+// ProtoSource reports DSM protocol-metadata counters; dsm.System and
+// core.Program both implement it.
+type ProtoSource interface {
+	ProtoSummary() (retired, peakChain, peakBytes int64)
+}
+
+// DSMResult assembles the Result of a DSM-backed run (TreadMarks or
+// OpenMP), attaching the protocol-metadata counters from the run's
+// system — the single assembly point for every tmk/omp implementation.
+func DSMResult(checksum float64, t sim.Time, msgs, bytes int64, src ProtoSource) Result {
+	r := Result{Checksum: checksum, Time: t, Messages: msgs, Bytes: bytes}
+	r.IntervalsRetired, r.PeakIntervalChain, r.PeakProtoBytes = src.ProtoSummary()
+	return r
 }
 
 // Close reports whether two checksums agree to within a relative

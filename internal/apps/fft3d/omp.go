@@ -154,7 +154,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 		return apps.Result{}, err
 	}
 	msgs, bytes := prog.Traffic()
-	return apps.Result{Checksum: checksum, Time: prog.Elapsed(), Messages: msgs, Bytes: bytes}, nil
+	return apps.DSMResult(checksum, prog.Elapsed(), msgs, bytes, prog), nil
 }
 
 // heapFor sizes the shared heap for three complex grids plus slack.

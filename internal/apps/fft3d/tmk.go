@@ -136,5 +136,5 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		return apps.Result{}, err
 	}
 	msgs, bytes := sys.Switch().Stats().Snapshot()
-	return apps.Result{Checksum: checksum, Time: sys.MaxClock(), Messages: msgs, Bytes: bytes}, nil
+	return apps.DSMResult(checksum, sys.MaxClock(), msgs, bytes, sys), nil
 }

@@ -36,5 +36,5 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 		return apps.Result{}, err
 	}
 	msgs, bytes := prog.Traffic()
-	return apps.Result{Checksum: best, Time: prog.Elapsed(), Messages: msgs, Bytes: bytes}, nil
+	return apps.DSMResult(best, prog.Elapsed(), msgs, bytes, prog), nil
 }

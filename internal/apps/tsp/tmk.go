@@ -33,5 +33,5 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		return apps.Result{}, err
 	}
 	msgs, bytes := sys.Switch().Stats().Snapshot()
-	return apps.Result{Checksum: best, Time: sys.MaxClock(), Messages: msgs, Bytes: bytes}, nil
+	return apps.DSMResult(best, sys.MaxClock(), msgs, bytes, sys), nil
 }

@@ -13,7 +13,7 @@ import (
 func RunTmk(p Params, procs int) (apps.Result, error) {
 	n := p.NMol
 	bytesArr := 8 * n * dof
-	sys := dsm.New(dsm.Config{Procs: procs, Platform: p.Platform})
+	sys := dsm.New(dsm.Config{Procs: procs, Platform: p.Platform, DisableGC: p.DisableGC})
 	posA := sys.MallocPage(bytesArr)
 	velA := sys.MallocPage(bytesArr)
 	forceA := sys.MallocPage(bytesArr)
@@ -103,5 +103,5 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		return apps.Result{}, err
 	}
 	msgs, bytes := sys.Switch().Stats().Snapshot()
-	return apps.Result{Checksum: checksum, Time: sys.MaxClock(), Messages: msgs, Bytes: bytes}, nil
+	return apps.DSMResult(checksum, sys.MaxClock(), msgs, bytes, sys), nil
 }

@@ -37,6 +37,9 @@ type Params struct {
 	Seed uint64
 	// Platform overrides the cost model.
 	Platform *sim.Platform
+	// DisableGC turns off the DSM's barrier-epoch metadata collection in
+	// RunTmk (the GC ablation's control arm).
+	DisableGC bool
 }
 
 // Default returns the paper-scale configuration (512 molecules).

@@ -115,6 +115,13 @@ func (p *Program) Traffic() (messages, bytes int64) {
 // ResetTraffic zeroes the traffic counters (to measure one phase).
 func (p *Program) ResetTraffic() { p.sys.Switch().ResetStats() }
 
+// ProtoSummary reports the DSM's protocol-metadata footprint after Run:
+// retired interval records, peak retained interval-chain length, and
+// peak metadata bytes on any node (see dsm.System.ProtoSummary).
+func (p *Program) ProtoSummary() (retired, peakChain, peakBytes int64) {
+	return p.sys.ProtoSummary()
+}
+
 // criticalLock maps a critical-section name to a lock id. Named critical
 // sections with the same name share one lock program-wide, per the
 // standard; the id space is partitioned away from user semaphore ids.

@@ -51,6 +51,13 @@ func (n *Node) Barrier() {
 		n.mu.Lock()
 		n.incorporateLocked(recs, mgrVC)
 		n.noteHeardLocked(0, mgrVC)
+		if n.sys.gcOn {
+			// The floor is the manager's clock as carried by the
+			// departure, NOT our own: the server may already have
+			// incorporated intervals a faster peer created after leaving
+			// this barrier, and those are not globally known yet.
+			n.gcEpochLocked(mgrVC)
+		}
 		n.mu.Unlock()
 		return
 	}
@@ -88,11 +95,31 @@ func (n *Node) Barrier() {
 	n.clock.Advance(sim.Time(procs-1) * n.sys.plat.RequestService)
 
 	n.mu.Lock()
+	// Snapshot the departure clock ONCE, before the send loop's unlock
+	// windows: while departures go out, the server can already be
+	// incorporating next-barrier arrivals (or sema/flush deltas) from
+	// fast departers, and a live n.vc read would hand later departures a
+	// larger clock than earlier ones. Pre-GC that was a harmless
+	// over-approximation; as the GC epoch floor it must be identical in
+	// every departure (see gc.go), and node 0 must not publish a floor
+	// covering intervals it did not just validate.
+	if n.sys.gcOn {
+		// Collect BEFORE any departure goes out: with every other
+		// application thread parked awaiting its departure, the manager's
+		// validation fetches race with nothing, and the departure arrival
+		// times then carry the (real, TreadMarks-style) GC pause. The
+		// manager's merged clock is the floor every departure carries.
+		n.gcEpochLocked(n.vc.clone())
+	}
+	depVC := n.vc.clone()
 	for _, a := range arrivals {
 		var w wbuf
-		w.vc(n.vc)
+		w.vc(depVC)
 		// Exact delta against the arriver's reported clock; departures
-		// are reply-class and therefore never update knownVC.
+		// are reply-class and therefore never update knownVC. The delta
+		// stays live deliberately: records stored by the server mid-loop
+		// ride along early (their own clocks raise the receiver), which
+		// is sound — only the floor clock must be the snapshot.
 		encodeRecords(&w, n.deltaForLocked(a.vc))
 		n.mu.Unlock()
 		n.ep.Send(a.from, msgBarrDepart, network.ClassReply, w.b)

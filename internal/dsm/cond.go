@@ -34,6 +34,17 @@ func (n *Node) condFor(id int) *condQueue {
 // Upon wakeup the thread contends for the lock and resumes after the
 // cond_signal issuer's release, importing its consistency information
 // through the normal lock-grant path.
+//
+// The wait registration is ACKNOWLEDGED, and the lock is released only
+// after the ack: registration (request class) and the lock grant to the
+// next acquirer (reply class) travel in different queues with no FIFO
+// ordering between them, so a fire-and-forget registration could still
+// be sitting in the manager's request queue while the next lock holder
+// — who can only exist once we release — signals or broadcasts into an
+// empty waiter queue and the wakeup is lost forever (the classic lost
+// wakeup; observed as a rare QSORT termination deadlock). With the ack,
+// any signaler acquired the lock after our registration completed, so
+// its signal is enqueued at the manager strictly after our wait.
 func (n *Node) CondWait(condID, lockID int) {
 	mgr := n.lockMgr(lockID)
 	n.mu.Lock()
@@ -42,22 +53,15 @@ func (n *Node) CondWait(condID, lockID int) {
 	if !ls.held {
 		panic("dsm: CondWait requires the associated lock to be held")
 	}
-	// Release semantics: close the interval, free the lock locally, and
-	// serve anyone already queued behind us.
+	// Release semantics: the interval closes here, and the wait carries
+	// our clock so the eventual wake-grant brings us what we miss.
 	n.closeIntervalLocked()
 	myVC := n.vc.clone()
-	ls.held = false
-	if len(ls.pending) > 0 {
-		p := ls.pending[0]
-		ls.pending = ls.pending[1:]
-		ls.haveToken = false
-		n.sendGrantLocked(lockID, p.from, p.vc, n.clock.Now())
-	}
 
 	if n.id == mgr {
+		// Local registration is atomic with the release under mu.
 		cq := n.condFor(condID)
 		cq.waiters = append(cq.waiters, semaWaiter{from: n.id, vc: myVC, arrive: n.clock.Now()})
-		n.mu.Unlock()
 	} else {
 		var w wbuf
 		w.i32(condID)
@@ -65,7 +69,19 @@ func (n *Node) CondWait(condID, lockID int) {
 		w.vc(myVC)
 		n.mu.Unlock()
 		n.ep.Send(mgr, msgCondWait, network.ClassRequest, w.b)
+		n.recvReply(msgCondWaitAck)
+		n.mu.Lock()
 	}
+
+	// Registered: now free the lock and serve anyone queued behind us.
+	ls.held = false
+	if len(ls.pending) > 0 {
+		p := ls.pending[0]
+		ls.pending = ls.pending[1:]
+		ls.haveToken = false
+		n.sendGrantLocked(lockID, p.from, p.vc, n.clock.Now())
+	}
+	n.mu.Unlock()
 
 	// Block until a signal routes the lock back to us.
 	m := n.recvReply(msgLockGrant)
@@ -167,17 +183,21 @@ func (n *Node) enqueueLockRequestLocked(lockID, requester int, reqVC VectorClock
 	n.ep.SendAt(prev, msgAcqFwd, network.ClassRequest, w.b, at)
 }
 
-// handleCondWait runs on the lock manager's protocol server.
+// handleCondWait runs on the lock manager's protocol server. The ack is
+// what lets the waiter release the lock knowing its registration can no
+// longer lose a race with a future signal (see CondWait).
 func (n *Node) handleCondWait(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	condID := r.i32()
 	_ = r.i32() // lockID: queue transfer happens at signal time
 	reqVC := r.vc()
+	at := m.Arrive + n.sys.plat.RequestService
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.chargeInterruptLocked()
 	cq := n.condFor(condID)
 	cq.waiters = append(cq.waiters, semaWaiter{from: m.From, vc: reqVC, arrive: m.Arrive})
+	n.mu.Unlock()
+	n.ep.SendAt(m.From, msgCondWaitAck, network.ClassReply, nil, at)
 }
 
 // handleCondNotify runs on the lock manager's protocol server for both

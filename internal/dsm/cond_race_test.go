@@ -1,0 +1,38 @@
+package dsm
+
+import "testing"
+
+// TestCondWaitRegistrationNotLost is the regression guard for the lost
+// wakeup that deadlocked QSORT terminations: CondWait used to release
+// the lock and send its wait registration fire-and-forget, so the next
+// lock holder could broadcast into a still-empty waiter queue while the
+// registration sat unprocessed in the manager's request queue (request
+// and reply classes have no mutual FIFO ordering). The Figure-4
+// termination pattern below — first thread waits, last thread
+// broadcasts — hit the window readily under the race detector's timing;
+// with the acknowledged registration the broadcast can only run after
+// the wait is enqueued. A deadlock here fails the test via timeout.
+func TestCondWaitRegistrationNotLost(t *testing.T) {
+	for _, lockID := range []int{0, 1} { // manager on either node
+		for iter := 0; iter < 25; iter++ {
+			const P = 2
+			const condID = 0
+			sys := New(Config{Procs: P})
+			nwait := sys.MallocPage(8)
+			sys.Register("terminate", func(n *Node, _ []byte) {
+				n.Acquire(lockID)
+				nw := n.ReadI64(nwait) + 1
+				n.WriteI64(nwait, nw)
+				if nw == P {
+					n.CondBroadcast(condID, lockID)
+				} else {
+					n.CondWait(condID, lockID)
+				}
+				n.Release(lockID)
+			})
+			if err := sys.Run(func(n *Node) { n.RunParallel("terminate", nil) }); err != nil {
+				t.Fatalf("lock %d iter %d: %v", lockID, iter, err)
+			}
+		}
+	}
+}

@@ -22,14 +22,23 @@ func (n *Node) RunParallel(region string, arg []byte) {
 	fn := n.sys.region(region)
 	procs := n.sys.cfg.Procs
 
-	// Fork: release + broadcast.
+	// Fork: release + broadcast. A fork is a global synchronization
+	// episode exactly like a barrier (every slave is parked awaiting it,
+	// and the join proved the master has incorporated everything), so it
+	// also runs a GC epoch — this is what keeps parallel-do programs,
+	// which synchronize by region boundary rather than explicit
+	// barriers, from accumulating protocol metadata across regions.
 	n.mu.Lock()
 	n.closeIntervalLocked()
+	forkVC := n.vc.clone() // one clock for the GC floor and every fork message
+	if n.sys.gcOn {
+		n.gcEpochLocked(forkVC)
+	}
 	for i := 1; i < procs; i++ {
 		var w wbuf
 		w.str(region)
 		w.bytes(arg)
-		w.vc(n.vc)
+		w.vc(forkVC)
 		encodeRecords(&w, n.deltaForLocked(n.knownVC[i]))
 		n.noteSentLocked(i)
 		// Sent under mu: atomic with the estimate update.

@@ -1,0 +1,329 @@
+package dsm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Barrier-epoch garbage collection of lazy-release-consistency metadata.
+//
+// Without collection, intervals, write notices, encoded diffs, and twins
+// accumulate for the whole run: protocol memory grows without bound and
+// every fault walks ever-longer chains. Real TreadMarks reclaims this
+// state at global synchronization points; this file is the simulation's
+// analogue, keyed to barriers because a barrier is the one moment the
+// system is provably quiescent — every application thread is parked
+// inside Barrier(), so no fault, lock grant, or delta is in flight.
+//
+// One epoch runs per global synchronization episode — each barrier and
+// each fork (the region boundary that is OpenMP's implicit barrier) —
+// in three steps on every node:
+//
+//  1. FREE the interval records retired at the PREVIOUS epoch (the
+//     retire floor saved in gcFreeVC). The one-epoch delay is what makes
+//     freeing safe without extra message rounds: diffs of intervals
+//     retired at epoch k may still be fetched DURING epoch k by the
+//     manager's validation pass, but after every node has finished epoch
+//     k no reference to them exists anywhere, so epoch k+1 can free them
+//     with no coordination.
+//
+//  2. PURGE page references covered by the new retire floor — node 0's
+//     merged vector clock at the episode, which covers every interval in
+//     existence there, all of them incorporated by every node by the
+//     time it processes its departure (or fork). Node 0 (the page
+//     server, whose copy must stay authoritative) VALIDATES: it fetches
+//     and applies every pending diff, bringing each of its copies
+//     current. Other nodes FLUSH: they discard the stale copy outright
+//     and refault it from node 0's validated copy on next access — the
+//     classic validate-vs-invalidate choice of TreadMarks GC.
+//
+//     The floor is always node 0's clock AS CARRIED IN THE EPISODE'S
+//     MESSAGE, never the local clock: a node's protocol server may
+//     already have incorporated intervals that a faster peer created
+//     AFTER leaving this same episode, and a floor read from the local
+//     clock would cover them before the rest of the system has them —
+//     epoch floors must be identical on every node for the one-epoch
+//     free delay to be sound.
+//
+//  3. RELEASE diff sources: encoded diffs and still-unencoded twins of
+//     the node's own retired intervals. Ordering makes this safe with no
+//     acknowledgment: the manager validates BEFORE sending any
+//     departure, and a non-manager purges only AFTER processing its
+//     departure, so by the time any node reaches this step every fetch
+//     that could want these diffs has already been served. A twin that
+//     is still unencoded here was never needed at all and is released
+//     without ever paying for diff creation.
+//
+// Finally the knownVC estimates are raised to the freed floor (every
+// node provably incorporated everything under it one epoch ago), and the
+// floor advances. Locks, semaphores, and condition variables need no
+// special handling: a thread blocked on any of them keeps the barrier —
+// and therefore the collector — from running at all.
+
+// epochFloor tracks one epoch's floor agreement across nodes.
+type epochFloor struct {
+	floor VectorClock
+	seen  int
+}
+
+// gcDefault gates the collector for systems whose Config does not set
+// DisableGC. It exists for the GC ablation and the GC-off equivalence
+// suite; it must not be flipped while systems are running.
+var gcDefault = true
+
+// SetGCDefault enables or disables barrier-epoch garbage collection for
+// subsequently created systems (ablations and tests only).
+func SetGCDefault(on bool) { gcDefault = on }
+
+// checkEpochFloor verifies that every node presents the identical retire
+// floor for a given epoch index: the first node to reach the epoch
+// records its floor, the rest must match, and the record is dropped once
+// all have checked in (so the tripwire itself retains nothing).
+func (s *System) checkEpochFloor(epoch int64, id int, floor VectorClock) {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	e, ok := s.gcFloors[epoch]
+	if !ok {
+		e = &epochFloor{floor: floor.clone()}
+		s.gcFloors[epoch] = e
+	} else {
+		for i, v := range e.floor {
+			if floor[i] != v {
+				panic(fmt.Sprintf("dsm: node %d GC epoch %d floor %v diverges from %v",
+					id, epoch, floor, e.floor))
+			}
+		}
+	}
+	e.seen++
+	if e.seen == s.cfg.Procs {
+		delete(s.gcFloors, epoch)
+	}
+}
+
+// ivlRecordBytes estimates the retained footprint of one interval record:
+// struct header, vector clock, and write-notice page list.
+func ivlRecordBytes(ivl *interval) int64 {
+	return int64(48 + 4*len(ivl.vc) + 8*len(ivl.pages))
+}
+
+// gcEpochLocked runs one collection epoch with the given retire floor.
+// It requires n.mu and — on node 0 only — releases and reacquires it
+// while diff fetches are in flight. Node 0 calls it at each barrier
+// (after incorporating every arrival, before sending any departure) and
+// at each fork (before sending the fork messages), passing its own
+// clock; every other node calls it immediately after incorporating the
+// matching departure or fork delta, passing the clock that message
+// carried — the identical floor.
+func (n *Node) gcEpochLocked(retire VectorClock) {
+	// Soundness tripwire: all nodes must agree on every epoch's floor
+	// (they run the same epoch sequence), or the one-epoch free delay
+	// breaks. Divergence here means a caller derived a floor from state
+	// that is not identical on every node.
+	n.sys.checkEpochFloor(n.stats.GCEpochs, n.id, retire)
+
+	n.freeRetiredLocked()
+	if n.id == 0 {
+		n.gcValidatePagesLocked(retire)
+	} else {
+		n.gcFlushPagesLocked(retire)
+	}
+	n.gcReleaseDiffSourcesLocked()
+
+	// Raise the piggyback-delta estimates to the freed floor: everything
+	// under it was incorporated by every node before the previous epoch
+	// ended. (deltaForLocked additionally clamps to the retained base,
+	// so this is an optimization, not a soundness requirement.)
+	if n.gcFreeVC != nil {
+		for j := range n.knownVC {
+			if j != n.id {
+				n.knownVC[j].merge(n.gcFreeVC)
+			}
+		}
+	}
+	n.gcFreeVC = retire
+	n.stats.GCEpochs++
+
+	// Prune the work list: only pages still owing uncovered notices stay
+	// (twins and covered notices were just released). Clearing the tail
+	// drops the pruned pages' references.
+	kept := n.gcPages[:0]
+	for _, pg := range n.gcPages {
+		if len(pg.missing) > 0 || pg.twin != nil {
+			kept = append(kept, pg)
+		} else {
+			pg.inGCList = false
+		}
+	}
+	for i := len(kept); i < len(n.gcPages); i++ {
+		n.gcPages[i] = nil
+	}
+	n.gcPages = kept
+}
+
+// freeRetiredLocked truncates every per-creator interval list up to the
+// previous epoch's retire floor.
+func (n *Node) freeRetiredLocked() {
+	free := n.gcFreeVC
+	if free == nil {
+		return // first epoch: nothing retired yet
+	}
+	for c := range n.intervals {
+		have := n.intervals[c]
+		drop := int(free[c]) - n.ivlBase[c]
+		if drop <= 0 {
+			continue
+		}
+		if drop > len(have) {
+			panic(fmt.Sprintf("dsm: node %d freeing %d intervals of creator %d but only %d retained",
+				n.id, drop, c, len(have)))
+		}
+		for _, ivl := range have[:drop] {
+			n.protoAddLocked(-ivlRecordBytes(ivl))
+			for _, d := range ivl.diffs { // normally already released in step 3
+				n.protoAddLocked(-int64(len(d)))
+			}
+		}
+		// Copy to a fresh slice so the freed records' backing array is
+		// actually reclaimable.
+		n.intervals[c] = append(make([]*interval, 0, len(have)-drop), have[drop:]...)
+		n.ivlBase[c] += drop
+		n.stats.IntervalsRetired += int64(drop)
+	}
+}
+
+// gcValidatePagesLocked is the manager's purge: every work-list page
+// with pending write notices is brought current by fetching and applying the noticed
+// diffs, exactly as a fault would but with all pages' requests issued in
+// one parallel wave. Releases and reacquires n.mu around the network
+// section; this is safe because every other application thread is parked
+// awaiting its departure, leaving only protocol servers active.
+func (n *Node) gcValidatePagesLocked(retire VectorClock) {
+	type pageWork struct {
+		pg    *page
+		fetch []*interval
+	}
+	var work []pageWork
+	for _, pg := range n.gcPages {
+		if len(pg.missing) == 0 {
+			continue
+		}
+		for _, m := range pg.missing {
+			if !retire.covers(m.creator, m.seq) {
+				// Impossible before departures are sent: no node is
+				// running application code that could create intervals.
+				panic(fmt.Sprintf("dsm: manager GC found uncovered notice (%d,%d)", m.creator, m.seq))
+			}
+		}
+		if pg.data == nil {
+			// The allocator's copy materializes as zeros; the complete
+			// notice history accumulated since allocation brings it
+			// current.
+			pg.data = make([]byte, PageSize)
+		}
+		fetch := make([]*interval, len(pg.missing))
+		copy(fetch, pg.missing)
+		work = append(work, pageWork{pg: pg, fetch: fetch})
+	}
+	if len(work) == 0 {
+		return
+	}
+
+	// Issue every batched diff request back to back, then collect all
+	// replies; virtual time advances to the latest arrival, modelling
+	// the parallel validation sweep.
+	requests := 0
+	for _, w := range work {
+		requests += n.sendDiffRequests(w.pg.id, w.fetch)
+	}
+
+	n.mu.Unlock()                                    // --- network section: servers may run meanwhile ---
+	diffs := make(map[PageID]map[int]map[int][]byte) // page -> creator -> seq -> diff
+	for i := 0; i < requests; i++ {
+		pid, from, bySeq := n.recvDiffReply()
+		if diffs[pid] == nil {
+			diffs[pid] = make(map[int]map[int][]byte)
+		}
+		diffs[pid][from] = bySeq
+	}
+	n.mu.Lock() // --- end network section ---
+
+	plat := n.sys.plat
+	for _, w := range work {
+		sortCausal(w.fetch)
+		for _, ivl := range w.fetch {
+			d, ok := diffs[w.pg.id][ivl.creator][ivl.seq]
+			if !ok {
+				panic(fmt.Sprintf("dsm: GC validation missing diff (%d,%d) for page %d", ivl.creator, ivl.seq, w.pg.id))
+			}
+			applied := applyDiff(w.pg.data, d)
+			n.stats.DiffsApplied++
+			n.clock.Advance(plat.DiffApply + sim.Time(float64(applied)*plat.DiffApplyPerByte))
+		}
+		w.pg.missing = w.pg.missing[:0]
+		if w.pg.state == pageInvalid {
+			w.pg.state = pageReadOnly
+		}
+		n.stats.GCPagesValidated++
+	}
+}
+
+// gcFlushPagesLocked is the non-manager purge: any copy still owing
+// retired diffs is discarded wholesale; the next access refetches it from
+// the manager's validated copy. Notices from intervals newer than the
+// retire floor (possible only on nodes that resumed from this barrier
+// early and already synchronized with us) are preserved.
+func (n *Node) gcFlushPagesLocked(retire VectorClock) {
+	for _, pg := range n.gcPages {
+		if len(pg.missing) == 0 {
+			continue
+		}
+		keep := pg.missing[:0]
+		dropped := false
+		for _, m := range pg.missing {
+			if retire.covers(m.creator, m.seq) {
+				dropped = true
+			} else {
+				keep = append(keep, m)
+			}
+		}
+		pg.missing = keep
+		if !dropped {
+			continue
+		}
+		// A page owing retired diffs cannot carry local modifications
+		// (invalidation encodes any pending diff and drops the twin), so
+		// discarding the copy loses nothing.
+		if pg.twin != nil || pg.inDirty {
+			panic(fmt.Sprintf("dsm: node %d GC flushing page %d with live twin", n.id, pg.id))
+		}
+		pg.data = nil
+		pg.state = pageInvalid
+		n.stats.GCPagesFlushed++
+	}
+}
+
+// gcReleaseDiffSourcesLocked drops the node's own encoded diffs and
+// remaining twins. At this point every interval in existence is covered
+// by the retire floor and every fetch that could want these diffs has
+// completed (see the ordering argument in the file comment).
+func (n *Node) gcReleaseDiffSourcesLocked() {
+	for _, pg := range n.gcPages {
+		if pg.twin == nil {
+			continue
+		}
+		if pg.twinIvl == nil {
+			panic(fmt.Sprintf("dsm: node %d GC found open-interval twin for page %d at barrier", n.id, pg.id))
+		}
+		pg.twinIvl = nil
+		pg.twin = nil
+		n.protoAddLocked(-PageSize)
+		n.stats.TwinsCollected++
+	}
+	for _, ivl := range n.intervals[n.id] {
+		for _, d := range ivl.diffs {
+			n.protoAddLocked(-int64(len(d)))
+		}
+		ivl.diffs = nil
+	}
+}

@@ -1,0 +1,253 @@
+package dsm
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// gcWorkload runs an iteration-style workload (the access pattern of the
+// barrier apps): each round every node rewrites its block of a multi-page
+// shared array, synchronizes at a barrier, then reads a neighbour's block
+// — forcing write notices, diffs, and twins to flow every epoch. It
+// returns the system so callers can inspect protocol counters.
+func gcWorkload(t *testing.T, procs, words, rounds int, disableGC bool) *System {
+	t.Helper()
+	sys := New(Config{Procs: procs, DisableGC: disableGC})
+	base := sys.MallocPage(8 * words)
+	per := words / procs
+	sys.Register("iterate", func(n *Node, _ []byte) {
+		me := n.ID()
+		for r := 0; r < rounds; r++ {
+			for w := me * per; w < (me+1)*per; w++ {
+				n.WriteI64(base+Addr(8*w), int64(r*1_000_000+w))
+			}
+			n.Barrier()
+			nb := (me + 1) % procs
+			for w := nb * per; w < (nb+1)*per; w++ {
+				if got := n.ReadI64(base + Addr(8*w)); got != int64(r*1_000_000+w) {
+					t.Errorf("node %d round %d word %d = %d, want %d", me, r, w, got, r*1_000_000+w)
+				}
+			}
+			n.Barrier()
+		}
+	})
+	if err := sys.Run(func(n *Node) { n.RunParallel("iterate", nil) }); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestGCRetiresMetadata asserts the collector actually reclaims interval
+// records, twins, and diffs on the workload it exists for.
+func TestGCRetiresMetadata(t *testing.T) {
+	sys := gcWorkload(t, 4, 2048, 12, false)
+	st := sys.TotalStats()
+	if st.GCEpochs == 0 {
+		t.Fatal("no GC epochs ran")
+	}
+	if st.IntervalsRetired == 0 {
+		t.Error("GC retired no interval records")
+	}
+	if st.PeakIntervalChain == 0 {
+		t.Error("peak interval chain never tracked")
+	}
+	if st.PeakProtoBytes == 0 {
+		t.Error("peak protocol bytes never tracked")
+	}
+	if st.ProtoBytes >= st.PeakProtoBytes && st.IntervalsRetired > 0 {
+		t.Errorf("final footprint %d not below peak %d despite retirement", st.ProtoBytes, st.PeakProtoBytes)
+	}
+}
+
+// TestGCBoundsChainLength is the load-bearing property: with the
+// collector on, the peak retained interval-chain length must NOT grow
+// with the iteration count (it is bounded by the two live epochs), while
+// with the collector off it grows linearly.
+func TestGCBoundsChainLength(t *testing.T) {
+	const procs, words = 4, 2048
+	shortOn := gcWorkload(t, procs, words, 8, false).TotalStats()
+	longOn := gcWorkload(t, procs, words, 32, false).TotalStats()
+	if longOn.PeakIntervalChain > shortOn.PeakIntervalChain+2 {
+		t.Errorf("GC on: peak chain grew with iterations: %d rounds -> %d, %d rounds -> %d",
+			8, shortOn.PeakIntervalChain, 32, longOn.PeakIntervalChain)
+	}
+
+	shortOff := gcWorkload(t, procs, words, 8, true).TotalStats()
+	longOff := gcWorkload(t, procs, words, 32, true).TotalStats()
+	if shortOff.IntervalsRetired != 0 || longOff.IntervalsRetired != 0 {
+		t.Errorf("GC off still retired intervals: %d, %d", shortOff.IntervalsRetired, longOff.IntervalsRetired)
+	}
+	if longOff.PeakIntervalChain < 2*shortOff.PeakIntervalChain {
+		t.Errorf("GC off: expected linear chain growth, got %d rounds -> %d, %d rounds -> %d",
+			8, shortOff.PeakIntervalChain, 32, longOff.PeakIntervalChain)
+	}
+	if longOn.PeakIntervalChain >= longOff.PeakIntervalChain {
+		t.Errorf("GC on peak chain (%d) not below GC off (%d)", longOn.PeakIntervalChain, longOff.PeakIntervalChain)
+	}
+	if longOn.PeakProtoBytes >= longOff.PeakProtoBytes {
+		t.Errorf("GC on peak footprint (%d) not below GC off (%d)", longOn.PeakProtoBytes, longOff.PeakProtoBytes)
+	}
+}
+
+// TestGCWithLocksBetweenBarriers mixes lock-ordered updates (which close
+// intervals mid-epoch and make nodes exchange deltas outside the barrier)
+// with barrier phases, across enough epochs for records created under
+// locks to be retired. The lock-protected counter and the scattered
+// array must both survive collection intact.
+func TestGCWithLocksBetweenBarriers(t *testing.T) {
+	const P = 4
+	const rounds = 10
+	sys := New(Config{Procs: P})
+	ctr := sys.MallocPage(8)
+	arr := sys.MallocPage(8 * P)
+	sys.Register("mixed", func(n *Node, _ []byte) {
+		for r := 0; r < rounds; r++ {
+			n.Acquire(1)
+			n.WriteI64(ctr, n.ReadI64(ctr)+1)
+			n.Release(1)
+			n.WriteI64(arr+Addr(8*n.ID()), int64(100*r+n.ID()))
+			n.Barrier()
+			var s int64
+			for i := 0; i < P; i++ {
+				s += n.ReadI64(arr + Addr(8*i))
+			}
+			if want := int64(100*r*P + P*(P-1)/2); s != want {
+				t.Errorf("node %d round %d sum = %d, want %d", n.ID(), r, s, want)
+			}
+			n.Barrier()
+		}
+	})
+	err := sys.Run(func(n *Node) {
+		n.RunParallel("mixed", nil)
+		if got := n.ReadI64(ctr); got != P*rounds {
+			t.Errorf("counter = %d, want %d", got, P*rounds)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.TotalStats(); st.IntervalsRetired == 0 {
+		t.Error("mixed workload retired no intervals")
+	}
+}
+
+// TestGCOnOffIdenticalContents runs the same deterministic workload with
+// the collector on and off and requires bit-identical final memory — the
+// collector must be invisible to the computation.
+func TestGCOnOffIdenticalContents(t *testing.T) {
+	run := func(disable bool) []int64 {
+		const P = 4
+		const words = 1024
+		sys := New(Config{Procs: P, DisableGC: disable})
+		base := sys.MallocPage(8 * words)
+		out := make([]int64, words)
+		sys.Register("rounds", func(n *Node, _ []byte) {
+			for r := 0; r < 6; r++ {
+				for w := n.ID(); w < words; w += P {
+					n.WriteI64(base+Addr(8*w), int64(r*7919+w*13+n.ID()))
+				}
+				n.Barrier()
+			}
+		})
+		if err := sys.Run(func(n *Node) {
+			n.RunParallel("rounds", nil)
+			for w := 0; w < words; w++ {
+				out[w] = n.ReadI64(base + Addr(8*w))
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	on, off := run(false), run(true)
+	for w := range on {
+		if on[w] != off[w] {
+			t.Fatalf("word %d differs: GC on %d, GC off %d", w, on[w], off[w])
+		}
+	}
+}
+
+// TestGCFlushedPageRefetch drives the flush path explicitly: a node that
+// never touches a page while it is repeatedly rewritten accumulates
+// notices that GC discards together with the (never fetched) copy; a
+// late read must still see the final contents via the manager's
+// validated copy.
+func TestGCFlushedPageRefetch(t *testing.T) {
+	const P = 3
+	const rounds = 6
+	sys := New(Config{Procs: P})
+	a := sys.MallocPage(8)
+	sys.Register("lateread", func(n *Node, _ []byte) {
+		for r := 0; r < rounds; r++ {
+			if n.ID() == 1 {
+				n.WriteI64(a, int64(1000+r))
+			}
+			n.Barrier()
+		}
+		if n.ID() == 2 { // first touch after many retired epochs
+			if got := n.ReadI64(a); got != int64(1000+rounds-1) {
+				t.Errorf("late reader saw %d, want %d", got, 1000+rounds-1)
+			}
+		}
+	})
+	if err := sys.Run(func(n *Node) { n.RunParallel("lateread", nil) }); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.TotalStats(); st.GCPagesFlushed == 0 {
+		t.Error("expected at least one GC page flush")
+	}
+}
+
+// TestConcurrentMallocPageAlignment hammers Malloc and MallocPage from
+// many goroutines under the race detector: every MallocPage block must
+// start on a page boundary (the fresh-page guarantee a TOCTOU between
+// alignment and allocation used to break), and no two blocks of either
+// kind may overlap.
+func TestConcurrentMallocPageAlignment(t *testing.T) {
+	sys := New(Config{Procs: 1})
+	const goroutines = 16
+	const allocs = 64
+	type block struct {
+		addr Addr
+		size int
+	}
+	var mu sync.Mutex
+	var pageBlocks, allBlocks []block
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < allocs; i++ {
+				size := 3 + (g*allocs+i)%61 // odd sizes force mid-page heapNext
+				if i%2 == 0 {
+					a := sys.MallocPage(size)
+					mu.Lock()
+					pageBlocks = append(pageBlocks, block{a, size})
+					allBlocks = append(allBlocks, block{a, size})
+					mu.Unlock()
+				} else {
+					a := sys.Malloc(size)
+					mu.Lock()
+					allBlocks = append(allBlocks, block{a, size})
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, b := range pageBlocks {
+		if int(b.addr)%PageSize != 0 {
+			t.Errorf("MallocPage block at %d not page aligned", b.addr)
+		}
+	}
+	sort.Slice(allBlocks, func(i, j int) bool { return allBlocks[i].addr < allBlocks[j].addr })
+	for i := 1; i < len(allBlocks); i++ {
+		prev, cur := allBlocks[i-1], allBlocks[i]
+		if int(prev.addr)+prev.size > int(cur.addr) {
+			t.Fatalf("blocks overlap: [%d,+%d) and [%d,+%d)", prev.addr, prev.size, cur.addr, cur.size)
+		}
+	}
+	_ = sys.Run(func(n *Node) {})
+}

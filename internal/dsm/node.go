@@ -28,8 +28,11 @@ type Node struct {
 
 	mu        sync.Mutex
 	vc        VectorClock
-	intervals [][]*interval // [creator], gap-free, indexed by seq
+	intervals [][]*interval // [creator], gap-free, intervals[c][i].seq == intervalBase[c]+i
+	ivlBase   []int         // [creator] seq of the oldest retained interval (see gc.go)
+	gcFreeVC  VectorClock   // retire floor of the last GC epoch; freed at the next one
 	dirty     []*page       // pages twinned in the open interval
+	gcPages   []*page       // pages that may hold missing notices or twins (GC work list)
 	pages     []*page       // [PageID]; entries materialize lazily
 	knownVC   []VectorClock // sound lower bound of what each node has seen
 
@@ -66,6 +69,36 @@ type NodeStats struct {
 	CondOps      int64
 	Flushes      int64
 	Interrupts   int64
+
+	// Barrier-epoch garbage collection counters (see gc.go).
+	GCEpochs         int64 // barrier episodes that ran a collection
+	IntervalsRetired int64 // interval records reclaimed
+	TwinsCollected   int64 // twins released without ever encoding their diff
+	GCPagesValidated int64 // stale copies brought current during GC (manager)
+	GCPagesFlushed   int64 // stale copies discarded during GC (non-manager)
+
+	// Protocol-metadata footprint: interval records + encoded diffs +
+	// twins retained on this node. ProtoBytes is the current gauge;
+	// the Peak fields record the worst case seen over the run, which is
+	// what bounds a real TreadMarks process's memory.
+	ProtoBytes        int64
+	PeakProtoBytes    int64
+	PeakIntervalChain int64 // longest per-creator interval list ever held
+}
+
+// protoAddLocked moves the protocol-metadata gauge and tracks its peak.
+func (n *Node) protoAddLocked(delta int64) {
+	n.stats.ProtoBytes += delta
+	if n.stats.ProtoBytes > n.stats.PeakProtoBytes {
+		n.stats.PeakProtoBytes = n.stats.ProtoBytes
+	}
+}
+
+// noteChainLocked tracks the peak retained interval-chain length.
+func (n *Node) noteChainLocked(c int) {
+	if l := int64(len(n.intervals[c])); l > n.stats.PeakIntervalChain {
+		n.stats.PeakIntervalChain = l
+	}
 }
 
 // errAborted unwinds application threads when another node panicked and
@@ -162,21 +195,32 @@ func (n *Node) closeIntervalLocked() {
 	}
 	n.dirty = n.dirty[:0]
 	n.intervals[n.id] = append(n.intervals[n.id], ivl)
+	n.noteChainLocked(n.id)
+	n.protoAddLocked(ivlRecordBytes(ivl))
 }
 
 // storeIntervalLocked records a received interval if it is new, enforcing
 // the gap-free prefix invariant. It returns the canonical stored record
-// and whether it was new.
+// and whether it was new. Intervals below the retained base were retired
+// by the garbage collector — every node provably incorporated them before
+// they were freed, so they are duplicates by construction (the returned
+// record is nil in that case; callers only use it when isNew is true).
 func (n *Node) storeIntervalLocked(rec *interval) (*interval, bool) {
 	have := n.intervals[rec.creator]
-	if rec.seq < len(have) {
-		return have[rec.seq], false // duplicate
+	idx := rec.seq - n.ivlBase[rec.creator]
+	if idx < 0 {
+		return nil, false // retired duplicate
 	}
-	if rec.seq > len(have) {
-		panic(fmt.Sprintf("dsm: node %d received interval (%d,%d) with gap (have %d)",
-			n.id, rec.creator, rec.seq, len(have)))
+	if idx < len(have) {
+		return have[idx], false // duplicate
+	}
+	if idx > len(have) {
+		panic(fmt.Sprintf("dsm: node %d received interval (%d,%d) with gap (have base %d + %d)",
+			n.id, rec.creator, rec.seq, n.ivlBase[rec.creator], len(have)))
 	}
 	n.intervals[rec.creator] = append(have, rec)
+	n.noteChainLocked(rec.creator)
+	n.protoAddLocked(ivlRecordBytes(rec))
 	return rec, true
 }
 
@@ -232,7 +276,18 @@ func (n *Node) invalidateLocked(pg *page, ivl *interval) {
 	}
 	pg.state = pageInvalid
 	pg.missing = append(pg.missing, ivl)
+	n.noteGCPageLocked(pg)
 	n.mergeSeenLocked(pg, ivl.vc)
+}
+
+// noteGCPageLocked enrolls a page in the GC work list the first time it
+// gains state a collection epoch must examine (a missing notice or a
+// twin). Membership is pruned at the end of each epoch.
+func (n *Node) noteGCPageLocked(pg *page) {
+	if !pg.inGCList {
+		pg.inGCList = true
+		n.gcPages = append(n.gcPages, pg)
+	}
 }
 
 // mergeSeenLocked folds an interval clock into the page's observation
@@ -256,6 +311,7 @@ func (n *Node) ensureDiffEncodedLocked(pg *page) int {
 	pg.twinIvl.diffs[pg.id] = diff
 	pg.twinIvl = nil
 	pg.twin = nil
+	n.protoAddLocked(int64(len(diff)) - PageSize) // twin freed, diff retained
 	n.stats.DiffsCreated++
 	n.stats.DiffBytes += int64(len(diff))
 	return len(diff)
@@ -263,12 +319,19 @@ func (n *Node) ensureDiffEncodedLocked(pg *page) int {
 
 // deltaForLocked collects every interval the node knows that is not
 // covered by target, in causal (creator, seq) order. This is the payload
-// of every consistency-bearing message.
+// of every consistency-bearing message. A target component below the
+// retained base is clamped to it: intervals under the base were retired
+// by the garbage collector only after every node — the delta's receiver
+// included — had incorporated them, so the receiver cannot actually lack
+// them even when our knownVC estimate is that stale.
 func (n *Node) deltaForLocked(target VectorClock) []*interval {
 	var out []*interval
 	for c := 0; c < n.sys.cfg.Procs; c++ {
-		start := int(target[c])
 		have := n.intervals[c]
+		start := int(target[c]) - n.ivlBase[c]
+		if start < 0 {
+			start = 0
+		}
 		for s := start; s < len(have); s++ {
 			out = append(out, have[s])
 		}
@@ -350,6 +413,8 @@ func (n *Node) ensureWritableLocked(pg *page) {
 		}
 		pg.twin = make([]byte, PageSize)
 		copy(pg.twin, pg.data)
+		n.noteGCPageLocked(pg)
+		n.protoAddLocked(PageSize)
 		n.clock.Advance(n.sys.plat.TwinCopy)
 		pg.state = pageReadWrite
 		if !pg.inDirty {
@@ -358,6 +423,66 @@ func (n *Node) ensureWritableLocked(pg *page) {
 		}
 		return
 	}
+}
+
+// sendDiffRequests issues one batched msgDiffReq per creator for the
+// given missing intervals of page pid (in ascending creator order) and
+// returns the number of requests sent. Callers collect exactly that
+// many msgDiffRep replies via recvDiffReply. It reads only immutable
+// interval identity, so it may run with or without n.mu held.
+func (n *Node) sendDiffRequests(pid PageID, fetch []*interval) int {
+	byCreator := make(map[int][]*interval)
+	var creators []int
+	for _, ivl := range fetch {
+		if _, ok := byCreator[ivl.creator]; !ok {
+			creators = append(creators, ivl.creator)
+		}
+		byCreator[ivl.creator] = append(byCreator[ivl.creator], ivl)
+	}
+	sort.Ints(creators)
+	for _, c := range creators {
+		var w wbuf
+		w.u32(uint32(pid))
+		ivls := byCreator[c]
+		w.u32(uint32(len(ivls)))
+		for _, ivl := range ivls {
+			w.u32(uint32(ivl.seq))
+		}
+		n.ep.Send(c, msgDiffReq, network.ClassRequest, w.b)
+	}
+	return len(creators)
+}
+
+// recvDiffReply blocks for one msgDiffRep and decodes it into the page
+// it answers for, the creator that served it, and its per-seq diffs.
+// Must be called WITHOUT holding n.mu.
+func (n *Node) recvDiffReply() (PageID, int, map[int][]byte) {
+	rep := n.recvReply(msgDiffRep)
+	r := rbuf{b: rep.Payload}
+	pid := PageID(r.u32())
+	cnt := int(r.u32())
+	bySeq := make(map[int][]byte, cnt)
+	for i := 0; i < cnt; i++ {
+		seq := int(r.u32())
+		bySeq[seq] = r.bytes()
+	}
+	return pid, rep.From, bySeq
+}
+
+// sortCausal orders intervals by a linearization of the happens-before
+// relation — (vc sum, creator, seq) — the order in which their diffs
+// must be applied (see VectorClock.sum for the validity argument).
+func sortCausal(ivls []*interval) {
+	sort.Slice(ivls, func(i, j int) bool {
+		a, b := ivls[i], ivls[j]
+		if sa, sb := a.vc.sum(), b.vc.sum(); sa != sb {
+			return sa < sb
+		}
+		if a.creator != b.creator {
+			return a.creator < b.creator
+		}
+		return a.seq < b.seq
+	})
 }
 
 // faultInLocked performs one round of the page-fault protocol: fetch the
@@ -417,17 +542,6 @@ func (n *Node) faultInLocked(pg *page) {
 		}
 	}
 
-	// Group missing intervals by creator for batched diff requests.
-	byCreator := make(map[int][]*interval)
-	var creators []int
-	for _, ivl := range fetch {
-		if _, ok := byCreator[ivl.creator]; !ok {
-			creators = append(creators, ivl.creator)
-		}
-		byCreator[ivl.creator] = append(byCreator[ivl.creator], ivl)
-	}
-	sort.Ints(creators)
-
 	pid := pg.id
 	n.mu.Unlock() // --- network section: server may run meanwhile ---
 
@@ -447,37 +561,19 @@ func (n *Node) faultInLocked(pg *page) {
 		n.mu.Unlock()
 	}
 
-	// Issue all diff requests back-to-back, then collect the replies;
-	// virtual time advances to the latest arrival, modelling TreadMarks'
-	// parallel diff fetch.
-	for _, c := range creators {
-		var w wbuf
-		w.u32(uint32(pid))
-		ivls := byCreator[c]
-		w.u32(uint32(len(ivls)))
-		for _, ivl := range ivls {
-			w.u32(uint32(ivl.seq))
-		}
-		n.ep.Send(c, msgDiffReq, network.ClassRequest, w.b)
-	}
-	type diffSet struct {
-		creator int
-		bySeq   map[int][]byte
-	}
-	diffs := make(map[int]map[int][]byte, len(creators))
-	for range creators {
-		rep := n.recvReply(msgDiffRep)
-		r := rbuf{b: rep.Payload}
-		if PageID(r.u32()) != pid {
+	// Issue all diff requests back-to-back (batched per creator), then
+	// collect the replies; virtual time advances to the latest arrival,
+	// modelling TreadMarks' parallel diff fetch. This must follow the
+	// page fetch: the reply queue is shared, and recvReply asserts each
+	// reply's type.
+	nreq := n.sendDiffRequests(pid, fetch)
+	diffs := make(map[int]map[int][]byte, nreq)
+	for i := 0; i < nreq; i++ {
+		gotPid, from, bySeq := n.recvDiffReply()
+		if gotPid != pid {
 			panic("dsm: diff reply for wrong page")
 		}
-		cnt := int(r.u32())
-		bySeq := make(map[int][]byte, cnt)
-		for i := 0; i < cnt; i++ {
-			seq := int(r.u32())
-			bySeq[seq] = r.bytes()
-		}
-		diffs[rep.From] = bySeq
+		diffs[from] = bySeq
 	}
 
 	n.mu.Lock() // --- end network section ---
@@ -494,17 +590,8 @@ func (n *Node) faultInLocked(pg *page) {
 		pg.data = pageContent
 	}
 
-	// Apply in a linearization of happens-before: (vc sum, creator, seq).
-	sort.Slice(fetch, func(i, j int) bool {
-		a, b := fetch[i], fetch[j]
-		if sa, sb := a.vc.sum(), b.vc.sum(); sa != sb {
-			return sa < sb
-		}
-		if a.creator != b.creator {
-			return a.creator < b.creator
-		}
-		return a.seq < b.seq
-	})
+	// Apply in a linearization of happens-before.
+	sortCausal(fetch)
 	for _, ivl := range fetch {
 		d, ok := diffs[ivl.creator][ivl.seq]
 		if !ok {
@@ -751,43 +838,17 @@ func (n *Node) WriteI32s(a Addr, src []int32) {
 // verifySquashLocked cross-checks a squashed page against the diff chain
 // it replaced (diagnostic only; enabled via SetDebugSquashMode(7)).
 func (n *Node) verifySquashLocked(pg *page, pid PageID, content []byte, chain []*interval) {
-	byCreator := make(map[int][]*interval)
-	var creators []int
-	for _, ivl := range chain {
-		if _, ok := byCreator[ivl.creator]; !ok {
-			creators = append(creators, ivl.creator)
-		}
-		byCreator[ivl.creator] = append(byCreator[ivl.creator], ivl)
-	}
-	sort.Ints(creators)
+	nreq := n.sendDiffRequests(pid, chain)
 	n.mu.Unlock()
-	diffs := make(map[int]map[int][]byte)
-	for _, c := range creators {
-		var w wbuf
-		w.u32(uint32(pid))
-		ivls := byCreator[c]
-		w.u32(uint32(len(ivls)))
-		for _, ivl := range ivls {
-			w.u32(uint32(ivl.seq))
-		}
-		n.ep.Send(c, msgDiffReq, network.ClassRequest, w.b)
-	}
-	for range creators {
-		rep := n.recvReply(msgDiffRep)
-		r := rbuf{b: rep.Payload}
-		r.u32()
-		cnt := int(r.u32())
-		bySeq := make(map[int][]byte, cnt)
-		for i := 0; i < cnt; i++ {
-			seq := int(r.u32())
-			bySeq[seq] = r.bytes()
-		}
-		diffs[rep.From] = bySeq
+	diffs := make(map[int]map[int][]byte, nreq)
+	for i := 0; i < nreq; i++ {
+		_, from, bySeq := n.recvDiffReply()
+		diffs[from] = bySeq
 	}
 	n.mu.Lock()
 	sorted := make([]*interval, len(chain))
 	copy(sorted, chain)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].vc.sum() < sorted[j].vc.sum() })
+	sortCausal(sorted)
 	for _, ivl := range sorted {
 		d := diffs[ivl.creator][ivl.seq]
 		r := rbuf{b: d}

@@ -65,6 +65,11 @@ type page struct {
 
 	// inDirty notes membership in the node's open-interval dirty list.
 	inDirty bool
+
+	// inGCList notes membership in the node's GC work list (gcPages):
+	// pages that may hold missing notices or twins, so a collection
+	// epoch walks only candidates instead of the whole page table.
+	inGCList bool
 }
 
 // makeDiff computes the word-granularity (4-byte) delta between data and

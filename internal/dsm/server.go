@@ -31,7 +31,16 @@ func (n *Node) serve() {
 			r := rbuf{b: m.Payload}
 			_ = r.str()   // region
 			_ = r.bytes() // args
-			n.incorporateWire(&r, m.From)
+			senderVC := n.incorporateWire(&r, m.From)
+			if n.sys.gcOn {
+				// The fork is this node's side of the master's fork GC
+				// epoch; the master's clock in the message is the floor.
+				// Safe in server context: the application thread is
+				// parked awaiting this very fork.
+				n.mu.Lock()
+				n.gcEpochLocked(senderVC)
+				n.mu.Unlock()
+			}
 			n.forkCh <- m // consumed by the slave's application thread
 		case msgJoin:
 			r := rbuf{b: m.Payload}
@@ -68,14 +77,16 @@ func (n *Node) serve() {
 }
 
 // incorporateWire decodes a (vc, records) trailer and merges it into the
-// node's knowledge, recording the sender's reported clock.
-func (n *Node) incorporateWire(r *rbuf, from int) {
+// node's knowledge, recording the sender's reported clock (returned for
+// callers that need it, e.g. as a GC epoch floor).
+func (n *Node) incorporateWire(r *rbuf, from int) VectorClock {
 	senderVC := r.vc()
 	recs := decodeRecords(r)
 	n.mu.Lock()
 	n.incorporateLocked(recs, senderVC)
 	n.noteHeardLocked(from, senderVC)
 	n.mu.Unlock()
+	return senderVC
 }
 
 // handlePageReq serves a first-copy request. Node 0 (the allocator) is the
@@ -128,10 +139,16 @@ func (n *Node) handleDiffReq(m *network.Message) {
 	w.u32(uint32(cnt))
 	for _, seq := range seqs {
 		own := n.intervals[n.id]
-		if seq >= len(own) {
+		idx := seq - n.ivlBase[n.id]
+		if idx < 0 {
+			// Soundness tripwire: the barrier-epoch collector frees an
+			// interval's diffs only after no node can reference it again.
+			panic(fmt.Sprintf("dsm: node %d asked for diff of retired interval (%d,%d)", n.id, n.id, seq))
+		}
+		if idx >= len(own) {
 			panic(fmt.Sprintf("dsm: node %d asked for diff of unknown interval (%d,%d)", n.id, n.id, seq))
 		}
-		ivl := own[seq]
+		ivl := own[idx]
 		d, ok := ivl.diffs[pid]
 		if !ok {
 			pg := n.pageFor(pid)

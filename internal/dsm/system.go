@@ -20,6 +20,7 @@ const (
 	msgSemaWait                 // app → sema manager: P request (carries vc)
 	msgSemaGrant                // manager → app: P granted + delta
 	msgCondWait                 // app → lock manager: enqueue on condition variable
+	msgCondWaitAck              // manager → app: wait registered (see CondWait)
 	msgCondSignal               // app → lock manager: wake one waiter
 	msgCondBroadcast            // app → lock manager: wake all waiters
 	msgPageReq                  // app → node 0: first copy of a page
@@ -49,6 +50,11 @@ type Config struct {
 	// Platform overrides the calibrated cost model (default
 	// sim.DefaultPlatform).
 	Platform *sim.Platform
+	// DisableGC turns off barrier-epoch garbage collection of protocol
+	// metadata (see gc.go), letting intervals, diffs, and twins
+	// accumulate for the whole run — the pre-GC behaviour, kept for the
+	// metadata-accumulation ablation.
+	DisableGC bool
 }
 
 // System is one simulated network of workstations running TreadMarks.
@@ -58,12 +64,16 @@ type System struct {
 	sw        *network.Switch
 	nodes     []*Node
 	heapBytes int
+	gcOn      bool
 
 	regionsMu sync.Mutex
 	regions   map[string]RegionFunc
 
 	heapMu   sync.Mutex
 	heapNext Addr
+
+	gcMu     sync.Mutex
+	gcFloors map[int64]*epochFloor // per-epoch floor agreement (see checkEpochFloor)
 
 	errOnce sync.Once
 	err     error
@@ -95,6 +105,8 @@ func New(cfg Config) *System {
 		heapBytes: cfg.HeapBytes,
 		regions:   make(map[string]RegionFunc),
 		done:      make(chan struct{}),
+		gcOn:      !cfg.DisableGC && gcDefault && cfg.Procs > 1,
+		gcFloors:  make(map[int64]*epochFloor),
 	}
 	npages := cfg.HeapBytes / PageSize
 	for i := 0; i < cfg.Procs; i++ {
@@ -103,6 +115,7 @@ func New(cfg Config) *System {
 			id:        i,
 			vc:        newVC(cfg.Procs),
 			intervals: make([][]*interval, cfg.Procs),
+			ivlBase:   make([]int, cfg.Procs),
 			pages:     make([]*page, npages),
 			knownVC:   make([]VectorClock, cfg.Procs),
 			locks:     make(map[int]*lockState),
@@ -123,6 +136,11 @@ func New(cfg Config) *System {
 		s.serverWG.Add(1)
 		go func(n *Node) {
 			defer s.serverWG.Done()
+			// Protocol panics on the server goroutine (including the GC
+			// soundness tripwires, which the fork path runs in server
+			// context) become a clean Run error like app-thread panics;
+			// the abort shuts the switch down so every peer unwinds.
+			defer s.recoverAbort(n)
 			n.serve()
 		}(n)
 	}
@@ -166,11 +184,29 @@ func (s *System) region(name string) RegionFunc {
 // arguments or the central allocator state). The returned block is 8-byte
 // aligned and initially zero.
 func (s *System) Malloc(size int) Addr {
+	s.heapMu.Lock()
+	defer s.heapMu.Unlock()
+	return s.mallocLocked(size)
+}
+
+// MallocPage allocates size bytes starting on a fresh page, so that
+// unrelated allocations never share a page (the usual defence against
+// false sharing for the applications' main arrays). The alignment and the
+// allocation happen under one lock acquisition: a concurrent Malloc
+// cannot land between them and put the block mid-page.
+func (s *System) MallocPage(size int) Addr {
+	s.heapMu.Lock()
+	defer s.heapMu.Unlock()
+	if rem := int(s.heapNext) % PageSize; rem != 0 {
+		s.heapNext += Addr(PageSize - rem)
+	}
+	return s.mallocLocked(size)
+}
+
+func (s *System) mallocLocked(size int) Addr {
 	if size <= 0 {
 		panic("dsm: Malloc with non-positive size")
 	}
-	s.heapMu.Lock()
-	defer s.heapMu.Unlock()
 	a := s.heapNext
 	size = (size + 7) &^ 7
 	s.heapNext += Addr(size)
@@ -178,18 +214,6 @@ func (s *System) Malloc(size int) Addr {
 		panic(fmt.Sprintf("dsm: shared heap exhausted (%d bytes requested beyond %d)", size, s.heapBytes))
 	}
 	return a
-}
-
-// MallocPage allocates size bytes starting on a fresh page, so that
-// unrelated allocations never share a page (the usual defence against
-// false sharing for the applications' main arrays).
-func (s *System) MallocPage(size int) Addr {
-	s.heapMu.Lock()
-	if rem := int(s.heapNext) % PageSize; rem != 0 {
-		s.heapNext += Addr(PageSize - rem)
-	}
-	s.heapMu.Unlock()
-	return s.Malloc(size)
 }
 
 // abort records the first failure and tears the switch down so every
@@ -257,7 +281,10 @@ func (s *System) MaxClock() sim.Time {
 	return m
 }
 
-// TotalStats sums the per-node protocol counters.
+// TotalStats aggregates the per-node protocol counters: event counts and
+// the ProtoBytes gauge sum across nodes, while the Peak* fields take the
+// per-node maximum (a peak is a bound on one workstation's memory, and
+// node peaks need not be simultaneous, so summing them means nothing).
 func (s *System) TotalStats() NodeStats {
 	var t NodeStats
 	for _, n := range s.nodes {
@@ -275,6 +302,27 @@ func (s *System) TotalStats() NodeStats {
 		t.CondOps += st.CondOps
 		t.Flushes += st.Flushes
 		t.Interrupts += st.Interrupts
+		t.GCEpochs += st.GCEpochs
+		t.IntervalsRetired += st.IntervalsRetired
+		t.TwinsCollected += st.TwinsCollected
+		t.GCPagesValidated += st.GCPagesValidated
+		t.GCPagesFlushed += st.GCPagesFlushed
+		t.ProtoBytes += st.ProtoBytes
+		if st.PeakProtoBytes > t.PeakProtoBytes {
+			t.PeakProtoBytes = st.PeakProtoBytes
+		}
+		if st.PeakIntervalChain > t.PeakIntervalChain {
+			t.PeakIntervalChain = st.PeakIntervalChain
+		}
 	}
 	return t
+}
+
+// ProtoSummary reports the aggregate protocol-metadata footprint of a
+// finished run, for the harness tables: retired interval records, the
+// longest per-creator interval chain retained on any node, and the peak
+// metadata bytes (records + diffs + twins) held on any node.
+func (s *System) ProtoSummary() (retired, peakChain, peakBytes int64) {
+	t := s.TotalStats()
+	return t.IntervalsRetired, t.PeakIntervalChain, t.PeakProtoBytes
 }

@@ -82,8 +82,9 @@ type interval struct {
 	pages   []PageID
 
 	// diffs is populated only at the creator: encoded diff per page,
-	// created lazily by ensureDiffEncoded. Never garbage collected (the
-	// paper does not evaluate TreadMarks GC; see DESIGN.md §6).
+	// created lazily by ensureDiffEncoded and reclaimed by the
+	// barrier-epoch garbage collector once no node can request it again
+	// (see gc.go).
 	diffs map[PageID][]byte
 }
 

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"fmt"
 	"io"
 
+	"repro/internal/apps/water"
 	"repro/internal/dsm"
 	"repro/internal/sim"
 )
@@ -108,7 +110,12 @@ func AblationPipeline(rounds, procs int) (AblationResult, error) {
 // guaranteed wake-from-wait event, which is precisely the situation the
 // paper's Section 3.2.3 analyzes: the flush variant must push notices to
 // (and interrupt) every thread and stampede all spinners at the lock,
-// while cond_signal wakes exactly one waiter.
+// while cond_signal wakes exactly one waiter. The condvar variant's win
+// is in messages and interrupts; its wall time carries the acknowledged
+// wait registration (a correctness requirement — see dsm.CondWait),
+// which puts one round trip on the lock's critical path per wake, so on
+// this all-wakes-all-the-time pattern flush can clock in faster while
+// interrupting five times the threads.
 func AblationTaskQueue(tasks, procs int) (AblationResult, error) {
 	out := AblationResult{Name: "taskqueue", Rounds: tasks, Procs: procs}
 	const lockID = 5
@@ -270,6 +277,105 @@ func AblationFlushCost(procsList []int) ([]FlushCostRow, error) {
 		rows = append(rows, FlushCostRow{Procs: procs, FlushMsgs: flushMsgs, SemaMsgs: semaMsgs})
 	}
 	return rows, nil
+}
+
+// GCAblationRow compares one workload with the barrier-epoch garbage
+// collector enabled and disabled: the direct cost of letting protocol
+// metadata accumulate (and of collecting it).
+type GCAblationRow struct {
+	Name                      string
+	Procs                     int
+	OnTime, OffTime           sim.Time
+	OnMsgs, OffMsgs           int64
+	Retired                   int64 // intervals reclaimed (GC on; off is 0)
+	OnPeakChain, OffPeakChain int64
+	OnPeakBytes, OffPeakBytes int64
+}
+
+// fill folds one run's measurements into the row's on or off half.
+func (r *GCAblationRow) fill(on bool, t sim.Time, msgs, retired, chain, bytes int64) {
+	if on {
+		r.OnTime, r.OnMsgs, r.Retired, r.OnPeakChain, r.OnPeakBytes = t, msgs, retired, chain, bytes
+	} else {
+		r.OffTime, r.OffMsgs, r.OffPeakChain, r.OffPeakBytes = t, msgs, chain, bytes
+	}
+}
+
+// AblationGCIteration measures metadata accumulation on the access
+// pattern that motivates the collector: an iterative barrier application
+// (each node rewrites its block of a shared array every step, with
+// cross-block reads) run for `iters` steps with GC on and off.
+func AblationGCIteration(iters, procs int) (GCAblationRow, error) {
+	row := GCAblationRow{Name: fmt.Sprintf("iteration x%d", iters), Procs: procs}
+	const words = 8192 // 16 pages of int64s
+	per := words / procs
+	for _, disable := range []bool{false, true} {
+		sys := dsm.New(dsm.Config{Procs: procs, DisableGC: disable})
+		base := sys.MallocPage(8 * words)
+		sys.Register("gc-iter", func(n *dsm.Node, _ []byte) {
+			me := n.ID()
+			for r := 0; r < iters; r++ {
+				for w := me * per; w < (me+1)*per; w++ {
+					n.WriteI64(base+dsm.Addr(8*w), int64(r*words+w))
+				}
+				n.Barrier()
+				nb := ((me + 1) % procs) * per
+				var s int64
+				for w := nb; w < nb+per; w++ {
+					s += n.ReadI64(base + dsm.Addr(8*w))
+				}
+				n.Compute(float64(2 * per))
+				n.Barrier()
+			}
+		})
+		if err := sys.Run(func(n *dsm.Node) { n.RunParallel("gc-iter", nil) }); err != nil {
+			return row, err
+		}
+		msgs, _ := sys.Switch().Stats().Snapshot()
+		retired, chain, bytes := sys.ProtoSummary()
+		row.fill(!disable, sys.MaxClock(), msgs, retired, chain, bytes)
+	}
+	return row, nil
+}
+
+// AblationGCWater runs the real long-iteration workload of the
+// acceptance criterion — Water at 4x its usual step count on the full
+// 8-node machine — with the collector on and off.
+func AblationGCWater(steps, procs int) (GCAblationRow, error) {
+	row := GCAblationRow{Name: fmt.Sprintf("water x%d steps", steps), Procs: procs}
+	p := water.Small()
+	p.Steps = steps
+	for _, disable := range []bool{false, true} {
+		p.DisableGC = disable
+		res, err := water.RunTmk(p, procs)
+		if err != nil {
+			return row, err
+		}
+		row.fill(!disable, res.Time, res.Messages, res.IntervalsRetired, res.PeakIntervalChain, res.PeakProtoBytes)
+	}
+	return row, nil
+}
+
+// PrintAblationGC runs and formats the metadata-accumulation ablation.
+func PrintAblationGC(w io.Writer) error {
+	iter, err := AblationGCIteration(32, 8)
+	if err != nil {
+		return err
+	}
+	wtr, err := AblationGCWater(8, 8)
+	if err != nil {
+		return err
+	}
+	fprintf(w, "Barrier-epoch GC ablation (8 processors): protocol-metadata cost\n\n")
+	fprintf(w, "%-18s %-4s %12s %10s %10s %10s %10s\n",
+		"workload", "GC", "time", "messages", "retired", "peakchain", "peakKB")
+	for _, r := range []GCAblationRow{iter, wtr} {
+		fprintf(w, "%-18s %-4s %12s %10d %10d %10d %10d\n",
+			r.Name, "on", r.OnTime, r.OnMsgs, r.Retired, r.OnPeakChain, r.OnPeakBytes/1024)
+		fprintf(w, "%-18s %-4s %12s %10d %10d %10d %10d\n",
+			r.Name, "off", r.OffTime, r.OffMsgs, int64(0), r.OffPeakChain, r.OffPeakBytes/1024)
+	}
+	return nil
 }
 
 // PrintAblations runs and formats all three ablations.

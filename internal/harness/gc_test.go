@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/water"
+	"repro/internal/dsm"
+)
+
+// TestGCLongIterationWater is the acceptance criterion for the
+// barrier-epoch collector on a real workload: Water at 4x and 8x its
+// usual step count on the full 8-node machine must retire intervals, and
+// its peak retained chain length must NOT grow with the iteration count
+// (the chains are bounded by the two live epochs, not the run length).
+func TestGCLongIterationWater(t *testing.T) {
+	run := func(steps int) water.Params {
+		p := water.Small()
+		p.Steps = steps
+		return p
+	}
+	res4, err := water.RunTmk(run(8), 8) // 4x the Small() step count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.IntervalsRetired == 0 {
+		t.Error("long-iteration Water retired no intervals")
+	}
+	if res4.PeakIntervalChain == 0 || res4.PeakProtoBytes == 0 {
+		t.Errorf("metadata counters not populated: chain=%d bytes=%d",
+			res4.PeakIntervalChain, res4.PeakProtoBytes)
+	}
+	res8, err := water.RunTmk(run(16), 8) // doubled again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.PeakIntervalChain > res4.PeakIntervalChain+2 {
+		t.Errorf("peak chain grew with iterations under GC: 8 steps -> %d, 16 steps -> %d",
+			res4.PeakIntervalChain, res8.PeakIntervalChain)
+	}
+
+	// Contrast: without the collector the chain grows with the run.
+	poff := run(8)
+	poff.DisableGC = true
+	off, err := water.RunTmk(poff, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.IntervalsRetired != 0 {
+		t.Errorf("GC off still retired %d intervals", off.IntervalsRetired)
+	}
+	if off.PeakIntervalChain <= res4.PeakIntervalChain {
+		t.Errorf("GC off peak chain (%d) not above GC on (%d)", off.PeakIntervalChain, res4.PeakIntervalChain)
+	}
+	if off.PeakProtoBytes <= res4.PeakProtoBytes {
+		t.Errorf("GC off peak footprint (%d) not above GC on (%d)", off.PeakProtoBytes, res4.PeakProtoBytes)
+	}
+}
+
+// TestEquivalenceWithGCDisabled reruns the cross-implementation
+// equivalence contract with the collector off: every DSM-backed
+// implementation must reproduce the sequential checksum either way (the
+// collector is invisible to the computation). Runs sequentially — it
+// flips the package-wide GC default, so it must not overlap the parallel
+// suite (non-parallel tests never do).
+func TestEquivalenceWithGCDisabled(t *testing.T) {
+	dsm.SetGCDefault(false)
+	defer dsm.SetGCDefault(true)
+	for _, a := range Apps {
+		for _, impl := range []Impl{OMP, Tmk} { // MPI holds no DSM metadata
+			for _, procs := range []int{2, 8} {
+				if err := CheckEquivalence(a, Test, impl, procs); err != nil {
+					t.Errorf("GC off: %s/%s/p%d: %v", a.Name, impl, procs, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTableGCRendering smoke-tests the new artifact: it must render a
+// row per application with the three metadata columns.
+func TestTableGCRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableGC(&buf, Test, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Retired", "PeakChain", "PeakKB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableGC missing column %q:\n%s", want, out)
+		}
+	}
+	for _, a := range Apps {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("TableGC missing app %s", a.Name)
+		}
+	}
+}
+
+// TestAblationGCRows checks the ablation itself: the collector must
+// retire metadata and tighten the peak footprint relative to the
+// GC-off run on the same workload.
+func TestAblationGCRows(t *testing.T) {
+	row, err := AblationGCIteration(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Retired == 0 {
+		t.Error("GC ablation retired nothing")
+	}
+	if row.OnPeakChain >= row.OffPeakChain {
+		t.Errorf("GC on peak chain %d not below GC off %d", row.OnPeakChain, row.OffPeakChain)
+	}
+	if row.OnPeakBytes >= row.OffPeakBytes {
+		t.Errorf("GC on peak bytes %d not below GC off %d", row.OnPeakBytes, row.OffPeakBytes)
+	}
+	if row.OnTime == 0 || row.OffTime == 0 {
+		t.Error("ablation rows missing times")
+	}
+}

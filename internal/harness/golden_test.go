@@ -96,3 +96,34 @@ func TestConcurrentGridOutputByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestGridErrorNamesFailingCell pins fail-fast attribution: whichever
+// table row an inherited error surfaces at, the message must name the
+// cell that actually failed, at every pool width.
+func TestGridErrorNamesFailingCell(t *testing.T) {
+	origRun, origWorkers := runCell, Workers
+	defer func() { runCell, Workers = origRun, origWorkers }()
+	failImpl, failProcs := Tmk, 8
+	failApp := Apps[len(Apps)-1].Name // a late table row, so wide pools inherit early
+	runCell = func(a App, s Scale, impl Impl, procs int) (apps.Result, error) {
+		if a.Name == failApp && impl == failImpl && procs == failProcs {
+			return apps.Result{}, fmt.Errorf("synthetic cell failure")
+		}
+		return fakeCell(a, s, impl, procs)
+	}
+	want := fmt.Sprintf("cell %s/%s/p%d failed", failApp, failImpl, failProcs)
+	for _, w := range []int{1, 4, 32} {
+		Workers = w
+		var buf bytes.Buffer
+		err := Figure6(&buf, Test, failProcs)
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", w)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("workers=%d: error %q does not name failing cell (want %q)", w, err, want)
+		}
+		if !strings.Contains(err.Error(), "synthetic cell failure") {
+			t.Errorf("workers=%d: error %q lost the underlying cause", w, err)
+		}
+	}
+}

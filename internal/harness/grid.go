@@ -37,10 +37,66 @@ type cellResult struct {
 }
 
 // runCell computes one grid cell. Tests swap it to probe the pool's
-// ordering behaviour with deterministic results.
-var runCell = func(a App, s Scale, impl Impl, procs int) (apps.Result, error) {
-	return Verified(a, s, impl, procs)
+// ordering behaviour with deterministic results; the default memoizes,
+// and swapping bypasses the cache entirely.
+var runCell = cachedVerified
+
+// cellCache memoizes full grid cells across artifacts: nowbench -all
+// asks for the same (app, impl, procs) cell from Figure 6, Table 2, the
+// GC table, and the speedup sweep, and each cell is a complete
+// multi-node simulation. Entries are singleflight (same pattern as
+// seqCache) so concurrent artifacts share one computation, and caching
+// also makes repeated artifacts in one run report one consistent
+// simulation rather than four independent ones.
+type cellCacheKey struct {
+	App   string
+	Scale Scale
+	Impl  Impl
+	Procs int
 }
+
+type cellCacheEntry struct {
+	once sync.Once
+	res  apps.Result
+	err  error
+}
+
+var (
+	cellCacheMu sync.Mutex
+	cellCache   = map[cellCacheKey]*cellCacheEntry{}
+)
+
+func cachedVerified(a App, s Scale, impl Impl, procs int) (apps.Result, error) {
+	key := cellCacheKey{App: a.Name, Scale: s, Impl: impl, Procs: procs}
+	cellCacheMu.Lock()
+	e, ok := cellCache[key]
+	if !ok {
+		e = &cellCacheEntry{}
+		cellCache[key] = e
+	}
+	cellCacheMu.Unlock()
+	e.once.Do(func() { e.res, e.err = Verified(a, s, impl, procs) })
+	return e.res, e.err
+}
+
+// cellError pins a failure to the grid cell that produced it. Fail-fast
+// inheritance hands the first error to every cell still queued, and a
+// wide pool can surface it at an earlier table row than the cell that
+// actually failed — the attribution must travel with the error, not be
+// inferred from the row it prints at.
+type cellError struct {
+	key cellKey
+	err error
+}
+
+func (e *cellError) Error() string {
+	if e.key.Impl == Seq {
+		return fmt.Sprintf("cell %s/seq failed: %v", e.key.App, e.err)
+	}
+	return fmt.Sprintf("cell %s/%s/p%d failed: %v", e.key.App, e.key.Impl, e.key.Procs, e.err)
+}
+
+func (e *cellError) Unwrap() error { return e.err }
 
 // computeCells evaluates every cell on the worker pool and returns the
 // complete result set. Sequential oracles are deduplicated behind
@@ -72,18 +128,23 @@ func computeCells(s Scale, cells []cellKey) map[cellKey]cellResult {
 				// With one worker, dispatch order equals print order, so
 				// this reproduces the sequential harness's
 				// abort-at-first-error behaviour exactly; with a wider pool
-				// the inherited error may surface at an earlier table row
-				// than the cell that actually failed.
+				// the inherited error may surface at an earlier table row,
+				// so it carries the failing cell's identity (cellError).
 				mu.Lock()
 				ferr := firstErr
 				mu.Unlock()
 				var r cellResult
 				if ferr != nil {
 					r.Err = ferr
-				} else if a, ok := FindApp(k.App); ok {
-					r.Res, r.Err = runCell(a, s, k.Impl, k.Procs)
 				} else {
-					r.Err = fmt.Errorf("harness: unknown app %q", k.App)
+					if a, ok := FindApp(k.App); ok {
+						r.Res, r.Err = runCell(a, s, k.Impl, k.Procs)
+					} else {
+						r.Err = fmt.Errorf("harness: unknown app %q", k.App)
+					}
+					if r.Err != nil {
+						r.Err = &cellError{key: k, err: r.Err}
+					}
 				}
 				mu.Lock()
 				if r.Err != nil && firstErr == nil {

@@ -100,7 +100,11 @@ func Micro() (MicroResults, error) {
 	// Diff fetch: node 0 modifies a page (one word / whole page), node 1
 	// faults and fetches the diff.
 	for _, full := range []bool{false, true} {
-		sys := dsm.New(dsm.Config{Procs: 2})
+		// GC off: the barrier-epoch collector would flush the reader's
+		// stale copy at the barrier between write and read, turning both
+		// variants into identical whole-page refetches. This micro pins
+		// the cost of the raw diff-fetch primitive itself.
+		sys := dsm.New(dsm.Config{Procs: 2, DisableGC: true})
 		a := sys.MallocPage(dsm.PageSize)
 		var cold, fetch sim.Time
 		isFull := full

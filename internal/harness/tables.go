@@ -109,6 +109,47 @@ func Table2(w io.Writer, s Scale, procs int) error {
 	return nil
 }
 
+// TableGC prints the protocol-metadata accounting of the DSM-backed
+// implementations (OpenMP and TreadMarks; MPI holds no consistency
+// metadata): interval records retired by the barrier-epoch garbage
+// collector, the peak retained interval-chain length on any node, and
+// the peak protocol-metadata bytes (records + diffs + twins) on any
+// node. Lock- and semaphore-synchronized applications barrier rarely, so
+// low retirement there is expected — the open item for them is an
+// acquire-epoch collector.
+func TableGC(w io.Writer, s Scale, procs int) error {
+	impls := []Impl{OMP, Tmk}
+	cells := make([]cellKey, 0, len(Apps)*len(impls))
+	for _, a := range Apps {
+		for _, impl := range impls {
+			cells = append(cells, cellKey{App: a.Name, Impl: impl, Procs: procs})
+		}
+	}
+	got := computeCells(s, cells)
+
+	fprintf(w, "Protocol-metadata GC: intervals retired, peak retained chain length,\n")
+	fprintf(w, "and peak metadata footprint per node (%d processors)\n\n", procs)
+	fprintf(w, "%-10s | %10s %10s %10s | %10s %10s %10s\n",
+		"", "OpenMP", "", "", "Tmk", "", "")
+	fprintf(w, "%-10s | %10s %10s %10s | %10s %10s %10s\n",
+		"App", "Retired", "PeakChain", "PeakKB", "Retired", "PeakChain", "PeakKB")
+	for _, a := range Apps {
+		var ret, chain, kb [2]int64
+		for i, impl := range impls {
+			c := got[cellKey{App: a.Name, Impl: impl, Procs: procs}]
+			if c.Err != nil {
+				return c.Err
+			}
+			ret[i] = c.Res.IntervalsRetired
+			chain[i] = c.Res.PeakIntervalChain
+			kb[i] = c.Res.PeakProtoBytes / 1024
+		}
+		fprintf(w, "%-10s | %10d %10d %10d | %10d %10d %10d\n",
+			a.Name, ret[0], chain[0], kb[0], ret[1], chain[1], kb[1])
+	}
+	return nil
+}
+
 // SpeedupSweep prints speedup curves over processor counts for every
 // application and implementation (the supplementary scalability series).
 func SpeedupSweep(w io.Writer, s Scale, procsList []int) error {

@@ -12,6 +12,7 @@ const (
 	tagGather
 	tagAlltoall
 	tagScatter
+	tagAllreduce
 )
 
 // Barrier blocks until every rank has entered it (binomial gather to rank
@@ -124,14 +125,18 @@ func (r *Rank) Reduce(op ReduceOp, data []float64) []float64 {
 	return BytesToF64s(out)
 }
 
-// Allreduce is Reduce followed by Bcast; every rank gets the result.
+// Allreduce is Reduce followed by an internal broadcast; every rank gets
+// the result. The broadcast runs under its own tag: sharing tagBcast with
+// application-level Bcast calls would let the two operations' payloads
+// cross on a (source, tag) match whenever the tree parents coincide —
+// the same aliasing that broke pre-fix nonzero-root Bcast.
 func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 	red := r.Reduce(op, data)
 	var b []byte
 	if r.id == 0 {
 		b = F64sToBytes(red)
 	}
-	return BytesToF64s(r.bcastTree(tagBcast, b))
+	return BytesToF64s(r.bcastTree(tagAllreduce, b))
 }
 
 // Gather collects each rank's data at rank 0, ordered by rank; other

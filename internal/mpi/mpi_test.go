@@ -290,3 +290,34 @@ func TestMessageStatsCount(t *testing.T) {
 		t.Errorf("bytes = %d, want >= 1000", bytes)
 	}
 }
+
+// TestAllreduceBcastInterleaving is the regression guard for Allreduce's
+// internal broadcast tag: back-to-back Allreduce / Bcast(nonzero root)
+// pairs with no intervening synchronization must never cross payloads,
+// which requires the internal broadcast to run under its own tag rather
+// than aliasing tagBcast (whose tree shape differs per root).
+func TestAllreduceBcastInterleaving(t *testing.T) {
+	const rounds = 24
+	for _, p := range []int{2, 3, 4, 7, 8} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(r *Rank) {
+				for i := 0; i < rounds; i++ {
+					sum := r.Allreduce(OpSum, []float64{float64(r.ID() + i)})
+					want := float64(p*i) + float64(p*(p-1))/2
+					if sum[0] != want {
+						t.Errorf("rank %d round %d allreduce = %v, want %v", r.ID(), i, sum[0], want)
+					}
+					root := (i + 1) % p // nonzero roots included
+					var data []byte
+					if r.ID() == root {
+						data = []byte{byte(root), byte(i)}
+					}
+					got := r.Bcast(root, data)
+					if len(got) != 2 || got[0] != byte(root) || got[1] != byte(i) {
+						t.Errorf("rank %d round %d bcast got %v", r.ID(), i, got)
+					}
+				}
+			})
+		})
+	}
+}
