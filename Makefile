@@ -2,13 +2,18 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench-smoke bench tables ci
+.PHONY: build vet fmt-check test test-short test-race smp-race bench-smoke bench tables ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness: fail if any file needs reformatting.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -20,6 +25,15 @@ test-short:
 # harness grid and the simulated DSM/MPI runtimes.
 test-race:
 	$(GO) test -race ./...
+
+# SMP-backend smoke under the race detector: the backend conformance
+# suite plus the core runtime tests, which run every primitive on real
+# goroutines over the shared heap. The full test-race pass subsumes it;
+# it runs FIRST in ci (and stands alone for the dev loop) so an ordering
+# bug in the SMP backend fails in seconds instead of after the whole
+# race suite.
+smp-race:
+	$(GO) test -race -run 'TestBackendConformance|TestSMPZeroTraffic|TestSemaphorePipelineDirectives|TestCriticalMutualExclusion|TestBarrierDirective' ./internal/core
 
 # One-iteration benchmark smoke: compiles and executes every benchmark
 # family (Table 1 / Figure 6 / Table 2 / micro / ablations) so they can
@@ -34,4 +48,4 @@ bench:
 tables:
 	$(GO) run ./cmd/nowbench -all
 
-ci: build vet test test-race bench-smoke
+ci: build vet fmt-check test smp-race test-race bench-smoke

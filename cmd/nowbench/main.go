@@ -2,12 +2,16 @@
 // evaluation on the simulated network of workstations:
 //
 //	nowbench -table 1              Table 1 (apps, sizes, sequential times)
-//	nowbench -figure 6             Figure 6 (8-processor speedups)
-//	nowbench -table 2              Table 2 (data and message counts)
+//	nowbench -figure 6             Figure 6 speedups: OpenMP on the NOW
+//	                               and SMP backends vs TreadMarks vs MPI
+//	nowbench -table 2              Table 2 (data and message counts; the
+//	                               omp-smp columns are the zero-traffic
+//	                               hardware-shared-memory baseline)
 //	nowbench -gc                   protocol-metadata GC accounting table
 //	nowbench -micro                Section 6 platform characteristics
 //	nowbench -ablation section3    Section 3 flush-vs-sema/condvar studies
-//	nowbench -ablation gc          the barrier-epoch GC on/off ablation
+//	nowbench -ablation gc          the GC every-episode/adaptive/off
+//	                               ablation with trigger counts
 //	nowbench -ablation all         both of the above
 //	nowbench -sweep                speedup curves for P = 1,2,4,8
 //	nowbench -all                  everything above

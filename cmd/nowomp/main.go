@@ -3,10 +3,13 @@
 // and checksum validation:
 //
 //	nowomp -app Water -impl omp -procs 8
+//	nowomp -app Water -impl omp-smp -procs 8
 //	nowomp -app TSP -impl mpi -procs 4 -scale test
 //
 // Implementations: seq (sequential reference), omp (compiled OpenMP on
-// TreadMarks), tmk (hand-coded TreadMarks), mpi (hand-coded MPI).
+// TreadMarks over the NOW), omp-smp (the same OpenMP source on the
+// hardware-shared-memory backend), tmk (hand-coded TreadMarks), mpi
+// (hand-coded MPI).
 package main
 
 import (
@@ -20,8 +23,8 @@ import (
 
 func main() {
 	var (
-		app   = flag.String("app", "", "application: Sweep3D, 3D-FFT, Water, TSP, QSORT")
-		impl  = flag.String("impl", "omp", "implementation: seq, omp, tmk, mpi")
+		app   = flag.String("app", "", "application: Sweep3D, 3D-FFT, Water, TSP, QSORT, LU, Barnes")
+		impl  = flag.String("impl", "omp", "implementation: seq, omp, omp-smp, tmk, mpi")
 		procs = flag.Int("procs", 8, "number of simulated workstations")
 		scale = flag.String("scale", "full", "workload scale: full or test")
 	)

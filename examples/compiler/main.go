@@ -11,7 +11,6 @@ import (
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/dsm"
 	"repro/internal/ompc"
 )
 
@@ -54,18 +53,18 @@ func main() {
 	bodies := map[string]ompc.Body{
 		"main/init": func(tc *core.TC, env *ompc.Env) {
 			g := env.Addr("grid")
-			lo, hi := tc.StaticRange(0, n)
+			lo, hi := core.StaticBlock(0, n, tc.ThreadNum(), tc.NumThreads())
 			for i := lo; i < hi; i++ {
-				tc.Node().WriteF64(g+dsm.Addr(8*i), float64(i))
+				tc.WriteF64(g+core.Addr(8*i), float64(i))
 			}
 			tc.Compute(float64(hi - lo))
 		},
 		"main/post": func(tc *core.TC, env *ompc.Env) {
 			tmp := 0.0 // redeclared private: a plain local
 			g := env.Addr("grid")
-			lo, hi := tc.StaticRange(0, n)
+			lo, hi := core.StaticBlock(0, n, tc.ThreadNum(), tc.NumThreads())
 			for i := lo; i < hi; i++ {
-				tmp += tc.Node().ReadF64(g + dsm.Addr(8*i))
+				tmp += tc.ReadF64(g + core.Addr(8*i))
 			}
 			tc.Compute(float64(hi - lo))
 		},
@@ -86,7 +85,7 @@ func main() {
 		m.Parallel("main/post", core.NoArgs())
 		g := compiled.Env("main").Addr("grid")
 		fmt.Printf("grid[0]=%.0f grid[%d]=%.0f — initialized through DSM shared memory\n",
-			m.Node().ReadF64(g), n-1, m.Node().ReadF64(g+dsm.Addr(8*(n-1))))
+			m.ReadF64(g), n-1, m.ReadF64(g+core.Addr(8*(n-1))))
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -33,7 +33,7 @@ func runFlush() (t interface{ Seconds() float64 }, msgs int64) {
 	avail := prog.SharedPage(8)
 	done := prog.SharedPage(8)
 	prog.RegisterRegion("flush-pipe", func(tc *core.TC) {
-		nd := tc.Node()
+		nd := tc.Worker()
 		switch tc.ThreadNum() {
 		case 0:
 			for i := 1; i <= rounds; i++ {
@@ -71,7 +71,7 @@ func runSema() (t interface{ Seconds() float64 }, msgs int64) {
 	data := prog.SharedPage(8)
 	const semAvail, semDone = 1, 2
 	prog.RegisterRegion("sema-pipe", func(tc *core.TC) {
-		nd := tc.Node()
+		nd := tc.Worker()
 		switch tc.ThreadNum() {
 		case 0:
 			for i := 1; i <= rounds; i++ {

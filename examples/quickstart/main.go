@@ -1,9 +1,12 @@
-// Quickstart: a parallel dot product on the simulated network of
-// workstations in ~40 lines.
+// Quickstart: a parallel dot product in ~40 lines — the SAME source run
+// twice, once on the simulated network of workstations (TreadMarks) and
+// once on hardware shared memory (goroutines), selected purely by
+// core.Config.Backend. That is the paper's thesis as an API: a portable
+// directive program whose execution substrate is a configuration knob.
 //
 // The program follows the paper's model: variables default to PRIVATE
-// (plain Go locals); anything shared is explicitly allocated in the DSM
-// with Shared/SharedPage; a `parallel do` region statically splits the
+// (plain Go locals); anything shared is explicitly allocated with
+// Shared/SharedPage; a `parallel do` region statically splits the
 // iteration space; a reduction combines per-thread partial sums.
 //
 //	go run ./examples/quickstart
@@ -14,14 +17,14 @@ import (
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/dsm"
 )
 
-func main() {
-	const n = 1 << 16
-	prog := core.NewProgram(core.Config{Threads: 8})
+const n = 1 << 16
 
-	// shared(x, y): two vectors in distributed shared memory.
+func dot(backend core.BackendKind) {
+	prog := core.NewProgram(core.Config{Threads: 8, Backend: backend})
+
+	// shared(x, y): two vectors in the shared address space.
 	x := prog.SharedPage(8 * n)
 	y := prog.SharedPage(8 * n)
 	sum := prog.NewReduction(core.OpSum)
@@ -30,9 +33,9 @@ func main() {
 	prog.RegisterDo("dot", func(tc *core.TC, lo, hi int) {
 		var local float64 // private by default — just a Go local
 		buf := make([]float64, hi-lo)
-		tc.Node().ReadF64s(x+dsm.Addr(8*lo), buf)
+		tc.ReadF64s(x+core.Addr(8*lo), buf)
 		buf2 := make([]float64, hi-lo)
-		tc.Node().ReadF64s(y+dsm.Addr(8*lo), buf2)
+		tc.ReadF64s(y+core.Addr(8*lo), buf2)
 		for i := range buf {
 			local += buf[i] * buf2[i]
 		}
@@ -48,18 +51,23 @@ func main() {
 			xs[i] = float64(i % 100)
 			ys[i] = 2
 		}
-		m.Node().WriteF64s(x, xs)
-		m.Node().WriteF64s(y, ys)
+		m.WriteF64s(x, xs)
+		m.WriteF64s(y, ys)
 
 		sum.Reset(&m.TC)
 		m.ParallelDo("dot", 0, n, core.NoArgs())
 
-		fmt.Printf("dot(x, y)      = %.0f\n", sum.Value(&m.TC))
-		fmt.Printf("virtual time   = %s\n", m.Now())
+		fmt.Printf("[%s] dot(x, y)     = %.0f\n", backend, sum.Value(&m.TC))
+		fmt.Printf("[%s] virtual time  = %s\n", backend, m.Now())
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	msgs, bytes := prog.Traffic()
-	fmt.Printf("protocol cost  = %d messages, %d bytes\n", msgs, bytes)
+	fmt.Printf("[%s] protocol cost = %d messages, %d bytes\n", backend, msgs, bytes)
+}
+
+func main() {
+	dot(core.BackendNOW) // TreadMarks on the simulated NOW
+	dot(core.BackendSMP) // the same source on hardware shared memory
 }

@@ -12,7 +12,6 @@ import (
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/dsm"
 )
 
 const (
@@ -31,21 +30,21 @@ func main() {
 	results := prog.SharedPage(8 * 1024)
 	lockID := core.CriticalLockID(lockName)
 
-	enqueue := func(nd *dsm.Node, v int64) {
+	enqueue := func(nd core.Worker, v int64) {
 		t := nd.ReadI64(tail)
-		nd.WriteI64(ring+dsm.Addr(8*(t%1024)), v)
+		nd.WriteI64(ring+core.Addr(8*(t%1024)), v)
 		nd.WriteI64(tail, t+1)
 	}
 
 	prog.RegisterRegion("workers", func(tc *core.TC) {
-		nd := tc.Node()
+		nd := tc.Worker()
 		for {
 			var task int64 = -1
 			nd.Acquire(lockID)
 			for {
 				h, t := nd.ReadI64(head), nd.ReadI64(tail)
 				if h < t {
-					task = nd.ReadI64(ring + dsm.Addr(8*(h%1024)))
+					task = nd.ReadI64(ring + core.Addr(8*(h%1024)))
 					nd.WriteI64(head, h+1)
 					break
 				}
@@ -68,7 +67,7 @@ func main() {
 
 			// "Process" the task and record the result.
 			tc.Compute(50_000)
-			nd.WriteI64(results+dsm.Addr(8*task), task*task)
+			nd.WriteI64(results+core.Addr(8*task), task*task)
 
 			// Every third task spawns a child (EnQueue from Figure 4).
 			if task < initialTasks && task%3 == 0 {
@@ -85,13 +84,13 @@ func main() {
 
 	err := prog.Run(func(m *core.MC) {
 		for i := int64(0); i < initialTasks; i++ {
-			enqueue(m.Node(), i)
+			enqueue(m.Worker(), i)
 		}
 		m.Parallel("workers", core.NoArgs())
 
 		done := 0
 		for i := int64(0); i < 1024; i++ {
-			if m.Node().ReadI64(results+dsm.Addr(8*i)) == i*i && i > 0 {
+			if m.ReadI64(results+core.Addr(8*i)) == i*i && i > 0 {
 				done++
 			}
 		}

@@ -1,12 +1,14 @@
-// Package apps holds the five applications of the paper's evaluation
-// (Table 1): ASCI Sweep3D, NAS 3D-FFT, SPLASH-2 Water, TSP, and QSORT.
-// Each application subpackage provides four implementations of the same
+// Package apps holds the seven applications of the evaluation: the
+// paper's Table 1 set (ASCI Sweep3D, NAS 3D-FFT, SPLASH-2 Water, TSP,
+// QSORT) plus the LU and Barnes-Hut workloads added on top of it. Each
+// application subpackage provides implementations of the same
 // computation —
 //
-//	RunSeq — sequential reference (the baseline for speedups),
-//	RunOMP — compiler-style OpenMP on the DSM (internal/core),
-//	RunTmk — hand-coded TreadMarks (internal/dsm directly),
-//	RunMPI — hand-coded message passing (internal/mpi),
+//	RunSeq   — sequential reference (the baseline for speedups),
+//	RunOMP   — backend-neutral OpenMP (internal/core) on the NOW;
+//	RunOMPOn — the same source on any core backend (NOW or SMP),
+//	RunTmk   — hand-coded TreadMarks (internal/dsm directly),
+//	RunMPI   — hand-coded message passing (internal/mpi),
 //
 // all returning a Result whose Checksum must agree with the sequential
 // run, which is how the protocol stack is validated end to end.
@@ -40,12 +42,18 @@ type Result struct {
 	IntervalsRetired  int64
 	PeakIntervalChain int64
 	PeakProtoBytes    int64
+	// GC trigger accounting of DSM-backed runs: synchronization episodes
+	// the collector examined and collection epochs it actually ran (equal
+	// unless adaptive triggering via dsm.Config.GCMinRetire is active).
+	GCEpisodes int64
+	GCEpochs   int64
 }
 
 // ProtoSource reports DSM protocol-metadata counters; dsm.System and
 // core.Program both implement it.
 type ProtoSource interface {
 	ProtoSummary() (retired, peakChain, peakBytes int64)
+	GCSummary() (episodes, epochs int64)
 }
 
 // DSMResult assembles the Result of a DSM-backed run (TreadMarks or
@@ -54,7 +62,24 @@ type ProtoSource interface {
 func DSMResult(checksum float64, t sim.Time, msgs, bytes int64, src ProtoSource) Result {
 	r := Result{Checksum: checksum, Time: t, Messages: msgs, Bytes: bytes}
 	r.IntervalsRetired, r.PeakIntervalChain, r.PeakProtoBytes = src.ProtoSummary()
+	r.GCEpisodes, r.GCEpochs = src.GCSummary()
 	return r
+}
+
+// Runtime is what a parallel runtime exposes for result assembly;
+// core.Program implements it for every backend.
+type Runtime interface {
+	ProtoSource
+	Elapsed() sim.Time
+	Traffic() (messages, bytes int64)
+}
+
+// RuntimeResult assembles the Result of an OpenMP run from its Program:
+// the single assembly point for every app's RunOMPOn, backend-neutral
+// (an SMP-backed program reports zero traffic and zero metadata).
+func RuntimeResult(checksum float64, rt Runtime) Result {
+	msgs, bytes := rt.Traffic()
+	return DSMResult(checksum, rt.Elapsed(), msgs, bytes, rt)
 }
 
 // Close reports whether two checksums agree to within a relative

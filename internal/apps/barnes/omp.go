@@ -3,18 +3,23 @@ package barnes
 import (
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/dsm"
 )
 
-// RunOMP executes the OpenMP version: one coarse parallel region in which
+// RunOMP executes the OpenMP version on the NOW (TreadMarks) backend.
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	return RunOMPOn(p, procs, core.BackendNOW)
+}
+
+// RunOMPOn executes the OpenMP version on the given core backend — the
+// source is backend-neutral. One coarse parallel region in which
 // the master thread rebuilds the octree each step and publishes it through
 // shared memory, a barrier orders the publication, and every thread then
 // traverses the read-shared tree for its contiguous body block. The packed
 // body arrays are updated in place, so block boundaries false-share pages
 // — the irregular-application stress case for the page-based DSM.
-func RunOMP(p Params, procs int) (apps.Result, error) {
+func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
 	n := p.NBody
-	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform})
+	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform, Backend: backend})
 	posA := prog.SharedPage(8 * 3 * n)
 	velA := prog.SharedPage(8 * 3 * n)
 	massA := prog.SharedPage(8 * n)
@@ -22,15 +27,15 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	digestRed := prog.NewReduction(core.OpSum)
 
 	prog.RegisterRegion("nbody", func(tc *core.TC) {
-		nd := tc.Node()
+		nd := tc.Worker()
 		me := tc.ThreadNum()
-		lo, hi := tc.StaticRange(0, n)
+		lo, hi := core.StaticBlock(0, n, me, procs)
 		cnt := 3 * (hi - lo)
 
 		mass := make([]float64, n)
 		nd.ReadF64s(massA, mass)
 		vel := make([]float64, cnt)
-		nd.ReadF64s(velA+dsm.Addr(8*3*lo), vel)
+		nd.ReadF64s(velA+core.Addr(8*3*lo), vel)
 		pos := make([]float64, 3*n)
 		acc := make([]float64, cnt)
 
@@ -52,7 +57,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 			Kick(vel, acc, 0, hi-lo)
 			myPos := pos[3*lo : 3*hi]
 			Drift(myPos, vel, 0, hi-lo)
-			nd.WriteF64s(posA+dsm.Addr(8*3*lo), myPos)
+			nd.WriteF64s(posA+core.Addr(8*3*lo), myPos)
 			tc.Compute(2 * flopsPerKick * float64(hi-lo))
 			tc.Barrier() // everyone's new positions visible before rebuild
 			eval()
@@ -68,7 +73,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	var checksum float64
 	err := prog.Run(func(m *core.MC) {
 		pos, vel, mass := InitBodies(p)
-		nd := m.Node()
+		nd := m.Worker()
 		nd.WriteF64s(posA, pos)
 		nd.WriteF64s(velA, vel)
 		nd.WriteF64s(massA, mass)
@@ -80,6 +85,5 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	if err != nil {
 		return apps.Result{}, err
 	}
-	msgs, bytes := prog.Traffic()
-	return apps.DSMResult(checksum, prog.Elapsed(), msgs, bytes, prog), nil
+	return apps.RuntimeResult(checksum, prog), nil
 }

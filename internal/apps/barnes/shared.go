@@ -1,6 +1,6 @@
 package barnes
 
-import "repro/internal/dsm"
+import "repro/internal/core"
 
 // Helpers shared by the OpenMP and TreadMarks versions: the octree
 // travels through DSM memory as one flat float64 image (children and body
@@ -54,7 +54,7 @@ func decodeTree(img []float64) *Tree {
 }
 
 // writeTree publishes a tree image into shared memory at base.
-func writeTree(nd *dsm.Node, base dsm.Addr, t *Tree, n int) {
+func writeTree(nd core.Worker, base core.Addr, t *Tree, n int) {
 	if len(t.Cells) > maxCells(n) {
 		panic("barnes: shared tree buffer overflow")
 	}
@@ -62,7 +62,7 @@ func writeTree(nd *dsm.Node, base dsm.Addr, t *Tree, n int) {
 }
 
 // readTree loads the tree image published at base.
-func readTree(nd *dsm.Node, base dsm.Addr) *Tree {
+func readTree(nd core.Worker, base core.Addr) *Tree {
 	nc := int(nd.ReadF64(base))
 	img := make([]float64, 1+nc*cellF64s)
 	nd.ReadF64s(base, img)

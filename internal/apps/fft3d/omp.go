@@ -3,17 +3,22 @@ package fft3d
 import (
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/dsm"
 )
 
-// RunOMP executes the OpenMP version: every phase is a data-parallel
-// region (Table 1: "parallel do" / synchronization "none" — the implicit
+// RunOMP executes the OpenMP version on the NOW (TreadMarks) backend.
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	return RunOMPOn(p, procs, core.BackendNOW)
+}
+
+// RunOMPOn executes the OpenMP version on the given core backend — the
+// source is backend-neutral. Every phase is a data-parallel region
+// (Table 1: "parallel do" / synchronization "none" — the implicit
 // barrier at region end is the only synchronization), matching the paper's
 // description of "local computation and a global transpose, both expressed
 // as data parallel operations". The global transpose is blocked: owners
 // pack contiguous per-destination blocks into a shared staging area; after
 // the region boundary, destinations bulk-read whole blocks.
-func RunOMP(p Params, procs int) (apps.Result, error) {
+func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
 	n := p.N
 	pts := n * n * n
 	maxSlab := (n + procs - 1) / procs
@@ -22,6 +27,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 		Threads:   procs,
 		HeapBytes: heapFor(pts) + blocksBytesNeeded(procs, maxBlock),
 		Platform:  p.Platform,
+		Backend:   backend,
 	})
 	u := prog.SharedPage(cBytes * pts)  // spatial, [z][y][x]
 	w := prog.SharedPage(cBytes * pts)  // frequency, [kx][ky][kz]
@@ -38,27 +44,27 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 				re, im := initValue(p.Seed, z*n*n+i)
 				plane[i] = complex(re, im)
 			}
-			writeComplex(tc.Node(), u+dsm.Addr(cBytes*z*n*n), plane)
+			writeComplex(tc.Worker(), u+core.Addr(cBytes*z*n*n), plane)
 		}
 		tc.Compute(10 * float64((zhi-zlo)*n*n))
 	})
 
 	prog.RegisterDo("fwd2d", func(tc *core.TC, zlo, zhi int) {
 		for z := zlo; z < zhi; z++ {
-			plane := readComplex(tc.Node(), u+dsm.Addr(cBytes*z*n*n), n*n)
+			plane := readComplex(tc.Worker(), u+core.Addr(cBytes*z*n*n), n*n)
 			tc.Compute(fft2D(plane, n, -1))
-			writeComplex(tc.Node(), u+dsm.Addr(cBytes*z*n*n), plane)
+			writeComplex(tc.Worker(), u+core.Addr(cBytes*z*n*n), plane)
 		}
 	})
 
 	prog.RegisterRegion("packfwd", func(tc *core.TC) {
-		packForward(tc.Node(), u, xb, tc.ThreadNum(), n, slab)
+		packForward(tc.Worker(), u, xb, tc.ThreadNum(), n, slab)
 		zlo, zhi := slab(tc.ThreadNum())
 		tc.Compute(2 * float64((zhi-zlo)*n*n))
 	})
 
 	prog.RegisterRegion("unpackfwd", func(tc *core.TC) {
-		unpackForward(tc.Node(), w, xb, tc.ThreadNum(), n, slab)
+		unpackForward(tc.Worker(), w, xb, tc.ThreadNum(), n, slab)
 		xlo, xhi := slab(tc.ThreadNum())
 		tc.Compute(2 * float64((xhi-xlo)*n*n))
 	})
@@ -66,9 +72,9 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	prog.RegisterDo("fftz", func(tc *core.TC, xlo, xhi int) {
 		for x := xlo; x < xhi; x++ {
 			for y := 0; y < n; y++ {
-				pen := readComplex(tc.Node(), w+dsm.Addr(cBytes*(x*n+y)*n), n)
+				pen := readComplex(tc.Worker(), w+core.Addr(cBytes*(x*n+y)*n), n)
 				fft(pen, -1)
-				writeComplex(tc.Node(), w+dsm.Addr(cBytes*(x*n+y)*n), pen)
+				writeComplex(tc.Worker(), w+core.Addr(cBytes*(x*n+y)*n), pen)
 			}
 		}
 		tc.Compute(float64((xhi-xlo)*n) * fftFlops(n))
@@ -77,13 +83,13 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	prog.RegisterDo("evolve", func(tc *core.TC, xlo, xhi int) {
 		t := tc.Args().Int()
 		for kx := xlo; kx < xhi; kx++ {
-			s := readComplex(tc.Node(), w+dsm.Addr(cBytes*kx*n*n), n*n)
+			s := readComplex(tc.Worker(), w+core.Addr(cBytes*kx*n*n), n*n)
 			for ky := 0; ky < n; ky++ {
 				for kz := 0; kz < n; kz++ {
 					s[ky*n+kz] *= complex(evolveFactor(kx, ky, kz, n, t), 0)
 				}
 			}
-			writeComplex(tc.Node(), vw+dsm.Addr(cBytes*kx*n*n), s)
+			writeComplex(tc.Worker(), vw+core.Addr(cBytes*kx*n*n), s)
 		}
 		tc.Compute(25 * float64((xhi-xlo)*n*n))
 	})
@@ -91,22 +97,22 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	prog.RegisterDo("ifftz", func(tc *core.TC, xlo, xhi int) {
 		for x := xlo; x < xhi; x++ {
 			for y := 0; y < n; y++ {
-				pen := readComplex(tc.Node(), vw+dsm.Addr(cBytes*(x*n+y)*n), n)
+				pen := readComplex(tc.Worker(), vw+core.Addr(cBytes*(x*n+y)*n), n)
 				fft(pen, +1)
-				writeComplex(tc.Node(), vw+dsm.Addr(cBytes*(x*n+y)*n), pen)
+				writeComplex(tc.Worker(), vw+core.Addr(cBytes*(x*n+y)*n), pen)
 			}
 		}
 		tc.Compute(float64((xhi-xlo)*n) * fftFlops(n))
 	})
 
 	prog.RegisterRegion("packback", func(tc *core.TC) {
-		packBackward(tc.Node(), vw, xb, tc.ThreadNum(), n, slab)
+		packBackward(tc.Worker(), vw, xb, tc.ThreadNum(), n, slab)
 		xlo, xhi := slab(tc.ThreadNum())
 		tc.Compute(2 * float64((xhi-xlo)*n*n))
 	})
 
 	prog.RegisterRegion("unpackback", func(tc *core.TC) {
-		unpackBackward(tc.Node(), u, xb, tc.ThreadNum(), n, slab)
+		unpackBackward(tc.Worker(), u, xb, tc.ThreadNum(), n, slab)
 		zlo, zhi := slab(tc.ThreadNum())
 		tc.Compute(2 * float64((zhi-zlo)*n*n))
 	})
@@ -114,18 +120,18 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	prog.RegisterDo("inv2d", func(tc *core.TC, zlo, zhi int) {
 		scale := 1 / float64(pts)
 		for z := zlo; z < zhi; z++ {
-			plane := readComplex(tc.Node(), u+dsm.Addr(cBytes*z*n*n), n*n)
+			plane := readComplex(tc.Worker(), u+core.Addr(cBytes*z*n*n), n*n)
 			tc.Compute(fft2D(plane, n, +1))
 			for i := range plane {
 				plane[i] *= complex(scale, 0)
 			}
-			writeComplex(tc.Node(), u+dsm.Addr(cBytes*z*n*n), plane)
+			writeComplex(tc.Worker(), u+core.Addr(cBytes*z*n*n), plane)
 		}
 		tc.Compute(2 * float64((zhi-zlo)*n*n))
 	})
 
 	prog.RegisterDo("checksum", func(tc *core.TC, zlo, zhi int) {
-		re, im := checksumPartial(tc.Node(), u, n, zlo, zhi)
+		re, im := checksumPartial(tc.Worker(), u, n, zlo, zhi)
 		redRe.Reduce(tc, re)
 		redIm.Reduce(tc, im)
 		tc.Compute(10 * checksumTerms / float64(tc.NumThreads()))
@@ -153,8 +159,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	if err != nil {
 		return apps.Result{}, err
 	}
-	msgs, bytes := prog.Traffic()
-	return apps.DSMResult(checksum, prog.Elapsed(), msgs, bytes, prog), nil
+	return apps.RuntimeResult(checksum, prog), nil
 }
 
 // heapFor sizes the shared heap for three complex grids plus slack.

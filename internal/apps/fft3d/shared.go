@@ -3,16 +3,19 @@ package fft3d
 import (
 	"math"
 
-	"repro/internal/dsm"
+	"repro/internal/core"
 )
 
-// Helpers shared by the OpenMP and TreadMarks versions: complex grids live
-// in DSM memory as (re, im) float64 pairs, 16 bytes per point.
+// Helpers shared by the OpenMP and TreadMarks versions: complex grids
+// live in shared memory as (re, im) float64 pairs, 16 bytes per point.
+// Every helper takes a core.Worker, which both *dsm.Node (TreadMarks)
+// and the OpenMP thread context's Worker() satisfy, so one set of layout
+// routines serves every backend.
 
 const cBytes = 16
 
 // readComplex bulk-reads cnt complex values starting at a.
-func readComplex(n *dsm.Node, a dsm.Addr, cnt int) []complex128 {
+func readComplex(n core.Worker, a core.Addr, cnt int) []complex128 {
 	buf := make([]float64, 2*cnt)
 	n.ReadF64s(a, buf)
 	out := make([]complex128, cnt)
@@ -23,7 +26,7 @@ func readComplex(n *dsm.Node, a dsm.Addr, cnt int) []complex128 {
 }
 
 // writeComplex bulk-writes vals starting at a.
-func writeComplex(n *dsm.Node, a dsm.Addr, vals []complex128) {
+func writeComplex(n core.Worker, a core.Addr, vals []complex128) {
 	buf := make([]float64, 2*len(vals))
 	for i, v := range vals {
 		buf[2*i] = real(v)
@@ -33,14 +36,14 @@ func writeComplex(n *dsm.Node, a dsm.Addr, vals []complex128) {
 }
 
 // readC reads one complex value at linear element index idx of array a.
-func readC(n *dsm.Node, a dsm.Addr, idx int) complex128 {
-	return complex(n.ReadF64(a+dsm.Addr(cBytes*idx)), n.ReadF64(a+dsm.Addr(cBytes*idx+8)))
+func readC(n core.Worker, a core.Addr, idx int) complex128 {
+	return complex(n.ReadF64(a+core.Addr(cBytes*idx)), n.ReadF64(a+core.Addr(cBytes*idx+8)))
 }
 
 // writeC writes one complex value at linear element index idx of array a.
-func writeC(n *dsm.Node, a dsm.Addr, idx int, v complex128) {
-	n.WriteF64(a+dsm.Addr(cBytes*idx), real(v))
-	n.WriteF64(a+dsm.Addr(cBytes*idx+8), imag(v))
+func writeC(n core.Worker, a core.Addr, idx int, v complex128) {
+	n.WriteF64(a+core.Addr(cBytes*idx), real(v))
+	n.WriteF64(a+core.Addr(cBytes*idx+8), imag(v))
 }
 
 // The global transpose on the DSM is blocked, as efficient page-based DSM
@@ -53,7 +56,7 @@ func writeC(n *dsm.Node, a dsm.Addr, idx int, v complex128) {
 // xferBlocks describes the shared staging buffer of a blocked transpose:
 // P×P blocks, each page-aligned so that no two writers share a page.
 type xferBlocks struct {
-	base       dsm.Addr
+	base       core.Addr
 	procs      int
 	blockBytes int // rounded up to a page multiple
 }
@@ -61,37 +64,30 @@ type xferBlocks struct {
 // blocksBytesNeeded returns the staging buffer size for P procs when each
 // (src,dst) block holds at most maxElems complex values.
 func blocksBytesNeeded(procs, maxElems int) int {
-	bb := roundPage(cBytes * maxElems)
+	bb := core.PageRound(cBytes * maxElems)
 	return procs * procs * bb
 }
 
-func roundPage(n int) int {
-	if r := n % dsm.PageSize; r != 0 {
-		n += dsm.PageSize - r
-	}
-	return n
-}
-
-func newXferBlocks(base dsm.Addr, procs, maxElems int) *xferBlocks {
-	return &xferBlocks{base: base, procs: procs, blockBytes: roundPage(cBytes * maxElems)}
+func newXferBlocks(base core.Addr, procs, maxElems int) *xferBlocks {
+	return &xferBlocks{base: base, procs: procs, blockBytes: core.PageRound(cBytes * maxElems)}
 }
 
 // addr returns the shared address of block (src → dst).
-func (xb *xferBlocks) addr(src, dst int) dsm.Addr {
-	return xb.base + dsm.Addr((src*xb.procs+dst)*xb.blockBytes)
+func (xb *xferBlocks) addr(src, dst int) core.Addr {
+	return xb.base + core.Addr((src*xb.procs+dst)*xb.blockBytes)
 }
 
 // packForward packs this thread's z-slab of u for every destination:
 // block(me→d) = u[z][y][x] for z in my slab, y over all, x in d's slab,
 // in (z, y, x) order.
-func packForward(node *dsm.Node, u dsm.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
+func packForward(node core.Worker, u core.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
 	zlo, zhi := slab(me)
 	for d := 0; d < xb.procs; d++ {
 		dlo, dhi := slab(d)
 		vals := make([]complex128, 0, (zhi-zlo)*n*(dhi-dlo))
 		for z := zlo; z < zhi; z++ {
 			for y := 0; y < n; y++ {
-				row := readComplex(node, u+dsm.Addr(cBytes*((z*n+y)*n+dlo)), dhi-dlo)
+				row := readComplex(node, u+core.Addr(cBytes*((z*n+y)*n+dlo)), dhi-dlo)
 				vals = append(vals, row...)
 			}
 		}
@@ -102,7 +98,7 @@ func packForward(node *dsm.Node, u dsm.Addr, xb *xferBlocks, me, n int, slab fun
 // unpackForward builds this thread's x-slab of w from the staged blocks:
 // w[x][y][z] for x in my slab (assembled privately, written in one
 // contiguous store — the slab is contiguous in w's [x][y][z] layout).
-func unpackForward(node *dsm.Node, w dsm.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
+func unpackForward(node core.Worker, w core.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
 	xlo, xhi := slab(me)
 	myX := xhi - xlo
 	out := make([]complex128, myX*n*n)
@@ -119,20 +115,20 @@ func unpackForward(node *dsm.Node, w dsm.Addr, xb *xferBlocks, me, n int, slab f
 			}
 		}
 	}
-	writeComplex(node, w+dsm.Addr(cBytes*xlo*n*n), out)
+	writeComplex(node, w+core.Addr(cBytes*xlo*n*n), out)
 }
 
 // packBackward packs this thread's x-slab of vw for every destination
 // z-slab owner: block(me→d) = vw[x][y][z] for x in my slab, z in d's slab,
 // in (x, y, z) order.
-func packBackward(node *dsm.Node, vw dsm.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
+func packBackward(node core.Worker, vw core.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
 	xlo, xhi := slab(me)
 	for d := 0; d < xb.procs; d++ {
 		dlo, dhi := slab(d)
 		vals := make([]complex128, 0, (xhi-xlo)*n*(dhi-dlo))
 		for x := xlo; x < xhi; x++ {
 			for y := 0; y < n; y++ {
-				row := readComplex(node, vw+dsm.Addr(cBytes*((x*n+y)*n+dlo)), dhi-dlo)
+				row := readComplex(node, vw+core.Addr(cBytes*((x*n+y)*n+dlo)), dhi-dlo)
 				vals = append(vals, row...)
 			}
 		}
@@ -142,7 +138,7 @@ func packBackward(node *dsm.Node, vw dsm.Addr, xb *xferBlocks, me, n int, slab f
 
 // unpackBackward builds this thread's z-slab of u from the staged blocks:
 // u[z][y][x] for z in my slab (assembled privately, stored contiguously).
-func unpackBackward(node *dsm.Node, u dsm.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
+func unpackBackward(node core.Worker, u core.Addr, xb *xferBlocks, me, n int, slab func(int) (int, int)) {
 	zlo, zhi := slab(me)
 	myZ := zhi - zlo
 	out := make([]complex128, myZ*n*n)
@@ -159,12 +155,12 @@ func unpackBackward(node *dsm.Node, u dsm.Addr, xb *xferBlocks, me, n int, slab 
 			}
 		}
 	}
-	writeComplex(node, u+dsm.Addr(cBytes*zlo*n*n), out)
+	writeComplex(node, u+core.Addr(cBytes*zlo*n*n), out)
 }
 
 // checksumPartial sums the NAS sample points whose z index falls in
 // [zlo, zhi), reading from the spatial array in DSM.
-func checksumPartial(node *dsm.Node, v dsm.Addr, n, zlo, zhi int) (re, im float64) {
+func checksumPartial(node core.Worker, v core.Addr, n, zlo, zhi int) (re, im float64) {
 	var s complex128
 	for j := 1; j <= checksumTerms; j++ {
 		x, y, z := checksumIndices(j, n)

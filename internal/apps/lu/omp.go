@@ -5,26 +5,31 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/dsm"
 )
 
-// RunOMP executes the OpenMP version: one coarse parallel region in which
+// RunOMP executes the OpenMP version on the NOW (TreadMarks) backend.
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	return RunOMPOn(p, procs, core.BackendNOW)
+}
+
+// RunOMPOn executes the OpenMP version on the given core backend — the
+// source is backend-neutral. One coarse parallel region in which
 // each thread factors its contiguous block of rows. Step k is ordered by a
 // barrier between the owner publishing the pivot row and everyone reading
 // it; the minimum-pivot monitor is merged under a named critical section
 // and the checksum digest through a scalar reduction — the lock/barrier
 // synchronization mix of the SPLASH-2 kernel.
-func RunOMP(p Params, procs int) (apps.Result, error) {
+func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
 	n := p.N
 	rb := rowBytes(n)
-	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform, HeapBytes: heapFor(n)})
+	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform, HeapBytes: heapFor(n), Backend: backend})
 	mat := prog.SharedPage(rb * n)
-	pivA := prog.SharedPage(dsm.PageSize) // min |pivot|, lock-protected
+	pivA := prog.SharedPage(core.PageSize) // min |pivot|, lock-protected
 	digestRed := prog.NewReduction(core.OpSum)
 
 	prog.RegisterRegion("lu", func(tc *core.TC) {
-		nd := tc.Node()
-		lo, hi := tc.StaticRange(0, n)
+		nd := tc.Worker()
+		lo, hi := core.StaticBlock(0, n, tc.ThreadNum(), procs)
 		rows := readBlock(nd, mat, n, lo, hi)
 
 		myMin := math.MaxFloat64
@@ -67,24 +72,23 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	var checksum float64
 	err := prog.Run(func(m *core.MC) {
 		a := InitMatrix(p)
-		writeMatrix(m.Node(), mat, a, n)
-		m.Node().WriteF64(pivA, math.MaxFloat64)
+		writeMatrix(m.Worker(), mat, a, n)
+		m.WriteF64(pivA, math.MaxFloat64)
 		m.Compute(flopsPerInit * float64(n*n))
 		digestRed.Reset(&m.TC)
 		m.Parallel("lu", core.NoArgs())
-		checksum = Checksum(digestRed.Value(&m.TC), m.Node().ReadF64(pivA))
+		checksum = Checksum(digestRed.Value(&m.TC), m.ReadF64(pivA))
 	})
 	if err != nil {
 		return apps.Result{}, err
 	}
-	msgs, bytes := prog.Traffic()
-	return apps.DSMResult(checksum, prog.Elapsed(), msgs, bytes, prog), nil
+	return apps.RuntimeResult(checksum, prog), nil
 }
 
 // heapFor sizes the shared heap: the padded matrix plus slack for the
 // monitor page and reduction slots.
 func heapFor(n int) int {
-	need := rowBytes(n)*n + 64*dsm.PageSize
+	need := rowBytes(n)*n + 64*core.PageSize
 	if min := 16 << 20; need < min {
 		return min
 	}

@@ -1,28 +1,25 @@
 package lu
 
-import "repro/internal/dsm"
+import "repro/internal/core"
 
-// Helpers shared by the OpenMP and TreadMarks versions: the matrix lives
-// in DSM memory one page-aligned row at a time (the SPLASH-2 "contiguous
-// block allocation"), so a row owner's writes never false-share a page
-// with another owner's rows.
+// Helpers shared by the OpenMP and TreadMarks versions (via core.Worker,
+// which *dsm.Node and the OpenMP thread context's Worker() both satisfy):
+// the matrix lives in shared memory one page-aligned row at a time (the
+// SPLASH-2 "contiguous block allocation"), so a row owner's writes never
+// false-share a page with another owner's rows.
 
 // rowBytes returns the padded size of one N-element row.
 func rowBytes(n int) int {
-	b := 8 * n
-	if r := b % dsm.PageSize; r != 0 {
-		b += dsm.PageSize - r
-	}
-	return b
+	return core.PageRound(8 * n)
 }
 
 // rowAddr returns the shared address of row i.
-func rowAddr(base dsm.Addr, rb, i int) dsm.Addr {
-	return base + dsm.Addr(rb*i)
+func rowAddr(base core.Addr, rb, i int) core.Addr {
+	return base + core.Addr(rb*i)
 }
 
 // writeMatrix stores the whole row-major matrix into the padded layout.
-func writeMatrix(nd *dsm.Node, base dsm.Addr, a []float64, n int) {
+func writeMatrix(nd core.Worker, base core.Addr, a []float64, n int) {
 	rb := rowBytes(n)
 	for i := 0; i < n; i++ {
 		nd.WriteF64s(rowAddr(base, rb, i), a[i*n:(i+1)*n])
@@ -30,7 +27,7 @@ func writeMatrix(nd *dsm.Node, base dsm.Addr, a []float64, n int) {
 }
 
 // readBlock loads rows [lo, hi) into private storage, one slice per row.
-func readBlock(nd *dsm.Node, base dsm.Addr, n, lo, hi int) [][]float64 {
+func readBlock(nd core.Worker, base core.Addr, n, lo, hi int) [][]float64 {
 	rb := rowBytes(n)
 	rows := make([][]float64, hi-lo)
 	for i := lo; i < hi; i++ {

@@ -5,49 +5,28 @@ import (
 	"repro/internal/core"
 )
 
-// runOMPRaw runs and returns the final array (debug helper for tests).
-func runOMPRaw(p Params, procs int) ([]int32, error) {
-	prog := core.NewProgram(core.Config{
-		Threads:   procs,
-		HeapBytes: 8<<20 + 4*p.N + 16*p.QueueCap,
-		Platform:  p.Platform,
-	})
-	s := newSharedQS(p, prog.System())
-	lockID := core.CriticalLockID("qs")
-	prog.RegisterRegion("qsort", func(tc *core.TC) {
-		s.worker(tc.Node(), lockID, procs)
-	})
-	out := make([]int32, p.N)
-	err := prog.Run(func(m *core.MC) {
-		keys := Input(p)
-		s.initShared(m.Node(), keys)
-		m.Parallel("qsort", core.NoArgs())
-		m.Node().ReadI32s(s.keysA, out)
-	})
-	if err != nil {
-		return nil, err
-	}
-	if !Sorted(out) {
-		return out, errNotSorted
-	}
-	return out, nil
+// RunOMP executes the OpenMP version on the NOW (TreadMarks) backend.
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	return RunOMPOn(p, procs, core.BackendNOW)
 }
 
-// RunOMP executes the OpenMP version: a parallel region of task-queue
+// RunOMPOn executes the OpenMP version on the given core backend — the
+// source is backend-neutral: a parallel region of task-queue
 // workers whose EnQueue/DeQueue use the critical + condition-variable
 // pattern of the paper's Figure 4 (Table 1: "parallel region" /
 // "critical, condition variables").
-func RunOMP(p Params, procs int) (apps.Result, error) {
+func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
 	prog := core.NewProgram(core.Config{
 		Threads:   procs,
 		HeapBytes: 8<<20 + 4*p.N + 16*p.QueueCap,
 		Platform:  p.Platform,
+		Backend:   backend,
 	})
-	s := newSharedQS(p, prog.System())
+	s := newSharedQS(p, prog)
 	lockID := core.CriticalLockID("qs")
 
 	prog.RegisterRegion("qsort", func(tc *core.TC) {
-		s.worker(tc.Node(), lockID, procs)
+		s.worker(tc.Worker(), lockID, procs)
 	})
 
 	var checksum float64
@@ -55,10 +34,10 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	err := prog.Run(func(m *core.MC) {
 		keys := Input(p)
 		m.Compute(2 * float64(p.N))
-		s.initShared(m.Node(), keys)
+		s.initShared(m.Worker(), keys)
 		m.Parallel("qsort", core.NoArgs())
 		out := make([]int32, p.N)
-		m.Node().ReadI32s(s.keysA, out)
+		m.ReadI32s(s.keysA, out)
 		sorted = Sorted(out)
 		checksum = Digest(out)
 		m.Compute(float64(p.N))
@@ -69,8 +48,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	if !sorted {
 		return apps.Result{}, errNotSorted
 	}
-	msgs, bytes := prog.Traffic()
-	return apps.DSMResult(checksum, prog.Elapsed(), msgs, bytes, prog), nil
+	return apps.RuntimeResult(checksum, prog), nil
 }
 
 var errNotSorted = qsortError("qsort: output not sorted")

@@ -3,13 +3,17 @@ package qsort
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/dsm"
 )
 
-// Shared task-queue state of the DSM versions: the key array, a ring
-// buffer of (lo, hi) tasks, and the nwait counter — with EnQueue and
-// DeQueue implemented exactly as the paper's Figure 4 (critical sections
-// plus one condition variable, broadcast on termination).
+// Shared task-queue state of the OpenMP and TreadMarks versions: the key
+// array, a ring buffer of (lo, hi) tasks, and the nwait counter — with
+// EnQueue and DeQueue implemented exactly as the paper's Figure 4
+// (critical sections plus one condition variable, broadcast on
+// termination). Every method takes a core.Worker, which *dsm.Node and
+// the OpenMP thread context's Worker() both satisfy, so one queue
+// implementation serves every backend.
 
 type sharedQS struct {
 	p      Params
@@ -43,7 +47,7 @@ func newSharedQS(p Params, m qsMallocer) *sharedQS {
 }
 
 // initShared loads the keys and the root task (master, before the fork).
-func (s *sharedQS) initShared(nd *dsm.Node, keys []int32) {
+func (s *sharedQS) initShared(nd core.Worker, keys []int32) {
 	nd.WriteI32s(s.keysA, keys)
 	nd.WriteI64(s.headA, 0)
 	nd.WriteI64(s.tailA, 0)
@@ -52,7 +56,7 @@ func (s *sharedQS) initShared(nd *dsm.Node, keys []int32) {
 }
 
 // enqueueLocked appends a task (lock held).
-func (s *sharedQS) enqueueLocked(nd *dsm.Node, lo, hi int64) {
+func (s *sharedQS) enqueueLocked(nd core.Worker, lo, hi int64) {
 	head, tail := nd.ReadI64(s.headA), nd.ReadI64(s.tailA)
 	if tail-head >= int64(s.p.QueueCap) {
 		panic(fmt.Sprintf("qsort: task queue overflow (%d); raise Params.QueueCap", s.p.QueueCap))
@@ -65,7 +69,7 @@ func (s *sharedQS) enqueueLocked(nd *dsm.Node, lo, hi int64) {
 
 // enQueue is the paper's EnQueue: push under the critical section and
 // signal a waiter if any (Figure 4's cond_signal).
-func (s *sharedQS) enQueue(nd *dsm.Node, lockID int, lo, hi int64) {
+func (s *sharedQS) enQueue(nd core.Worker, lockID int, lo, hi int64) {
 	nd.Acquire(lockID)
 	s.enqueueLocked(nd, lo, hi)
 	if nd.ReadI64(s.nwaitA) > 0 {
@@ -78,7 +82,7 @@ func (s *sharedQS) enQueue(nd *dsm.Node, lockID int, lo, hi int64) {
 // protecting the whole operation, a cond_wait instead of busy-waiting,
 // and a cond_broadcast once every thread is waiting (end of program).
 // It returns ok=false when the program is done.
-func (s *sharedQS) deQueue(nd *dsm.Node, lockID, procs int) (lo, hi int64, ok bool) {
+func (s *sharedQS) deQueue(nd core.Worker, lockID, procs int) (lo, hi int64, ok bool) {
 	nd.Acquire(lockID)
 	defer nd.Release(lockID)
 	for {
@@ -105,7 +109,7 @@ func (s *sharedQS) deQueue(nd *dsm.Node, lockID, procs int) (lo, hi int64, ok bo
 
 // worker processes tasks until the queue drains: bubble-sort short
 // subarrays, otherwise partition and return both halves to the queue.
-func (s *sharedQS) worker(nd *dsm.Node, lockID, procs int) {
+func (s *sharedQS) worker(nd core.Worker, lockID, procs int) {
 	for {
 		lo, hi, ok := s.deQueue(nd, lockID, procs)
 		if !ok {

@@ -3,26 +3,32 @@ package sweep3d
 import (
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/dsm"
 )
 
-// RunOMP executes the OpenMP version: one coarse-grained parallel region
+// RunOMP executes the OpenMP version on the NOW (TreadMarks) backend.
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	return RunOMPOn(p, procs, core.BackendNOW)
+}
+
+// RunOMPOn executes the OpenMP version on the given core backend — the
+// source is backend-neutral. One coarse-grained parallel region
 // (Table 1: "parallel region" + "semaphore"). Each pipeline unit hands its
 // outgoing ψ_y boundary plane to the downstream neighbour through shared
 // memory, synchronized by the paper's proposed sema_signal/sema_wait pair
 // — the "available" semaphore says the plane is ready, the "free"
 // semaphore (the Figure 3 "done" flag) says the slot may be overwritten.
-func RunOMP(p Params, procs int) (apps.Result, error) {
+func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
 	validate(p)
 	nx, ny, nz := p.NX, p.NY, p.NZ
 	nxb := (nx + p.BlockX - 1) / p.BlockX
 	nab := (p.Angles + p.AngleBlock - 1) / p.AngleBlock
-	slotBytes := pageRound(8 * p.BlockX * nz * p.AngleBlock)
+	slotBytes := core.PageRound(8 * p.BlockX * nz * p.AngleBlock)
 
 	prog := core.NewProgram(core.Config{
 		Threads:   procs,
 		HeapBytes: 16<<20 + procs*nxb*nab*slotBytes,
 		Platform:  p.Platform,
+		Backend:   backend,
 	})
 	slots := prog.SharedPage(procs * nxb * nab * slotBytes)
 	redS := prog.NewReduction(core.OpSum)
@@ -30,9 +36,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 
 	prog.RegisterRegion("sweep", func(tc *core.TC) {
 		me := tc.ThreadNum()
-		nd := tc.Node()
-		slabLen := func() (int, int) { return core.StaticBlock(0, ny, me, procs) }
-		lo, hi := slabLen()
+		lo, hi := core.StaticBlock(0, ny, me, procs)
 		flux := make([]float64, (hi-lo)*nx*nz)
 		slotUse := make(map[int]int) // per-slot reuse count (for sema_free)
 
@@ -47,7 +51,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 					in := make([]float64, cnt)
 					if up >= 0 {
 						tc.SemaWait(semID(up, xbIdx, abIdx, dirOf(oct[1]), semFamilyData))
-						nd.ReadF64s(slots+dsm.Addr(slotIndex(up, xbIdx, abIdx, nxb, nab)*slotBytes), in)
+						tc.ReadF64s(slots+core.Addr(slotIndex(up, xbIdx, abIdx, nxb, nab)*slotBytes), in)
 						tc.SemaSignal(semID(up, xbIdx, abIdx, 0, semFamilyFree))
 					}
 					out := make([]float64, cnt)
@@ -58,7 +62,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 							tc.SemaWait(semID(me, xbIdx, abIdx, 0, semFamilyFree))
 						}
 						slotUse[slot]++
-						nd.WriteF64s(slots+dsm.Addr(slot*slotBytes), out)
+						tc.WriteF64s(slots+core.Addr(slot*slotBytes), out)
 						tc.SemaSignal(semID(me, xbIdx, abIdx, dirOf(oct[1]), semFamilyData))
 					}
 				}
@@ -80,13 +84,5 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	if err != nil {
 		return apps.Result{}, err
 	}
-	msgs, bytes := prog.Traffic()
-	return apps.DSMResult(checksum, prog.Elapsed(), msgs, bytes, prog), nil
-}
-
-func pageRound(n int) int {
-	if r := n % dsm.PageSize; r != 0 {
-		n += dsm.PageSize - r
-	}
-	return n
+	return apps.RuntimeResult(checksum, prog), nil
 }

@@ -2,6 +2,7 @@ package sweep3d
 
 import (
 	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/dsm"
 )
 
@@ -14,7 +15,7 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 	nx, ny, nz := p.NX, p.NY, p.NZ
 	nxb := (nx + p.BlockX - 1) / p.BlockX
 	nab := (p.Angles + p.AngleBlock - 1) / p.AngleBlock
-	slotBytes := pageRound(8 * p.BlockX * nz * p.AngleBlock)
+	slotBytes := core.PageRound(8 * p.BlockX * nz * p.AngleBlock)
 
 	sys := dsm.New(dsm.Config{
 		Procs:     procs,

@@ -9,11 +9,17 @@ import (
 // TSP structure (pool, queue, free stack, best, nwait).
 const tspCritical = "tsp"
 
-// RunOMP executes the OpenMP version: a parallel region of workers
-// synchronized by critical sections only (Table 1).
+// RunOMP executes the OpenMP version on the NOW (TreadMarks) backend.
 func RunOMP(p Params, procs int) (apps.Result, error) {
-	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform})
-	s := newSharedTSP(p, prog.System())
+	return RunOMPOn(p, procs, core.BackendNOW)
+}
+
+// RunOMPOn executes the OpenMP version on the given core backend — the
+// source is backend-neutral: a parallel region of workers
+// synchronized by critical sections only (Table 1).
+func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
+	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform, Backend: backend})
+	s := newSharedTSP(p, prog)
 	d := Cities(p)
 	minInc := minIncident(d)
 
@@ -22,19 +28,18 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 		// privately, as the original program holds it in per-process
 		// memory after startup.
 		tc.Compute(float64(p.NCities * p.NCities * 12))
-		s.worker(tc.Node(), core.CriticalLockID(tspCritical), procs, d, minInc)
+		s.worker(tc.Worker(), core.CriticalLockID(tspCritical), procs, d, minInc)
 	})
 
 	var best float64
 	err := prog.Run(func(m *core.MC) {
 		m.Compute(float64(p.NCities * p.NCities * 12))
-		s.initShared(m.Node(), d, minInc)
+		s.initShared(m.Worker(), d, minInc)
 		m.Parallel("bb", core.NoArgs())
-		best = m.Node().ReadF64(s.bestA)
+		best = m.ReadF64(s.bestA)
 	})
 	if err != nil {
 		return apps.Result{}, err
 	}
-	msgs, bytes := prog.Traffic()
-	return apps.DSMResult(best, prog.Elapsed(), msgs, bytes, prog), nil
+	return apps.RuntimeResult(best, prog), nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/dsm"
 )
 
@@ -12,7 +13,9 @@ import (
 // of (bound, slot) pairs), the stack of unused pool slots, the current
 // shortest path, and the waiting-thread counter — exactly the paper's
 // inventory of TSP's major data structures. Every structure is protected
-// by the single critical section / lock named "tsp".
+// by the single critical section / lock named "tsp". The accessors take
+// a core.Worker, which *dsm.Node and the OpenMP thread context's
+// Worker() both satisfy, so one implementation serves every backend.
 
 type sharedTSP struct {
 	p        Params
@@ -50,7 +53,7 @@ func newSharedTSP(p Params, m mallocer) *sharedTSP {
 }
 
 // initShared is run once by the master before the workers fork.
-func (s *sharedTSP) initShared(nd *dsm.Node, d [][]float64, minInc []float64) {
+func (s *sharedTSP) initShared(nd core.Worker, d [][]float64, minInc []float64) {
 	free := make([]int64, s.p.PoolSlots)
 	for i := range free {
 		free[i] = int64(i)
@@ -72,7 +75,7 @@ func (s *sharedTSP) initShared(nd *dsm.Node, d [][]float64, minInc []float64) {
 }
 
 // allocSlot pops a pool slot from the free stack (caller holds the lock).
-func (s *sharedTSP) allocSlot(nd *dsm.Node) int64 {
+func (s *sharedTSP) allocSlot(nd core.Worker) int64 {
 	top := nd.ReadI64(s.freeTopA)
 	if top == 0 {
 		panic(fmt.Sprintf("tsp: tour pool exhausted (%d slots); raise Params.PoolSlots", s.p.PoolSlots))
@@ -83,14 +86,14 @@ func (s *sharedTSP) allocSlot(nd *dsm.Node) int64 {
 }
 
 // freeSlot returns a slot to the stack (caller holds the lock).
-func (s *sharedTSP) freeSlot(nd *dsm.Node, slot int64) {
+func (s *sharedTSP) freeSlot(nd core.Worker, slot int64) {
 	top := nd.ReadI64(s.freeTopA)
 	nd.WriteI64(s.freeA+dsm.Addr(8*top), slot)
 	nd.WriteI64(s.freeTopA, top+1)
 }
 
 // writeTour/readTour move a tour between private memory and its pool slot.
-func (s *sharedTSP) writeTour(nd *dsm.Node, slot int64, t *Tour) {
+func (s *sharedTSP) writeTour(nd core.Worker, slot int64, t *Tour) {
 	base := s.slotsA + dsm.Addr(int(slot)*s.slotLen)
 	nd.WriteI64(base, int64(len(t.Path)))
 	nd.WriteI64(base+8, int64(t.Visited))
@@ -103,7 +106,7 @@ func (s *sharedTSP) writeTour(nd *dsm.Node, slot int64, t *Tour) {
 	nd.WriteBytes(base+32, pb)
 }
 
-func (s *sharedTSP) readTour(nd *dsm.Node, slot int64) *Tour {
+func (s *sharedTSP) readTour(nd core.Worker, slot int64) *Tour {
 	base := s.slotsA + dsm.Addr(int(slot)*s.slotLen)
 	plen := int(nd.ReadI64(base))
 	t := &Tour{
@@ -121,7 +124,7 @@ func (s *sharedTSP) readTour(nd *dsm.Node, slot int64) *Tour {
 }
 
 // pushLocked inserts a tour into the shared priority queue (lock held).
-func (s *sharedTSP) pushLocked(nd *dsm.Node, t *Tour) {
+func (s *sharedTSP) pushLocked(nd core.Worker, t *Tour) {
 	slot := s.allocSlot(nd)
 	s.writeTour(nd, slot, t)
 	size := nd.ReadI64(s.qSizeA)
@@ -148,7 +151,7 @@ func (s *sharedTSP) pushLocked(nd *dsm.Node, t *Tour) {
 // popLocked removes and returns the most promising tour (lock held), or
 // nil when the queue is empty. The pool slot is freed immediately (the
 // tour is copied to private memory).
-func (s *sharedTSP) popLocked(nd *dsm.Node) *Tour {
+func (s *sharedTSP) popLocked(nd core.Worker) *Tour {
 	size := nd.ReadI64(s.qSizeA)
 	if size == 0 {
 		return nil
@@ -196,7 +199,7 @@ func (s *sharedTSP) popLocked(nd *dsm.Node) *Tour {
 // describes: one critical section around dequeue-extend-enqueue, leaf
 // solving outside the lock, and a shared nwait counter for termination.
 // lockID is the DSM lock implementing the "tsp" critical section.
-func (s *sharedTSP) worker(nd *dsm.Node, lockID int, procs int, d [][]float64, minInc []float64) {
+func (s *sharedTSP) worker(nd core.Worker, lockID int, procs int, d [][]float64, minInc []float64) {
 	n := s.n
 	waiting := false
 	for {

@@ -3,36 +3,32 @@ package water
 import (
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/dsm"
 )
 
-// RunOMP executes the OpenMP version. Per Table 1, Water uses parallel do
+// RunOMP executes the OpenMP version on the NOW (TreadMarks) backend.
+func RunOMP(p Params, procs int) (apps.Result, error) {
+	return RunOMPOn(p, procs, core.BackendNOW)
+}
+
+// RunOMPOn executes the OpenMP version on the given core backend — the
+// source is backend-neutral. Per Table 1, Water uses parallel do
 // (intra-molecular phase), a coarse-grained parallel region for the
 // inter-molecular phase ("to avoid excessive synchronization... we divide
 // the molecules among the nodes and have one thread work on all the
 // molecules on the same node"), and barriers. Force contributions merge
 // through per-thread partial arrays separated by a barrier, the standard
 // SPLASH scheme.
-func RunOMP(p Params, procs int) (apps.Result, error) {
+func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
 	n := p.NMol
 	bytesArr := 8 * n * dof
-	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform})
+	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform, Backend: backend})
 	posA := prog.SharedPage(bytesArr)
 	velA := prog.SharedPage(bytesArr)
 	forceA := prog.SharedPage(bytesArr)
-	partBytes := pageRound(bytesArr)
+	partBytes := core.PageRound(bytesArr)
 	partials := prog.SharedPage(partBytes * procs)
 	keRed := prog.NewReduction(core.OpSum)
 	block := func(id int) (int, int) { return core.StaticBlock(0, n, id, procs) }
-
-	// init: the master seeds positions and velocities (sequential, as in
-	// the original program).
-	initShared := func(m *MCNode) {
-		pos, vel := InitState(p)
-		m.WriteF64s(posA, pos)
-		m.WriteF64s(velA, vel)
-		m.Compute(30 * float64(n))
-	}
 
 	// forces: full evaluation into per-thread partials, barrier, merge of
 	// each thread's own slice, optional trailing half-kick (arg!=0).
@@ -40,35 +36,34 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 		doKick := tc.Args().Int() != 0
 		me := tc.ThreadNum()
 		lo, hi := block(me)
-		nd := tc.Node()
 
 		pos := make([]float64, n*dof)
-		nd.ReadF64s(posA, pos) // whole array: the inter phase reads every molecule
+		tc.ReadF64s(posA, pos) // whole array: the inter phase reads every molecule
 		f := make([]float64, n*dof)
 		IntraForces(pos, f, lo, hi)
 		InterForcesRange(pos, f, lo, hi, n)
 		tc.Compute(flopsPerIntra*float64(hi-lo) + interFlops(lo, hi, n))
 
-		nd.WriteF64s(partials+dsm.Addr(partBytes*me), f)
+		tc.WriteF64s(partials+core.Addr(partBytes*me), f)
 		tc.Barrier()
 
 		// Merge own slice across all partials.
 		sum := make([]float64, (hi-lo)*dof)
 		buf := make([]float64, (hi-lo)*dof)
 		for t := 0; t < procs; t++ {
-			nd.ReadF64s(partials+dsm.Addr(partBytes*t+8*lo*dof), buf)
+			tc.ReadF64s(partials+core.Addr(partBytes*t+8*lo*dof), buf)
 			for i := range sum {
 				sum[i] += buf[i]
 			}
 		}
 		tc.Compute(float64(procs * (hi - lo) * dof))
-		nd.WriteF64s(forceA+dsm.Addr(8*lo*dof), sum)
+		tc.WriteF64s(forceA+core.Addr(8*lo*dof), sum)
 
 		if doKick {
 			vel := make([]float64, (hi-lo)*dof)
-			nd.ReadF64s(velA+dsm.Addr(8*lo*dof), vel)
+			tc.ReadF64s(velA+core.Addr(8*lo*dof), vel)
 			Kick(vel, sum, 0, hi-lo)
-			nd.WriteF64s(velA+dsm.Addr(8*lo*dof), vel)
+			tc.WriteF64s(velA+core.Addr(8*lo*dof), vel)
 			tc.Compute(flopsPerKick * float64(hi-lo))
 		}
 	})
@@ -76,33 +71,36 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 	// kickdrift: first half-kick plus position drift for the own block
 	// (parallel do over molecules).
 	prog.RegisterDo("kickdrift", func(tc *core.TC, lo, hi int) {
-		nd := tc.Node()
 		cnt := (hi - lo) * dof
 		vel := make([]float64, cnt)
 		f := make([]float64, cnt)
 		pos := make([]float64, cnt)
-		nd.ReadF64s(velA+dsm.Addr(8*lo*dof), vel)
-		nd.ReadF64s(forceA+dsm.Addr(8*lo*dof), f)
-		nd.ReadF64s(posA+dsm.Addr(8*lo*dof), pos)
+		tc.ReadF64s(velA+core.Addr(8*lo*dof), vel)
+		tc.ReadF64s(forceA+core.Addr(8*lo*dof), f)
+		tc.ReadF64s(posA+core.Addr(8*lo*dof), pos)
 		Kick(vel, f, 0, hi-lo)
 		Drift(pos, vel, 0, hi-lo)
-		nd.WriteF64s(velA+dsm.Addr(8*lo*dof), vel)
-		nd.WriteF64s(posA+dsm.Addr(8*lo*dof), pos)
+		tc.WriteF64s(velA+core.Addr(8*lo*dof), vel)
+		tc.WriteF64s(posA+core.Addr(8*lo*dof), pos)
 		tc.Compute(2 * flopsPerKick * float64(hi-lo))
 	})
 
 	// ke: kinetic energy of the own block into a scalar reduction.
 	prog.RegisterDo("ke", func(tc *core.TC, lo, hi int) {
-		nd := tc.Node()
 		vel := make([]float64, (hi-lo)*dof)
-		nd.ReadF64s(velA+dsm.Addr(8*lo*dof), vel)
+		tc.ReadF64s(velA+core.Addr(8*lo*dof), vel)
 		keRed.Reduce(tc, Kinetic(vel, 0, hi-lo))
 		tc.Compute(10 * float64(hi-lo))
 	})
 
 	var checksum float64
 	err := prog.Run(func(m *core.MC) {
-		initShared(&MCNode{m})
+		// init: the master seeds positions and velocities (sequential, as
+		// in the original program).
+		pos, vel := InitState(p)
+		m.WriteF64s(posA, pos)
+		m.WriteF64s(velA, vel)
+		m.Compute(30 * float64(n))
 		m.Parallel("forces", core.NoArgs().Int(0)) // initial evaluation
 		for step := 0; step < p.Steps; step++ {
 			m.ParallelDo("kickdrift", 0, n, core.NoArgs())
@@ -110,31 +108,12 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 		}
 		keRed.Reset(&m.TC)
 		m.ParallelDo("ke", 0, n, core.NoArgs())
-		pos := make([]float64, n*dof)
-		m.Node().ReadF64s(posA, pos)
-		checksum = Digest(pos, keRed.Value(&m.TC), 0, n)
+		final := make([]float64, n*dof)
+		m.ReadF64s(posA, final)
+		checksum = Digest(final, keRed.Value(&m.TC), 0, n)
 	})
 	if err != nil {
 		return apps.Result{}, err
 	}
-	msgs, bytes := prog.Traffic()
-	return apps.DSMResult(checksum, prog.Elapsed(), msgs, bytes, prog), nil
-}
-
-// MCNode adapts the master context for shared-array initialization.
-type MCNode struct{ m *core.MC }
-
-// WriteF64s writes through the master's node.
-func (w *MCNode) WriteF64s(a dsm.Addr, v []float64) { w.m.Node().WriteF64s(a, v) }
-
-// Compute charges the master's clock.
-func (w *MCNode) Compute(fl float64) { w.m.Compute(fl) }
-
-// pageRound rounds up to a whole number of pages so per-thread partial
-// arrays never share a page.
-func pageRound(n int) int {
-	if r := n % dsm.PageSize; r != 0 {
-		n += dsm.PageSize - r
-	}
-	return n
+	return apps.RuntimeResult(checksum, prog), nil
 }

@@ -13,11 +13,11 @@ import (
 func RunTmk(p Params, procs int) (apps.Result, error) {
 	n := p.NMol
 	bytesArr := 8 * n * dof
-	sys := dsm.New(dsm.Config{Procs: procs, Platform: p.Platform, DisableGC: p.DisableGC})
+	sys := dsm.New(dsm.Config{Procs: procs, Platform: p.Platform, DisableGC: p.DisableGC, GCMinRetire: p.GCMinRetire})
 	posA := sys.MallocPage(bytesArr)
 	velA := sys.MallocPage(bytesArr)
 	forceA := sys.MallocPage(bytesArr)
-	partBytes := pageRound(bytesArr)
+	partBytes := core.PageRound(bytesArr)
 	partials := sys.MallocPage(partBytes * procs)
 	kePart := sys.MallocPage(dsm.PageSize * procs)
 	out := sys.MallocPage(8)

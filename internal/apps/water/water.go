@@ -40,6 +40,9 @@ type Params struct {
 	// DisableGC turns off the DSM's barrier-epoch metadata collection in
 	// RunTmk (the GC ablation's control arm).
 	DisableGC bool
+	// GCMinRetire sets the DSM collector's adaptive trigger threshold in
+	// RunTmk (see dsm.Config.GCMinRetire; 0 collects at every episode).
+	GCMinRetire int
 }
 
 // Default returns the paper-scale configuration (512 molecules).

@@ -3,8 +3,6 @@ package core
 import (
 	"encoding/binary"
 	"math"
-
-	"repro/internal/dsm"
 )
 
 // Args builds the firstprivate environment for a fork: "Pointers to shared
@@ -39,7 +37,7 @@ func (a *Args) F64(v float64) *Args {
 }
 
 // Addr appends a pointer to a shared variable.
-func (a *Args) Addr(v dsm.Addr) *Args { return a.I64(int64(v)) }
+func (a *Args) Addr(v Addr) *Args { return a.I64(int64(v)) }
 
 // Bytes appends a length-prefixed byte blob (e.g. a firstprivate array).
 func (a *Args) Bytes(p []byte) *Args {
@@ -73,7 +71,7 @@ func (r *ArgReader) Int() int { return int(r.I64()) }
 func (r *ArgReader) F64() float64 { return math.Float64frombits(binary.LittleEndian.Uint64(r.take(8))) }
 
 // Addr reads a shared-variable pointer.
-func (r *ArgReader) Addr() dsm.Addr { return dsm.Addr(r.I64()) }
+func (r *ArgReader) Addr() Addr { return Addr(r.I64()) }
 
 // Bytes reads a length-prefixed blob.
 func (r *ArgReader) Bytes() []byte {

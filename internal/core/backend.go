@@ -1,0 +1,146 @@
+package core
+
+import (
+	"repro/internal/dsm"
+	"repro/internal/sim"
+)
+
+// The backend seam. The paper's premise is that one OpenMP source runs
+// unchanged on whatever executes it — the standard targets hardware
+// shared memory, Section 4 retargets it to a network of workstations.
+// This file is that premise as an API: every primitive the runtime (TC,
+// MC, reductions, the compiler in internal/ompc) needs is expressed
+// against Backend and Worker, and an application written against the
+// core API runs on any backend selected through Config.Backend.
+//
+// Two backends are provided:
+//
+//	BackendNOW — TreadMarks on the simulated network of workstations
+//	             (internal/dsm): the paper's system.
+//	BackendSMP — goroutines over one flat byte heap with native
+//	             synchronization (backend_smp.go): the hardware
+//	             shared-memory machine OpenMP was born on, the paper's
+//	             implicit baseline. Zero interconnect traffic.
+
+// Addr is an address in a backend's shared address space. It aliases
+// dsm.Addr so hand-coded TreadMarks sources and backend-neutral OpenMP
+// sources can share one set of layout helpers.
+type Addr = dsm.Addr
+
+// PageSize is the granularity of the NOW backend's consistency unit,
+// re-exported so backend-neutral code can page-align shared layouts
+// (a no-op for correctness on the SMP backend, but the alignment is what
+// keeps the same source false-sharing-free on the NOW).
+const PageSize = dsm.PageSize
+
+// PageRound rounds n up to a whole number of pages. It is the single
+// page-padding helper for every application's shared layout (omp and tmk
+// sources alike).
+func PageRound(n int) int {
+	if r := n % PageSize; r != 0 {
+		n += PageSize - r
+	}
+	return n
+}
+
+// BackendKind selects the execution substrate of a Program.
+type BackendKind string
+
+// Available backends. The zero value selects the NOW.
+const (
+	// BackendNOW runs on TreadMarks over the simulated network of
+	// workstations — the paper's system.
+	BackendNOW BackendKind = "now"
+	// BackendSMP runs on goroutines over a flat shared heap with native
+	// synchronization — hardware shared memory, the paper's baseline.
+	BackendSMP BackendKind = "smp"
+)
+
+// Worker is one thread's handle on its backend: shared-memory access,
+// synchronization, and the virtual clock. It is the runtime-level API the
+// compiler emits calls against; TC wraps it with the directive-level API.
+// *dsm.Node implements Worker directly on the NOW backend.
+type Worker interface {
+	// ID returns the thread/processor number (0 = master).
+	ID() int
+	// NumProcs returns the team size.
+	NumProcs() int
+	// Now returns the worker's current virtual time.
+	Now() sim.Time
+	// Compute charges the virtual cost of flops floating-point operations.
+	Compute(flops float64)
+	// Charge advances the clock by an explicit duration.
+	Charge(d sim.Time)
+	// Poll yields the processor inside a busy-wait loop.
+	Poll()
+
+	// Barrier blocks until every worker of the team has arrived.
+	Barrier()
+	// Acquire/Release bracket the lock with the given id (the calls the
+	// compiler emits for a critical directive; see CriticalLockID).
+	Acquire(lock int)
+	Release(lock int)
+	// SemaWait/SemaSignal are the paper's proposed P/V directives.
+	SemaWait(sem int)
+	SemaSignal(sem int)
+	// CondWait atomically releases the lock, blocks on the condition
+	// variable, and re-acquires the lock before returning; CondSignal
+	// wakes one waiter and CondBroadcast all of them.
+	CondWait(cond, lock int)
+	CondSignal(cond, lock int)
+	CondBroadcast(cond, lock int)
+	// Flush is the OpenMP flush directive the paper proposes to remove
+	// (kept for the ablations; a no-op on coherent hardware).
+	Flush()
+	// RunParallel forks the named registered region across the team and
+	// joins (master only).
+	RunParallel(region string, arg []byte)
+
+	// Typed shared-memory access.
+	ReadF64(a Addr) float64
+	WriteF64(a Addr, v float64)
+	ReadI64(a Addr) int64
+	WriteI64(a Addr, v int64)
+	ReadI32(a Addr) int32
+	WriteI32(a Addr, v int32)
+	ReadBytes(a Addr, dst []byte)
+	WriteBytes(a Addr, src []byte)
+	ReadF64s(a Addr, dst []float64)
+	WriteF64s(a Addr, src []float64)
+	ReadI32s(a Addr, dst []int32)
+	WriteI32s(a Addr, src []int32)
+}
+
+// Backend is one execution substrate for an OpenMP program: a shared
+// address space, a team of workers, region registration and fork/join,
+// and the run-level accounting the harness reports.
+type Backend interface {
+	// Procs returns the team size.
+	Procs() int
+	// Malloc allocates size bytes (8-byte aligned, zeroed) in the shared
+	// address space; MallocPage starts the block on a page boundary.
+	Malloc(size int) Addr
+	MallocPage(size int) Addr
+	// Register binds a parallel-region body to a name on every worker.
+	Register(name string, fn func(w Worker, arg []byte))
+	// Run executes master on worker 0 while the rest of the team waits
+	// for forked regions, returning the first worker failure.
+	Run(master func(w Worker)) error
+	// MaxClock returns the latest virtual time across the team.
+	MaxClock() sim.Time
+	// Traffic returns interconnect messages and bytes so far (zero on
+	// hardware shared memory).
+	Traffic() (messages, bytes int64)
+	// ResetTraffic zeroes the traffic counters.
+	ResetTraffic()
+	// ProtoSummary reports consistency-protocol metadata accounting
+	// (all zero on backends that keep none).
+	ProtoSummary() (retired, peakChain, peakBytes int64)
+	// GCSummary reports metadata-GC trigger accounting: synchronization
+	// episodes examined and collections actually run (zero on backends
+	// without a collector).
+	GCSummary() (episodes, epochs int64)
+}
+
+// The NOW worker is the DSM node itself.
+var _ Worker = (*dsm.Node)(nil)

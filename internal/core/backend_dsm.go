@@ -1,0 +1,47 @@
+package core
+
+import (
+	"repro/internal/dsm"
+	"repro/internal/sim"
+)
+
+// dsmBackend is the NOW backend: TreadMarks on the simulated network of
+// workstations. It is a thin adapter — *dsm.Node already implements
+// Worker, so regions and the master run directly on their nodes.
+type dsmBackend struct {
+	sys *dsm.System
+}
+
+func newDSMBackend(cfg Config) *dsmBackend {
+	return &dsmBackend{sys: dsm.New(dsm.Config{
+		Procs:     cfg.Threads,
+		HeapBytes: cfg.HeapBytes,
+		Platform:  cfg.Platform,
+	})}
+}
+
+func (b *dsmBackend) Procs() int               { return b.sys.Procs() }
+func (b *dsmBackend) Malloc(size int) Addr     { return b.sys.Malloc(size) }
+func (b *dsmBackend) MallocPage(size int) Addr { return b.sys.MallocPage(size) }
+
+func (b *dsmBackend) Register(name string, fn func(w Worker, arg []byte)) {
+	b.sys.Register(name, func(n *dsm.Node, arg []byte) { fn(n, arg) })
+}
+
+func (b *dsmBackend) Run(master func(w Worker)) error {
+	return b.sys.Run(func(n *dsm.Node) { master(n) })
+}
+
+func (b *dsmBackend) MaxClock() sim.Time { return b.sys.MaxClock() }
+
+func (b *dsmBackend) Traffic() (int64, int64) {
+	return b.sys.Switch().Stats().Snapshot()
+}
+
+func (b *dsmBackend) ResetTraffic() { b.sys.Switch().ResetStats() }
+
+func (b *dsmBackend) ProtoSummary() (int64, int64, int64) {
+	return b.sys.ProtoSummary()
+}
+
+func (b *dsmBackend) GCSummary() (int64, int64) { return b.sys.GCSummary() }

@@ -1,7 +1,11 @@
 // Package core is the OpenMP runtime of the paper: the target that the
-// OpenMP-to-TreadMarks compiler (Section 4.3) emits code against. It runs
-// a fork-join OpenMP program on the TreadMarks DSM over the simulated
-// network of workstations.
+// OpenMP-to-TreadMarks compiler (Section 4.3) emits code against. A
+// Program holds the shared-data layout and the registered parallel
+// regions; WHERE it runs is a pluggable Backend (see backend.go) selected
+// through Config.Backend — TreadMarks on the simulated network of
+// workstations (the paper's system), or goroutines over hardware shared
+// memory (the baseline OpenMP was designed for). One application source
+// written against this API runs unchanged on either.
 //
 // The programming model follows the paper's two proposed modifications to
 // the OpenMP standard (Section 3):
@@ -31,27 +35,31 @@
 package core
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sync"
 
-	"repro/internal/dsm"
 	"repro/internal/sim"
 )
 
-// Config describes an OpenMP execution environment on the NOW.
+// Config describes an OpenMP execution environment.
 type Config struct {
-	// Threads is the number of OpenMP threads == workstations.
+	// Threads is the number of OpenMP threads (== workstations on the NOW
+	// backend, goroutines on the SMP backend).
 	Threads int
 	// HeapBytes sizes the shared address space (default 64 MiB).
 	HeapBytes int
 	// Platform overrides the cost model.
 	Platform *sim.Platform
+	// Backend selects the execution substrate; the zero value is
+	// BackendNOW, the paper's network of workstations.
+	Backend BackendKind
 }
 
 // Program is one OpenMP program instance: shared-data layout, registered
-// parallel regions, and the underlying DSM system.
+// parallel regions, and the backend that executes them.
 type Program struct {
-	sys     *dsm.System
+	be      Backend
 	threads int
 
 	mu       sync.Mutex
@@ -59,18 +67,23 @@ type Program struct {
 	tpStores []map[string][]byte // threadprivate memory, one map per thread
 }
 
-// NewProgram creates a program for cfg.Threads threads.
+// NewProgram creates a program for cfg.Threads threads on the configured
+// backend.
 func NewProgram(cfg Config) *Program {
 	if cfg.Threads <= 0 {
 		panic("core: Config.Threads must be positive")
 	}
-	sys := dsm.New(dsm.Config{
-		Procs:     cfg.Threads,
-		HeapBytes: cfg.HeapBytes,
-		Platform:  cfg.Platform,
-	})
+	var be Backend
+	switch cfg.Backend {
+	case "", BackendNOW:
+		be = newDSMBackend(cfg)
+	case BackendSMP:
+		be = newSMPBackend(cfg)
+	default:
+		panic(fmt.Sprintf("core: unknown backend %q", cfg.Backend))
+	}
 	p := &Program{
-		sys:      sys,
+		be:       be,
 		threads:  cfg.Threads,
 		tpStores: make([]map[string][]byte, cfg.Threads),
 	}
@@ -83,44 +96,54 @@ func NewProgram(cfg Config) *Program {
 // Threads returns the team size.
 func (p *Program) Threads() int { return p.threads }
 
-// System exposes the underlying DSM (for the harness and statistics).
-func (p *Program) System() *dsm.System { return p.sys }
+// Backend exposes the execution substrate (for tests and the harness).
+func (p *Program) Backend() Backend { return p.be }
 
 // Shared allocates size bytes of shared memory (8-byte aligned): the
 // explicit `shared` declaration of the paper's private-by-default model.
-func (p *Program) Shared(size int) dsm.Addr { return p.sys.Malloc(size) }
+func (p *Program) Shared(size int) Addr { return p.be.Malloc(size) }
 
 // SharedPage allocates shared memory starting on a page boundary, keeping
-// unrelated shared variables from false-sharing a page.
-func (p *Program) SharedPage(size int) dsm.Addr { return p.sys.MallocPage(size) }
+// unrelated shared variables from false-sharing a page on the NOW backend
+// (a layout no-op on hardware shared memory).
+func (p *Program) SharedPage(size int) Addr { return p.be.MallocPage(size) }
+
+// MallocPage is SharedPage under the allocator-interface name shared with
+// dsm.System, so application layout helpers accept a Program and a DSM
+// system interchangeably.
+func (p *Program) MallocPage(size int) Addr { return p.be.MallocPage(size) }
 
 // Run executes the sequential master program; inside it, Parallel and
 // ParallelDo fork the registered regions across the team. It returns the
-// first node failure, if any.
+// first thread failure, if any.
 func (p *Program) Run(master func(m *MC)) error {
-	return p.sys.Run(func(n *dsm.Node) {
-		master(&MC{TC: TC{p: p, n: n, threads: p.threads}})
+	return p.be.Run(func(w Worker) {
+		master(&MC{TC: TC{p: p, w: w, threads: p.threads}})
 	})
 }
 
 // Elapsed returns the parallel execution time: the maximum virtual clock
 // across the team after Run completes.
-func (p *Program) Elapsed() sim.Time { return p.sys.MaxClock() }
+func (p *Program) Elapsed() sim.Time { return p.be.MaxClock() }
 
-// Traffic returns total protocol messages and bytes so far.
-func (p *Program) Traffic() (messages, bytes int64) {
-	return p.sys.Switch().Stats().Snapshot()
-}
+// Traffic returns total interconnect messages and bytes so far (zero on
+// the SMP backend).
+func (p *Program) Traffic() (messages, bytes int64) { return p.be.Traffic() }
 
 // ResetTraffic zeroes the traffic counters (to measure one phase).
-func (p *Program) ResetTraffic() { p.sys.Switch().ResetStats() }
+func (p *Program) ResetTraffic() { p.be.ResetTraffic() }
 
-// ProtoSummary reports the DSM's protocol-metadata footprint after Run:
-// retired interval records, peak retained interval-chain length, and
-// peak metadata bytes on any node (see dsm.System.ProtoSummary).
+// ProtoSummary reports the backend's protocol-metadata footprint after
+// Run: retired interval records, peak retained interval-chain length, and
+// peak metadata bytes on any node (all zero on backends that keep no
+// consistency metadata).
 func (p *Program) ProtoSummary() (retired, peakChain, peakBytes int64) {
-	return p.sys.ProtoSummary()
+	return p.be.ProtoSummary()
 }
+
+// GCSummary reports metadata-GC trigger accounting: synchronization
+// episodes examined and collections run (zero on the SMP backend).
+func (p *Program) GCSummary() (episodes, epochs int64) { return p.be.GCSummary() }
 
 // criticalLock maps a critical-section name to a lock id. Named critical
 // sections with the same name share one lock program-wide, per the
@@ -132,6 +155,6 @@ func criticalLock(name string) int {
 }
 
 // CriticalLockID exposes the lock id behind a named critical section, for
-// code that brackets a critical region through lower-level DSM calls (the
-// compiler emits exactly this mapping for the critical directive).
+// code that brackets a critical region through lower-level Worker calls
+// (the compiler emits exactly this mapping for the critical directive).
 func CriticalLockID(name string) int { return criticalLock(name) }

@@ -1,10 +1,6 @@
 package core
 
-import (
-	"fmt"
-
-	"repro/internal/dsm"
-)
+import "fmt"
 
 // Reductions. "The reduction directive identifies reduction variables.
 // According to the standard, reduction variables must be scalar, but we
@@ -63,7 +59,7 @@ func (op ReduceOp) identity() float64 {
 // memory.
 type Reduction struct {
 	op   ReduceOp
-	addr dsm.Addr
+	addr Addr
 	lock int
 }
 
@@ -76,7 +72,7 @@ func (p *Program) NewReduction(op ReduceOp) *Reduction {
 	p.mu.Unlock()
 	return &Reduction{
 		op:   op,
-		addr: p.sys.MallocPage(8),
+		addr: p.be.MallocPage(8),
 		lock: 1<<27 | id,
 	}
 }
@@ -84,20 +80,20 @@ func (p *Program) NewReduction(op ReduceOp) *Reduction {
 // Reset sets the accumulator to the operator's identity; call it (from the
 // master, outside parallel regions) before each use.
 func (r *Reduction) Reset(tc *TC) {
-	tc.n.WriteF64(r.addr, r.op.identity())
+	tc.w.WriteF64(r.addr, r.op.identity())
 }
 
 // Reduce folds a thread's private partial value into the accumulator.
 func (r *Reduction) Reduce(tc *TC, local float64) {
-	tc.n.Acquire(r.lock)
-	cur := tc.n.ReadF64(r.addr)
-	tc.n.WriteF64(r.addr, r.op.combine(cur, local))
-	tc.n.Release(r.lock)
+	tc.w.Acquire(r.lock)
+	cur := tc.w.ReadF64(r.addr)
+	tc.w.WriteF64(r.addr, r.op.combine(cur, local))
+	tc.w.Release(r.lock)
 }
 
 // Value reads the accumulated result (master, after the region).
 func (r *Reduction) Value(tc *TC) float64 {
-	return tc.n.ReadF64(r.addr)
+	return tc.w.ReadF64(r.addr)
 }
 
 // ArrayReduction is the paper's extension: an array-valued reduction
@@ -106,7 +102,7 @@ func (r *Reduction) Value(tc *TC) float64 {
 // thread, not one per element — the point of the extension).
 type ArrayReduction struct {
 	op   ReduceOp
-	addr dsm.Addr
+	addr Addr
 	n    int
 	lock int
 }
@@ -119,7 +115,7 @@ func (p *Program) NewArrayReduction(op ReduceOp, n int) *ArrayReduction {
 	p.mu.Unlock()
 	return &ArrayReduction{
 		op:   op,
-		addr: p.sys.MallocPage(8 * n),
+		addr: p.be.MallocPage(8 * n),
 		n:    n,
 		lock: 1<<27 | id,
 	}
@@ -130,7 +126,7 @@ func (ar *ArrayReduction) Len() int { return ar.n }
 
 // Addr returns the shared address of the accumulator array (for reading
 // results in bulk).
-func (ar *ArrayReduction) Addr() dsm.Addr { return ar.addr }
+func (ar *ArrayReduction) Addr() Addr { return ar.addr }
 
 // Reset fills the accumulator with the operator's identity.
 func (ar *ArrayReduction) Reset(tc *TC) {
@@ -139,7 +135,7 @@ func (ar *ArrayReduction) Reset(tc *TC) {
 	for i := range buf {
 		buf[i] = id
 	}
-	tc.n.WriteF64s(ar.addr, buf)
+	tc.w.WriteF64s(ar.addr, buf)
 }
 
 // Reduce folds a thread's private partial array into the accumulator.
@@ -147,14 +143,14 @@ func (ar *ArrayReduction) Reduce(tc *TC, local []float64) {
 	if len(local) != ar.n {
 		panic(fmt.Sprintf("core: array reduction length %d, want %d", len(local), ar.n))
 	}
-	tc.n.Acquire(ar.lock)
+	tc.w.Acquire(ar.lock)
 	cur := make([]float64, ar.n)
-	tc.n.ReadF64s(ar.addr, cur)
+	tc.w.ReadF64s(ar.addr, cur)
 	for i := range cur {
 		cur[i] = ar.op.combine(cur[i], local[i])
 	}
-	tc.n.WriteF64s(ar.addr, cur)
-	tc.n.Release(ar.lock)
+	tc.w.WriteF64s(ar.addr, cur)
+	tc.w.Release(ar.lock)
 }
 
 // Value reads the accumulated array into dst.
@@ -162,5 +158,5 @@ func (ar *ArrayReduction) Value(tc *TC, dst []float64) {
 	if len(dst) != ar.n {
 		panic("core: array reduction Value length mismatch")
 	}
-	tc.n.ReadF64s(ar.addr, dst)
+	tc.w.ReadF64s(ar.addr, dst)
 }

@@ -4,16 +4,17 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/dsm"
 	"repro/internal/sim"
 )
 
 // TC is the thread context inside a parallel region: thread number, team
 // size, synchronization directives, and access to shared memory. A TC's
-// methods model the code the compiler emits for each directive.
+// methods model the code the compiler emits for each directive; they all
+// dispatch through the backend Worker, so region bodies written against
+// TC are backend-neutral.
 type TC struct {
 	p       *Program
-	n       *dsm.Node
+	w       Worker
 	threads int
 	args    []byte // firstprivate environment received at fork
 }
@@ -25,79 +26,81 @@ type MC struct {
 }
 
 // ThreadNum returns the OpenMP thread number (0 = master).
-func (tc *TC) ThreadNum() int { return tc.n.ID() }
+func (tc *TC) ThreadNum() int { return tc.w.ID() }
 
 // NumThreads returns the team size.
 func (tc *TC) NumThreads() int { return tc.threads }
 
-// Node exposes the underlying DSM node: ReadF64, WriteF64, and friends are
-// the compiler-emitted shared-memory access checks.
-func (tc *TC) Node() *dsm.Node { return tc.n }
+// Worker exposes the backend worker: the runtime-level API (raw lock ids,
+// Poll, memory access) that shared layout helpers and compiler-emitted
+// code use directly. On the NOW backend this is the *dsm.Node itself.
+func (tc *TC) Worker() Worker { return tc.w }
 
 // Args returns a reader over the firstprivate environment passed at fork.
 func (tc *TC) Args() *ArgReader { return &ArgReader{b: tc.args} }
 
 // Compute charges virtual time for flops floating-point operations of real
 // work performed by the caller.
-func (tc *TC) Compute(flops float64) { tc.n.Compute(flops) }
+func (tc *TC) Compute(flops float64) { tc.w.Compute(flops) }
 
 // Now returns the thread's current virtual time.
-func (tc *TC) Now() sim.Time { return tc.n.Now() }
+func (tc *TC) Now() sim.Time { return tc.w.Now() }
 
 // Barrier is the OpenMP barrier directive.
-func (tc *TC) Barrier() { tc.n.Barrier() }
+func (tc *TC) Barrier() { tc.w.Barrier() }
 
 // Critical executes body inside the named critical section: one thread at
 // a time program-wide per name, with entry acquiring and exit releasing
 // consistency, per Section 2.
 func (tc *TC) Critical(name string, body func()) {
 	id := criticalLock(name)
-	tc.n.Acquire(id)
-	defer tc.n.Release(id)
+	tc.w.Acquire(id)
+	defer tc.w.Release(id)
 	body()
 }
 
 // SemaWait is the paper's proposed sema_wait directive (P).
-func (tc *TC) SemaWait(sem int) { tc.n.SemaWait(sem) }
+func (tc *TC) SemaWait(sem int) { tc.w.SemaWait(sem) }
 
 // SemaSignal is the paper's proposed sema_signal directive (V).
-func (tc *TC) SemaSignal(sem int) { tc.n.SemaSignal(sem) }
+func (tc *TC) SemaSignal(sem int) { tc.w.SemaSignal(sem) }
 
 // CondWait blocks on condition variable cond inside the named critical
 // section (which the calling thread must have entered via CriticalEnter or
 // be lexically inside through Critical).
 func (tc *TC) CondWait(cond int, critical string) {
-	tc.n.CondWait(cond, criticalLock(critical))
+	tc.w.CondWait(cond, criticalLock(critical))
 }
 
 // CondSignal unblocks one waiter on cond (no effect if none), per the
 // paper's proposed directive.
 func (tc *TC) CondSignal(cond int, critical string) {
-	tc.n.CondSignal(cond, criticalLock(critical))
+	tc.w.CondSignal(cond, criticalLock(critical))
 }
 
 // CondBroadcast unblocks every waiter on cond.
 func (tc *TC) CondBroadcast(cond int, critical string) {
-	tc.n.CondBroadcast(cond, criticalLock(critical))
+	tc.w.CondBroadcast(cond, criticalLock(critical))
 }
 
 // CriticalEnter/CriticalExit expose the named critical section as explicit
 // brackets for code whose critical region does not nest lexically (the
 // task-queue pattern of Figure 4).
-func (tc *TC) CriticalEnter(name string) { tc.n.Acquire(criticalLock(name)) }
+func (tc *TC) CriticalEnter(name string) { tc.w.Acquire(criticalLock(name)) }
 
 // CriticalExit leaves the named critical section.
-func (tc *TC) CriticalExit(name string) { tc.n.Release(criticalLock(name)) }
+func (tc *TC) CriticalExit(name string) { tc.w.Release(criticalLock(name)) }
 
 // Flush is the OpenMP flush directive the paper proposes to remove; it is
-// implemented (at its full 2(n-1) message cost) for the ablation studies.
-func (tc *TC) Flush() { tc.n.Flush() }
+// implemented (at its full 2(n-1) message cost on the NOW backend) for
+// the ablation studies. On hardware shared memory it is a no-op.
+func (tc *TC) Flush() { tc.w.Flush() }
 
 // Threadprivate returns this thread's persistent private storage of the
 // given name and size, allocating it zeroed on first use (the Fortran
 // threadprivate common block of Section 2).
 func (tc *TC) Threadprivate(name string, size int) []byte {
-	store := tc.p.tpStores[tc.n.ID()]
+	store := tc.p.tpStores[tc.w.ID()]
 	buf, ok := store[name]
 	if !ok || len(buf) < size {
 		buf = make([]byte, size)
@@ -106,14 +109,51 @@ func (tc *TC) Threadprivate(name string, size int) []byte {
 	return buf[:size]
 }
 
-// StaticRange computes this thread's contiguous block of the iteration
-// space [lo, hi): the static schedule the compiler emits for parallel do.
-func (tc *TC) StaticRange(lo, hi int) (int, int) {
-	return StaticBlock(lo, hi, tc.ThreadNum(), tc.threads)
-}
+// ---------------------------------------------------------------------
+// Shared-memory access: the compiler-emitted access checks, forwarded to
+// the backend so region bodies need no backend-specific handle.
+// ---------------------------------------------------------------------
+
+// ReadF64 reads a float64 at shared address a.
+func (tc *TC) ReadF64(a Addr) float64 { return tc.w.ReadF64(a) }
+
+// WriteF64 writes a float64 at shared address a.
+func (tc *TC) WriteF64(a Addr, v float64) { tc.w.WriteF64(a, v) }
+
+// ReadI64 reads an int64 at shared address a.
+func (tc *TC) ReadI64(a Addr) int64 { return tc.w.ReadI64(a) }
+
+// WriteI64 writes an int64 at shared address a.
+func (tc *TC) WriteI64(a Addr, v int64) { tc.w.WriteI64(a, v) }
+
+// ReadI32 reads an int32 at shared address a.
+func (tc *TC) ReadI32(a Addr) int32 { return tc.w.ReadI32(a) }
+
+// WriteI32 writes an int32 at shared address a.
+func (tc *TC) WriteI32(a Addr, v int32) { tc.w.WriteI32(a, v) }
+
+// ReadBytes copies len(dst) bytes of shared memory starting at a into dst.
+func (tc *TC) ReadBytes(a Addr, dst []byte) { tc.w.ReadBytes(a, dst) }
+
+// WriteBytes copies src into shared memory starting at a.
+func (tc *TC) WriteBytes(a Addr, src []byte) { tc.w.WriteBytes(a, src) }
+
+// ReadF64s reads len(dst) consecutive float64s starting at a.
+func (tc *TC) ReadF64s(a Addr, dst []float64) { tc.w.ReadF64s(a, dst) }
+
+// WriteF64s writes the float64s of src to consecutive addresses from a.
+func (tc *TC) WriteF64s(a Addr, src []float64) { tc.w.WriteF64s(a, src) }
+
+// ReadI32s reads len(dst) consecutive int32s starting at a.
+func (tc *TC) ReadI32s(a Addr, dst []int32) { tc.w.ReadI32s(a, dst) }
+
+// WriteI32s writes the int32s of src to consecutive addresses from a.
+func (tc *TC) WriteI32s(a Addr, src []int32) { tc.w.WriteI32s(a, src) }
 
 // StaticBlock partitions [lo, hi) into nearly equal contiguous blocks and
-// returns the bounds of block `who` of `of`.
+// returns the bounds of block `who` of `of`: the static schedule the
+// compiler emits for parallel do. It is the single partition helper used
+// by the omp, tmk, and mpi sources alike.
 func StaticBlock(lo, hi, who, of int) (int, int) {
 	n := hi - lo
 	if n <= 0 {
@@ -129,13 +169,6 @@ func StaticBlock(lo, hi, who, of int) (int, int) {
 	return start, end
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // ---------------------------------------------------------------------
 // Region registration and fork.
 // ---------------------------------------------------------------------
@@ -144,8 +177,8 @@ func min(a, b int) int {
 // the analogue of the compiler encapsulating each parallel region into a
 // separate subroutine (Section 4.3.2). Must be called before Run.
 func (p *Program) RegisterRegion(name string, body func(tc *TC)) {
-	p.sys.Register(name, func(n *dsm.Node, arg []byte) {
-		body(&TC{p: p, n: n, threads: p.threads, args: arg})
+	p.be.Register(name, func(w Worker, arg []byte) {
+		body(&TC{p: p, w: w, threads: p.threads, args: arg})
 	})
 }
 
@@ -153,14 +186,14 @@ func (p *Program) RegisterRegion(name string, body func(tc *TC)) {
 // hands each thread its static block [lo, hi) of the loop bounds supplied
 // at the ParallelDo call site.
 func (p *Program) RegisterDo(name string, body func(tc *TC, lo, hi int)) {
-	p.sys.Register(name, func(n *dsm.Node, arg []byte) {
+	p.be.Register(name, func(w Worker, arg []byte) {
 		if len(arg) < 16 {
 			panic(fmt.Sprintf("core: parallel do %q fork missing loop bounds", name))
 		}
 		gLo := int(int64(binary.LittleEndian.Uint64(arg)))
 		gHi := int(int64(binary.LittleEndian.Uint64(arg[8:])))
-		tc := &TC{p: p, n: n, threads: p.threads, args: arg[16:]}
-		lo, hi := StaticBlock(gLo, gHi, n.ID(), p.threads)
+		tc := &TC{p: p, w: w, threads: p.threads, args: arg[16:]}
+		lo, hi := StaticBlock(gLo, gHi, w.ID(), p.threads)
 		body(tc, lo, hi)
 	})
 }
@@ -169,7 +202,7 @@ func (p *Program) RegisterDo(name string, body func(tc *TC, lo, hi int)) {
 // firstprivate environment (master's values at the fork, Section 2), and
 // returns after all threads have joined.
 func (m *MC) Parallel(name string, args *Args) {
-	m.n.RunParallel(name, args.bytes())
+	m.w.RunParallel(name, args.bytes())
 }
 
 // ParallelDo opens the named parallel-do region over the iteration space
@@ -178,5 +211,5 @@ func (m *MC) ParallelDo(name string, lo, hi int, args *Args) {
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(int64(lo)))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(hi)))
-	m.n.RunParallel(name, append(hdr[:], args.bytes()...))
+	m.w.RunParallel(name, append(hdr[:], args.bytes()...))
 }

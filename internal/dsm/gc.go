@@ -61,10 +61,12 @@ import (
 // special handling: a thread blocked on any of them keeps the barrier —
 // and therefore the collector — from running at all.
 
-// epochFloor tracks one epoch's floor agreement across nodes.
+// epochFloor tracks one episode's floor (and trigger-decision) agreement
+// across nodes.
 type epochFloor struct {
-	floor VectorClock
-	seen  int
+	floor   VectorClock
+	collect bool
+	seen    int
 }
 
 // gcDefault gates the collector for systems whose Config does not set
@@ -77,27 +79,32 @@ var gcDefault = true
 func SetGCDefault(on bool) { gcDefault = on }
 
 // checkEpochFloor verifies that every node presents the identical retire
-// floor for a given epoch index: the first node to reach the epoch
-// records its floor, the rest must match, and the record is dropped once
-// all have checked in (so the tripwire itself retains nothing).
-func (s *System) checkEpochFloor(epoch int64, id int, floor VectorClock) {
+// floor — and reaches the identical collect-or-skip decision — for a
+// given episode index: the first node to reach the episode records its
+// view, the rest must match, and the record is dropped once all have
+// checked in (so the tripwire itself retains nothing).
+func (s *System) checkEpochFloor(episode int64, id int, floor VectorClock, collect bool) {
 	s.gcMu.Lock()
 	defer s.gcMu.Unlock()
-	e, ok := s.gcFloors[epoch]
+	e, ok := s.gcFloors[episode]
 	if !ok {
-		e = &epochFloor{floor: floor.clone()}
-		s.gcFloors[epoch] = e
+		e = &epochFloor{floor: floor.clone(), collect: collect}
+		s.gcFloors[episode] = e
 	} else {
 		for i, v := range e.floor {
 			if floor[i] != v {
-				panic(fmt.Sprintf("dsm: node %d GC epoch %d floor %v diverges from %v",
-					id, epoch, floor, e.floor))
+				panic(fmt.Sprintf("dsm: node %d GC episode %d floor %v diverges from %v",
+					id, episode, floor, e.floor))
 			}
+		}
+		if collect != e.collect {
+			panic(fmt.Sprintf("dsm: node %d GC episode %d trigger decision %v diverges from %v",
+				id, episode, collect, e.collect))
 		}
 	}
 	e.seen++
 	if e.seen == s.cfg.Procs {
-		delete(s.gcFloors, epoch)
+		delete(s.gcFloors, episode)
 	}
 }
 
@@ -107,20 +114,42 @@ func ivlRecordBytes(ivl *interval) int64 {
 	return int64(48 + 4*len(ivl.vc) + 8*len(ivl.pages))
 }
 
-// gcEpochLocked runs one collection epoch with the given retire floor.
-// It requires n.mu and — on node 0 only — releases and reacquires it
-// while diff fetches are in flight. Node 0 calls it at each barrier
-// (after incorporating every arrival, before sending any departure) and
-// at each fork (before sending the fork messages), passing its own
-// clock; every other node calls it immediately after incorporating the
-// matching departure or fork delta, passing the clock that message
-// carried — the identical floor.
+// gcEpochLocked runs one synchronization episode of the collector with
+// the given retire floor: it decides — identically on every node —
+// whether to collect, and if so runs the epoch. It requires n.mu and —
+// on node 0 only — releases and reacquires it while diff fetches are in
+// flight. Node 0 calls it at each barrier (after incorporating every
+// arrival, before sending any departure) and at each fork (before
+// sending the fork messages), passing its own clock; every other node
+// calls it immediately after incorporating the matching departure or
+// fork delta, passing the clock that message carried — the identical
+// floor.
+//
+// Adaptive triggering (Config.GCMinRetire): collecting at EVERY episode
+// costs ~25% on barrier-dense workloads (see `nowbench -ablation gc`),
+// mostly in the manager's validation pause. The trigger predicate is the
+// number of interval records the floor would newly retire — the floor's
+// component sum minus the last collection's — and the epoch runs only
+// when it reaches the threshold. Both sums derive exclusively from
+// floors, which are identical on every node by construction, so every
+// node skips and collects the same episodes with no extra coordination;
+// checkEpochFloor tripwires that agreement.
 func (n *Node) gcEpochLocked(retire VectorClock) {
-	// Soundness tripwire: all nodes must agree on every epoch's floor
-	// (they run the same epoch sequence), or the one-epoch free delay
-	// breaks. Divergence here means a caller derived a floor from state
-	// that is not identical on every node.
-	n.sys.checkEpochFloor(n.stats.GCEpochs, n.id, retire)
+	episode := n.stats.GCEpisodes
+	n.stats.GCEpisodes++
+	pending := retire.sum()
+	if n.gcFreeVC != nil {
+		pending -= n.gcFreeVC.sum()
+	}
+	collect := pending >= int64(n.sys.cfg.GCMinRetire)
+	// Soundness tripwire: all nodes must agree on every episode's floor
+	// and trigger decision (they run the same episode sequence), or the
+	// one-epoch free delay breaks. Divergence here means a caller derived
+	// a floor from state that is not identical on every node.
+	n.sys.checkEpochFloor(episode, n.id, retire, collect)
+	if !collect {
+		return
+	}
 
 	n.freeRetiredLocked()
 	if n.id == 0 {

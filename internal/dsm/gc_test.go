@@ -13,7 +13,13 @@ import (
 // returns the system so callers can inspect protocol counters.
 func gcWorkload(t *testing.T, procs, words, rounds int, disableGC bool) *System {
 	t.Helper()
-	sys := New(Config{Procs: procs, DisableGC: disableGC})
+	return gcWorkloadCfg(t, Config{Procs: procs, DisableGC: disableGC}, words, rounds)
+}
+
+func gcWorkloadCfg(t *testing.T, cfg Config, words, rounds int) *System {
+	t.Helper()
+	procs := cfg.Procs
+	sys := New(cfg)
 	base := sys.MallocPage(8 * words)
 	per := words / procs
 	sys.Register("iterate", func(n *Node, _ []byte) {
@@ -250,4 +256,84 @@ func TestConcurrentMallocPageAlignment(t *testing.T) {
 		}
 	}
 	_ = sys.Run(func(n *Node) {})
+}
+
+// TestGCAdaptiveTrigger exercises the adaptive predicate
+// (Config.GCMinRetire): the collector must examine every episode but run
+// only a fraction of them, all nodes must reach identical trigger
+// decisions (the in-protocol tripwire panics otherwise, which this test
+// would surface as a Run error), metadata must still be retired, and the
+// retained chain must stay bounded by the threshold rather than the run
+// length.
+func TestGCAdaptiveTrigger(t *testing.T) {
+	const procs, words = 4, 2048
+	const minRetire = 32 // ≈ eight rounds of global interval creation
+	cfg := Config{Procs: procs, GCMinRetire: minRetire}
+
+	// Both runs span several trigger periods, so the one-epoch-delayed
+	// free has retired metadata in each.
+	short := gcWorkloadCfg(t, cfg, words, 32).TotalStats()
+	long := gcWorkloadCfg(t, cfg, words, 64).TotalStats()
+
+	for _, st := range []NodeStats{short, long} {
+		if st.GCEpisodes == 0 {
+			t.Fatal("adaptive collector examined no episodes")
+		}
+		if st.GCEpochs == 0 || st.GCEpochs >= st.GCEpisodes {
+			t.Errorf("adaptive collector ran %d epochs over %d episodes; want a proper nonzero fraction",
+				st.GCEpochs, st.GCEpisodes)
+		}
+		if st.IntervalsRetired == 0 {
+			t.Error("adaptive collector retired nothing")
+		}
+	}
+	// Chain length is bounded by the trigger threshold (plus the one-epoch
+	// free delay), not the iteration count.
+	if long.PeakIntervalChain > short.PeakIntervalChain+2 {
+		t.Errorf("adaptive peak chain grew with iterations: 32 rounds -> %d, 64 rounds -> %d",
+			short.PeakIntervalChain, long.PeakIntervalChain)
+	}
+	everyOn := gcWorkload(t, procs, words, 64, false).TotalStats()
+	if long.GCEpochs >= everyOn.GCEpochs {
+		t.Errorf("adaptive epochs (%d) not below every-episode epochs (%d)", long.GCEpochs, everyOn.GCEpochs)
+	}
+}
+
+// TestGCAdaptiveIdenticalContents extends the GC-invisibility contract
+// to the adaptive mode: the same deterministic workload must produce
+// bit-identical final memory with the collector at every episode,
+// adaptively triggered, and off.
+func TestGCAdaptiveIdenticalContents(t *testing.T) {
+	run := func(cfg Config) []int64 {
+		const words = 1024
+		cfg.Procs = 4
+		sys := New(cfg)
+		base := sys.MallocPage(8 * words)
+		out := make([]int64, words)
+		sys.Register("rounds", func(n *Node, _ []byte) {
+			for r := 0; r < 6; r++ {
+				for w := n.ID(); w < words; w += 4 {
+					n.WriteI64(base+Addr(8*w), int64(r*7919+w*13+n.ID()))
+				}
+				n.Barrier()
+			}
+		})
+		if err := sys.Run(func(n *Node) {
+			n.RunParallel("rounds", nil)
+			for w := 0; w < words; w++ {
+				out[w] = n.ReadI64(base + Addr(8*w))
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	every := run(Config{})
+	adaptive := run(Config{GCMinRetire: 24})
+	off := run(Config{DisableGC: true})
+	for w := range every {
+		if every[w] != adaptive[w] || every[w] != off[w] {
+			t.Fatalf("word %d differs: every %d, adaptive %d, off %d", w, every[w], adaptive[w], off[w])
+		}
+	}
 }

@@ -71,7 +71,8 @@ type NodeStats struct {
 	Interrupts   int64
 
 	// Barrier-epoch garbage collection counters (see gc.go).
-	GCEpochs         int64 // barrier episodes that ran a collection
+	GCEpisodes       int64 // global sync episodes examined by the collector
+	GCEpochs         int64 // episodes that actually ran a collection
 	IntervalsRetired int64 // interval records reclaimed
 	TwinsCollected   int64 // twins released without ever encoding their diff
 	GCPagesValidated int64 // stale copies brought current during GC (manager)

@@ -55,6 +55,13 @@ type Config struct {
 	// accumulate for the whole run — the pre-GC behaviour, kept for the
 	// metadata-accumulation ablation.
 	DisableGC bool
+	// GCMinRetire adaptively throttles the collector: a synchronization
+	// episode runs a collection epoch only when the retire floor covers
+	// at least this many interval records created since the last
+	// collection. The predicate is computed from epoch floors alone,
+	// which are identical on every node, so the decision needs no extra
+	// coordination (see gcEpochLocked). 0 collects at every episode.
+	GCMinRetire int
 }
 
 // System is one simulated network of workstations running TreadMarks.
@@ -302,6 +309,7 @@ func (s *System) TotalStats() NodeStats {
 		t.CondOps += st.CondOps
 		t.Flushes += st.Flushes
 		t.Interrupts += st.Interrupts
+		t.GCEpisodes += st.GCEpisodes
 		t.GCEpochs += st.GCEpochs
 		t.IntervalsRetired += st.IntervalsRetired
 		t.TwinsCollected += st.TwinsCollected
@@ -325,4 +333,23 @@ func (s *System) TotalStats() NodeStats {
 func (s *System) ProtoSummary() (retired, peakChain, peakBytes int64) {
 	t := s.TotalStats()
 	return t.IntervalsRetired, t.PeakIntervalChain, t.PeakProtoBytes
+}
+
+// GCSummary reports the collector's trigger accounting: global
+// synchronization episodes examined and collection epochs actually run.
+// Every node walks the identical episode sequence and reaches identical
+// trigger decisions, so the counts are per-node maxima, not sums — they
+// count global events. With Config.GCMinRetire == 0 the two are equal;
+// an adaptive threshold makes epochs a fraction of episodes.
+func (s *System) GCSummary() (episodes, epochs int64) {
+	for _, n := range s.nodes {
+		st := n.Stats()
+		if st.GCEpisodes > episodes {
+			episodes = st.GCEpisodes
+		}
+		if st.GCEpochs > epochs {
+			epochs = st.GCEpochs
+		}
+	}
+	return episodes, epochs
 }

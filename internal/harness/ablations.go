@@ -279,38 +279,59 @@ func AblationFlushCost(procsList []int) ([]FlushCostRow, error) {
 	return rows, nil
 }
 
-// GCAblationRow compares one workload with the barrier-epoch garbage
-// collector enabled and disabled: the direct cost of letting protocol
-// metadata accumulate (and of collecting it).
+// GCModes are the three collector configurations of the metadata
+// ablation: collect at every synchronization episode (the original
+// behaviour), adaptively (collect only when the floor would retire at
+// least AdaptiveGCRetire(procs) interval records — the ROADMAP's
+// deterministic floor predicate), and disabled.
+var GCModes = []string{"every", "adaptive", "off"}
+
+// AdaptiveGCRetire returns the ablation's adaptive trigger threshold for
+// a machine of `procs` nodes: roughly eight episodes' worth of interval
+// creation on a barrier-dense workload, amortizing the per-episode
+// validation pause about eightfold.
+func AdaptiveGCRetire(procs int) int { return 8 * procs }
+
+// GCAblationRow is one (workload, collector-mode) measurement: time,
+// traffic, trigger counts, and metadata retention.
 type GCAblationRow struct {
-	Name                      string
-	Procs                     int
-	OnTime, OffTime           sim.Time
-	OnMsgs, OffMsgs           int64
-	Retired                   int64 // intervals reclaimed (GC on; off is 0)
-	OnPeakChain, OffPeakChain int64
-	OnPeakBytes, OffPeakBytes int64
+	Workload  string
+	Mode      string // "every", "adaptive", or "off"
+	Procs     int
+	Time      sim.Time
+	Msgs      int64
+	Episodes  int64 // global sync episodes the collector examined
+	Epochs    int64 // collections actually triggered
+	Retired   int64 // interval records reclaimed
+	PeakChain int64
+	PeakBytes int64
 }
 
-// fill folds one run's measurements into the row's on or off half.
-func (r *GCAblationRow) fill(on bool, t sim.Time, msgs, retired, chain, bytes int64) {
-	if on {
-		r.OnTime, r.OnMsgs, r.Retired, r.OnPeakChain, r.OnPeakBytes = t, msgs, retired, chain, bytes
-	} else {
-		r.OffTime, r.OffMsgs, r.OffPeakChain, r.OffPeakBytes = t, msgs, chain, bytes
+// gcModeConfig translates an ablation mode into the DSM knobs.
+func gcModeConfig(mode, workload string, procs int) (disable bool, minRetire int) {
+	switch mode {
+	case "every":
+		return false, 0
+	case "adaptive":
+		return false, AdaptiveGCRetire(procs)
+	case "off":
+		return true, 0
 	}
+	panic(fmt.Sprintf("harness: unknown GC ablation mode %q for %s", mode, workload))
 }
 
 // AblationGCIteration measures metadata accumulation on the access
 // pattern that motivates the collector: an iterative barrier application
 // (each node rewrites its block of a shared array every step, with
-// cross-block reads) run for `iters` steps with GC on and off.
-func AblationGCIteration(iters, procs int) (GCAblationRow, error) {
-	row := GCAblationRow{Name: fmt.Sprintf("iteration x%d", iters), Procs: procs}
+// cross-block reads) run for `iters` steps under every collector mode.
+func AblationGCIteration(iters, procs int) ([]GCAblationRow, error) {
 	const words = 8192 // 16 pages of int64s
 	per := words / procs
-	for _, disable := range []bool{false, true} {
-		sys := dsm.New(dsm.Config{Procs: procs, DisableGC: disable})
+	name := fmt.Sprintf("iteration x%d", iters)
+	var rows []GCAblationRow
+	for _, mode := range GCModes {
+		disable, minRetire := gcModeConfig(mode, name, procs)
+		sys := dsm.New(dsm.Config{Procs: procs, DisableGC: disable, GCMinRetire: minRetire})
 		base := sys.MallocPage(8 * words)
 		sys.Register("gc-iter", func(n *dsm.Node, _ []byte) {
 			me := n.ID()
@@ -329,34 +350,49 @@ func AblationGCIteration(iters, procs int) (GCAblationRow, error) {
 			}
 		})
 		if err := sys.Run(func(n *dsm.Node) { n.RunParallel("gc-iter", nil) }); err != nil {
-			return row, err
+			return rows, err
 		}
 		msgs, _ := sys.Switch().Stats().Snapshot()
 		retired, chain, bytes := sys.ProtoSummary()
-		row.fill(!disable, sys.MaxClock(), msgs, retired, chain, bytes)
+		episodes, epochs := sys.GCSummary()
+		rows = append(rows, GCAblationRow{
+			Workload: name, Mode: mode, Procs: procs,
+			Time: sys.MaxClock(), Msgs: msgs,
+			Episodes: episodes, Epochs: epochs,
+			Retired: retired, PeakChain: chain, PeakBytes: bytes,
+		})
 	}
-	return row, nil
+	return rows, nil
 }
 
 // AblationGCWater runs the real long-iteration workload of the
 // acceptance criterion — Water at 4x its usual step count on the full
-// 8-node machine — with the collector on and off.
-func AblationGCWater(steps, procs int) (GCAblationRow, error) {
-	row := GCAblationRow{Name: fmt.Sprintf("water x%d steps", steps), Procs: procs}
+// 8-node machine — under every collector mode.
+func AblationGCWater(steps, procs int) ([]GCAblationRow, error) {
+	name := fmt.Sprintf("water x%d steps", steps)
 	p := water.Small()
 	p.Steps = steps
-	for _, disable := range []bool{false, true} {
-		p.DisableGC = disable
+	var rows []GCAblationRow
+	for _, mode := range GCModes {
+		p.DisableGC, p.GCMinRetire = gcModeConfig(mode, name, procs)
 		res, err := water.RunTmk(p, procs)
 		if err != nil {
-			return row, err
+			return rows, err
 		}
-		row.fill(!disable, res.Time, res.Messages, res.IntervalsRetired, res.PeakIntervalChain, res.PeakProtoBytes)
+		rows = append(rows, GCAblationRow{
+			Workload: name, Mode: mode, Procs: procs,
+			Time: res.Time, Msgs: res.Messages,
+			Episodes: res.GCEpisodes, Epochs: res.GCEpochs,
+			Retired: res.IntervalsRetired, PeakChain: res.PeakIntervalChain,
+			PeakBytes: res.PeakProtoBytes,
+		})
 	}
-	return row, nil
+	return rows, nil
 }
 
-// PrintAblationGC runs and formats the metadata-accumulation ablation.
+// PrintAblationGC runs and formats the metadata-accumulation ablation,
+// including the adaptive trigger counts (episodes examined vs epochs
+// run) that show the amortization.
 func PrintAblationGC(w io.Writer) error {
 	iter, err := AblationGCIteration(32, 8)
 	if err != nil {
@@ -366,14 +402,13 @@ func PrintAblationGC(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fprintf(w, "Barrier-epoch GC ablation (8 processors): protocol-metadata cost\n\n")
-	fprintf(w, "%-18s %-4s %12s %10s %10s %10s %10s\n",
-		"workload", "GC", "time", "messages", "retired", "peakchain", "peakKB")
-	for _, r := range []GCAblationRow{iter, wtr} {
-		fprintf(w, "%-18s %-4s %12s %10d %10d %10d %10d\n",
-			r.Name, "on", r.OnTime, r.OnMsgs, r.Retired, r.OnPeakChain, r.OnPeakBytes/1024)
-		fprintf(w, "%-18s %-4s %12s %10d %10d %10d %10d\n",
-			r.Name, "off", r.OffTime, r.OffMsgs, int64(0), r.OffPeakChain, r.OffPeakBytes/1024)
+	fprintf(w, "Barrier-epoch GC ablation (8 processors): protocol-metadata cost\n")
+	fprintf(w, "under every-episode, adaptive (retire >= %d), and disabled collection\n\n", AdaptiveGCRetire(8))
+	fprintf(w, "%-18s %-9s %12s %10s %9s %7s %8s %10s %8s\n",
+		"workload", "GC", "time", "messages", "episodes", "epochs", "retired", "peakchain", "peakKB")
+	for _, r := range append(iter, wtr...) {
+		fprintf(w, "%-18s %-9s %12s %10d %9d %7d %8d %10d %8d\n",
+			r.Workload, r.Mode, r.Time, r.Msgs, r.Episodes, r.Epochs, r.Retired, r.PeakChain, r.PeakBytes/1024)
 	}
 	return nil
 }

@@ -20,21 +20,42 @@ import (
 	"repro/internal/apps/sweep3d"
 	"repro/internal/apps/tsp"
 	"repro/internal/apps/water"
+	"repro/internal/core"
 )
 
-// Impl selects one of the paper's three implementations (plus sequential).
+// Impl selects one of the implementations under comparison (plus
+// sequential): the paper's three, and the same OpenMP source executed on
+// the hardware-shared-memory (SMP) backend — the baseline the paper
+// retargets OpenMP away from.
 type Impl string
 
 // Implementations.
 const (
-	Seq Impl = "seq"
-	OMP Impl = "omp"
-	Tmk Impl = "tmk"
-	MPI Impl = "mpi"
+	Seq    Impl = "seq"
+	OMP    Impl = "omp"     // OpenMP on the NOW (TreadMarks) backend
+	OMPSMP Impl = "omp-smp" // the SAME OpenMP source on hardware shared memory
+	Tmk    Impl = "tmk"
+	MPI    Impl = "mpi"
 )
 
-// Impls is the comparison order used in the paper's figures.
-var Impls = []Impl{OMP, Tmk, MPI}
+// Impls is the comparison order used in the figures: the paper's three
+// implementations plus the NOW-vs-SMP column pair for the OpenMP source.
+var Impls = []Impl{OMP, OMPSMP, Tmk, MPI}
+
+// implLabel returns an Impl's column heading in the printed artifacts.
+func implLabel(i Impl) string {
+	switch i {
+	case OMP:
+		return "OpenMP"
+	case OMPSMP:
+		return "OMP/SMP"
+	case Tmk:
+		return "Tmk"
+	case MPI:
+		return "MPI"
+	}
+	return string(i)
+}
 
 // Scale selects the workload size.
 type Scale string
@@ -46,7 +67,8 @@ const (
 	Test Scale = "test"
 )
 
-// App is one of the five applications, wired to its four implementations.
+// App is one of the seven registered applications, wired to its
+// implementations.
 type App struct {
 	Name string
 	// DataSize describes the Full workload for Table 1.
@@ -73,6 +95,8 @@ var Apps = []App{
 			switch impl {
 			case OMP:
 				return sweep3d.RunOMP(p, procs)
+			case OMPSMP:
+				return sweep3d.RunOMPOn(p, procs, core.BackendSMP)
 			case Tmk:
 				return sweep3d.RunTmk(p, procs)
 			case MPI:
@@ -92,6 +116,8 @@ var Apps = []App{
 			switch impl {
 			case OMP:
 				return fft3d.RunOMP(p, procs)
+			case OMPSMP:
+				return fft3d.RunOMPOn(p, procs, core.BackendSMP)
 			case Tmk:
 				return fft3d.RunTmk(p, procs)
 			case MPI:
@@ -111,6 +137,8 @@ var Apps = []App{
 			switch impl {
 			case OMP:
 				return water.RunOMP(p, procs)
+			case OMPSMP:
+				return water.RunOMPOn(p, procs, core.BackendSMP)
 			case Tmk:
 				return water.RunTmk(p, procs)
 			case MPI:
@@ -130,6 +158,8 @@ var Apps = []App{
 			switch impl {
 			case OMP:
 				return tsp.RunOMP(p, procs)
+			case OMPSMP:
+				return tsp.RunOMPOn(p, procs, core.BackendSMP)
 			case Tmk:
 				return tsp.RunTmk(p, procs)
 			case MPI:
@@ -149,6 +179,8 @@ var Apps = []App{
 			switch impl {
 			case OMP:
 				return qsort.RunOMP(p, procs)
+			case OMPSMP:
+				return qsort.RunOMPOn(p, procs, core.BackendSMP)
 			case Tmk:
 				return qsort.RunTmk(p, procs)
 			case MPI:
@@ -168,6 +200,8 @@ var Apps = []App{
 			switch impl {
 			case OMP:
 				return lu.RunOMP(p, procs)
+			case OMPSMP:
+				return lu.RunOMPOn(p, procs, core.BackendSMP)
 			case Tmk:
 				return lu.RunTmk(p, procs)
 			case MPI:
@@ -187,6 +221,8 @@ var Apps = []App{
 			switch impl {
 			case OMP:
 				return barnes.RunOMP(p, procs)
+			case OMPSMP:
+				return barnes.RunOMPOn(p, procs, core.BackendSMP)
 			case Tmk:
 				return barnes.RunTmk(p, procs)
 			case MPI:

@@ -3,7 +3,7 @@
 // switch as the DSM but with the MPICH cost profile (TCP: 200 µs empty-
 // message round trip, 8.6 MB/s maximum bandwidth — Section 6).
 //
-// The subset implemented is what the five applications need: blocking
+// The subset implemented is what the registered applications need: blocking
 // standard-mode point-to-point with (source, tag) matching and eager
 // buffering, plus binomial-tree collectives (Barrier, Bcast, Reduce,
 // Allreduce, Gather, Alltoall). The paper's MPI codes send less data and

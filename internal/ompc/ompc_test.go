@@ -210,7 +210,7 @@ func TestCompileAndRunEndToEnd(t *testing.T) {
 	bodies := map[string]Body{
 		"main/work": func(tc *core.TC, env *Env) {
 			a := env.Addr("acc")
-			tc.Node().WriteI64(a+dsm.Addr(8*tc.ThreadNum()), int64(10+tc.ThreadNum()))
+			tc.WriteI64(a+dsm.Addr(8*tc.ThreadNum()), int64(10+tc.ThreadNum()))
 		},
 	}
 	c, err := Compile(ir, core.Config{Threads: P}, bodies)
@@ -221,7 +221,7 @@ func TestCompileAndRunEndToEnd(t *testing.T) {
 		m.Parallel("main/work", core.NoArgs())
 		env := c.Env("main")
 		for i := 0; i < P; i++ {
-			if got := m.Node().ReadI64(env.Addr("acc") + dsm.Addr(8*i)); got != int64(10+i) {
+			if got := m.ReadI64(env.Addr("acc") + dsm.Addr(8*i)); got != int64(10+i) {
 				t.Errorf("acc[%d] = %d, want %d", i, got, 10+i)
 			}
 		}
