@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short test-race smp-race bench-smoke bench tables ci
+.PHONY: build vet fmt-check test test-short test-race smp-race hybrid-race bench-smoke bench tables ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,15 @@ test-race:
 smp-race:
 	$(GO) test -race -run 'TestBackendConformance|TestSMPZeroTraffic|TestSemaphorePipelineDirectives|TestCriticalMutualExclusion|TestBarrierDirective' ./internal/core
 
+# Hybrid-backend smoke under the race detector: the conformance scenarios
+# on the NOW-of-SMPs backend (all island counts) plus the degenerate-limit
+# pins and one real application (Water at a two-island split). Like
+# smp-race it runs early in ci so an island-teams ordering bug fails in
+# seconds.
+hybrid-race:
+	$(GO) test -race -run 'TestBackendConformance|TestHybrid' ./internal/core
+	$(GO) test -race -run 'TestHybridRaceSmoke' ./internal/harness
+
 # One-iteration benchmark smoke: compiles and executes every benchmark
 # family (Table 1 / Figure 6 / Table 2 / micro / ablations) so they can
 # never silently rot.
@@ -48,4 +57,4 @@ bench:
 tables:
 	$(GO) run ./cmd/nowbench -all
 
-ci: build vet fmt-check test smp-race test-race bench-smoke
+ci: build vet fmt-check test smp-race hybrid-race test-race bench-smoke

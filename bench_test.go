@@ -3,8 +3,9 @@
 // artifact (DESIGN.md §3):
 //
 //	BenchmarkTable1_*            sequential times per application
-//	BenchmarkFigure6_*           8-processor speedups, OpenMP (NOW and
-//	                             SMP backends), Tmk, MPI
+//	BenchmarkFigure6_*           8-processor speedups, OpenMP (NOW, SMP
+//	                             and hybrid NOW-of-SMPs backends), Tmk,
+//	                             MPI
 //	BenchmarkTable2_*            data and message volumes
 //	BenchmarkMicro_*             Section 6 platform characteristics
 //	BenchmarkAblation*           Section 3 flush vs semaphore/condvar
@@ -75,36 +76,43 @@ func BenchmarkTable1_Barnes(b *testing.B)  { benchSeq(b, "Barnes") }
 
 func BenchmarkFigure6_Sweep3D_OpenMP(b *testing.B) { benchApp(b, "Sweep3D", harness.OMP, 8) }
 func BenchmarkFigure6_Sweep3D_OMPSMP(b *testing.B) { benchApp(b, "Sweep3D", harness.OMPSMP, 8) }
+func BenchmarkFigure6_Sweep3D_OMPHyb(b *testing.B) { benchApp(b, "Sweep3D", harness.OMPHybrid, 8) }
 func BenchmarkFigure6_Sweep3D_Tmk(b *testing.B)    { benchApp(b, "Sweep3D", harness.Tmk, 8) }
 func BenchmarkFigure6_Sweep3D_MPI(b *testing.B)    { benchApp(b, "Sweep3D", harness.MPI, 8) }
 
 func BenchmarkFigure6_3DFFT_OpenMP(b *testing.B) { benchApp(b, "3D-FFT", harness.OMP, 8) }
 func BenchmarkFigure6_3DFFT_OMPSMP(b *testing.B) { benchApp(b, "3D-FFT", harness.OMPSMP, 8) }
+func BenchmarkFigure6_3DFFT_OMPHyb(b *testing.B) { benchApp(b, "3D-FFT", harness.OMPHybrid, 8) }
 func BenchmarkFigure6_3DFFT_Tmk(b *testing.B)    { benchApp(b, "3D-FFT", harness.Tmk, 8) }
 func BenchmarkFigure6_3DFFT_MPI(b *testing.B)    { benchApp(b, "3D-FFT", harness.MPI, 8) }
 
 func BenchmarkFigure6_Water_OpenMP(b *testing.B) { benchApp(b, "Water", harness.OMP, 8) }
 func BenchmarkFigure6_Water_OMPSMP(b *testing.B) { benchApp(b, "Water", harness.OMPSMP, 8) }
+func BenchmarkFigure6_Water_OMPHyb(b *testing.B) { benchApp(b, "Water", harness.OMPHybrid, 8) }
 func BenchmarkFigure6_Water_Tmk(b *testing.B)    { benchApp(b, "Water", harness.Tmk, 8) }
 func BenchmarkFigure6_Water_MPI(b *testing.B)    { benchApp(b, "Water", harness.MPI, 8) }
 
 func BenchmarkFigure6_TSP_OpenMP(b *testing.B) { benchApp(b, "TSP", harness.OMP, 8) }
 func BenchmarkFigure6_TSP_OMPSMP(b *testing.B) { benchApp(b, "TSP", harness.OMPSMP, 8) }
+func BenchmarkFigure6_TSP_OMPHyb(b *testing.B) { benchApp(b, "TSP", harness.OMPHybrid, 8) }
 func BenchmarkFigure6_TSP_Tmk(b *testing.B)    { benchApp(b, "TSP", harness.Tmk, 8) }
 func BenchmarkFigure6_TSP_MPI(b *testing.B)    { benchApp(b, "TSP", harness.MPI, 8) }
 
 func BenchmarkFigure6_QSORT_OpenMP(b *testing.B) { benchApp(b, "QSORT", harness.OMP, 8) }
 func BenchmarkFigure6_QSORT_OMPSMP(b *testing.B) { benchApp(b, "QSORT", harness.OMPSMP, 8) }
+func BenchmarkFigure6_QSORT_OMPHyb(b *testing.B) { benchApp(b, "QSORT", harness.OMPHybrid, 8) }
 func BenchmarkFigure6_QSORT_Tmk(b *testing.B)    { benchApp(b, "QSORT", harness.Tmk, 8) }
 func BenchmarkFigure6_QSORT_MPI(b *testing.B)    { benchApp(b, "QSORT", harness.MPI, 8) }
 
 func BenchmarkFigure6_LU_OpenMP(b *testing.B) { benchApp(b, "LU", harness.OMP, 8) }
 func BenchmarkFigure6_LU_OMPSMP(b *testing.B) { benchApp(b, "LU", harness.OMPSMP, 8) }
+func BenchmarkFigure6_LU_OMPHyb(b *testing.B) { benchApp(b, "LU", harness.OMPHybrid, 8) }
 func BenchmarkFigure6_LU_Tmk(b *testing.B)    { benchApp(b, "LU", harness.Tmk, 8) }
 func BenchmarkFigure6_LU_MPI(b *testing.B)    { benchApp(b, "LU", harness.MPI, 8) }
 
 func BenchmarkFigure6_Barnes_OpenMP(b *testing.B) { benchApp(b, "Barnes", harness.OMP, 8) }
 func BenchmarkFigure6_Barnes_OMPSMP(b *testing.B) { benchApp(b, "Barnes", harness.OMPSMP, 8) }
+func BenchmarkFigure6_Barnes_OMPHyb(b *testing.B) { benchApp(b, "Barnes", harness.OMPHybrid, 8) }
 func BenchmarkFigure6_Barnes_Tmk(b *testing.B)    { benchApp(b, "Barnes", harness.Tmk, 8) }
 func BenchmarkFigure6_Barnes_MPI(b *testing.B)    { benchApp(b, "Barnes", harness.MPI, 8) }
 

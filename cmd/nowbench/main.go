@@ -2,11 +2,13 @@
 // evaluation on the simulated network of workstations:
 //
 //	nowbench -table 1              Table 1 (apps, sizes, sequential times)
-//	nowbench -figure 6             Figure 6 speedups: OpenMP on the NOW
-//	                               and SMP backends vs TreadMarks vs MPI
+//	nowbench -figure 6             Figure 6 speedups: OpenMP on the NOW,
+//	                               SMP and hybrid NOW-of-SMPs backends vs
+//	                               TreadMarks vs MPI
 //	nowbench -table 2              Table 2 (data and message counts; the
 //	                               omp-smp columns are the zero-traffic
-//	                               hardware-shared-memory baseline)
+//	                               hardware-shared-memory baseline, the
+//	                               omp-hybrid columns inter-island only)
 //	nowbench -gc                   protocol-metadata GC accounting table
 //	nowbench -micro                Section 6 platform characteristics
 //	nowbench -ablation section3    Section 3 flush-vs-sema/condvar studies
@@ -16,11 +18,12 @@
 //	nowbench -sweep                speedup curves for P = 1,2,4,8
 //	nowbench -all                  everything above
 //
-// Add -scale test for a fast run on reduced inputs, and -procs N to change
-// the processor count of Figure 6 / Table 2. Independent experiment cells
-// run concurrently on a bounded worker pool (output order is unaffected);
-// -workers N bounds the pool, with -workers 1 reproducing the fully
-// sequential harness.
+// Add -scale test for a fast run on reduced inputs, -procs N to change
+// the processor count of Figure 6 / Table 2, and -islands K to set the
+// SMP island count of the omp-hybrid columns (default 2; clamped to the
+// processor count). Independent experiment cells run concurrently on a
+// bounded worker pool (output order is unaffected); -workers N bounds the
+// pool, with -workers 1 reproducing the fully sequential harness.
 package main
 
 import (
@@ -41,6 +44,7 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "print speedup curves over processor counts")
 		all      = flag.Bool("all", false, "run every experiment")
 		procs    = flag.Int("procs", 8, "processor count for Figure 6 and Table 2")
+		islands  = flag.Int("islands", 0, "SMP island count for the omp-hybrid columns (0 = default 2)")
 		scale    = flag.String("scale", "full", "workload scale: full or test")
 		workers  = flag.Int("workers", 0, "grid worker pool width (0 = one per CPU, 1 = sequential)")
 	)
@@ -52,6 +56,9 @@ func main() {
 	}
 	if *workers > 0 {
 		harness.Workers = *workers
+	}
+	if *islands > 0 {
+		harness.HybridIslands = *islands
 	}
 	ran := false
 	out := os.Stdout

@@ -4,12 +4,14 @@
 //
 //	nowomp -app Water -impl omp -procs 8
 //	nowomp -app Water -impl omp-smp -procs 8
+//	nowomp -app Water -impl omp-hybrid -procs 8 -islands 2
 //	nowomp -app TSP -impl mpi -procs 4 -scale test
 //
 // Implementations: seq (sequential reference), omp (compiled OpenMP on
 // TreadMarks over the NOW), omp-smp (the same OpenMP source on the
-// hardware-shared-memory backend), tmk (hand-coded TreadMarks), mpi
-// (hand-coded MPI).
+// hardware-shared-memory backend), omp-hybrid (the same source on a NOW
+// of SMP islands; -islands sets the island count), tmk (hand-coded
+// TreadMarks), mpi (hand-coded MPI).
 package main
 
 import (
@@ -23,12 +25,16 @@ import (
 
 func main() {
 	var (
-		app   = flag.String("app", "", "application: Sweep3D, 3D-FFT, Water, TSP, QSORT, LU, Barnes")
-		impl  = flag.String("impl", "omp", "implementation: seq, omp, omp-smp, tmk, mpi")
-		procs = flag.Int("procs", 8, "number of simulated workstations")
-		scale = flag.String("scale", "full", "workload scale: full or test")
+		app     = flag.String("app", "", "application: Sweep3D, 3D-FFT, Water, TSP, QSORT, LU, Barnes")
+		impl    = flag.String("impl", "omp", "implementation: seq, omp, omp-smp, omp-hybrid, tmk, mpi")
+		procs   = flag.Int("procs", 8, "number of simulated processors")
+		islands = flag.Int("islands", 0, "SMP island count for omp-hybrid (0 = default 2)")
+		scale   = flag.String("scale", "full", "workload scale: full or test")
 	)
 	flag.Parse()
+	if *islands > 0 {
+		harness.HybridIslands = *islands
+	}
 
 	a, ok := harness.FindApp(*app)
 	if !ok {

@@ -1,8 +1,9 @@
 // Quickstart: a parallel dot product in ~40 lines — the SAME source run
-// twice, once on the simulated network of workstations (TreadMarks) and
-// once on hardware shared memory (goroutines), selected purely by
-// core.Config.Backend. That is the paper's thesis as an API: a portable
-// directive program whose execution substrate is a configuration knob.
+// three times: on the simulated network of workstations (TreadMarks), on
+// hardware shared memory (goroutines), and on a hybrid NOW of SMP
+// islands, selected purely by core.Config.Backend. That is the paper's
+// thesis as an API: a portable directive program whose execution
+// substrate is a configuration knob.
 //
 // The program follows the paper's model: variables default to PRIVATE
 // (plain Go locals); anything shared is explicitly allocated with
@@ -68,6 +69,7 @@ func dot(backend core.BackendKind) {
 }
 
 func main() {
-	dot(core.BackendNOW) // TreadMarks on the simulated NOW
-	dot(core.BackendSMP) // the same source on hardware shared memory
+	dot(core.BackendNOW)       // TreadMarks on the simulated NOW
+	dot(core.BackendSMP)       // the same source on hardware shared memory
+	dot(core.HybridIslands(2)) // and on a NOW of two SMP islands
 }

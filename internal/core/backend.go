@@ -1,6 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"repro/internal/dsm"
 	"repro/internal/sim"
 )
@@ -13,14 +17,18 @@ import (
 // against Backend and Worker, and an application written against the
 // core API runs on any backend selected through Config.Backend.
 //
-// Two backends are provided:
+// Three backends are provided:
 //
-//	BackendNOW — TreadMarks on the simulated network of workstations
-//	             (internal/dsm): the paper's system.
-//	BackendSMP — goroutines over one flat byte heap with native
-//	             synchronization (backend_smp.go): the hardware
-//	             shared-memory machine OpenMP was born on, the paper's
-//	             implicit baseline. Zero interconnect traffic.
+//	BackendNOW    — TreadMarks on the simulated network of workstations
+//	                (internal/dsm): the paper's system.
+//	BackendSMP    — goroutines over one flat byte heap with native
+//	                synchronization (backend_smp.go): the hardware
+//	                shared-memory machine OpenMP was born on, the paper's
+//	                implicit baseline. Zero interconnect traffic.
+//	BackendHybrid — a NOW of SMPs (backend_hybrid.go): the team mapped
+//	                onto k SMP islands, intra-island synchronization and
+//	                memory at bus scale, inter-island coherence through
+//	                the LRC DSM with one dsm.Node per island.
 
 // Addr is an address in a backend's shared address space. It aliases
 // dsm.Addr so hand-coded TreadMarks sources and backend-neutral OpenMP
@@ -54,7 +62,51 @@ const (
 	// BackendSMP runs on goroutines over a flat shared heap with native
 	// synchronization — hardware shared memory, the paper's baseline.
 	BackendSMP BackendKind = "smp"
+	// BackendHybrid runs on a network of SMP islands: native sharing
+	// inside each island, the LRC DSM between islands. The island count
+	// comes from Config.Islands (default 2, clamped to the team size);
+	// HybridIslands(k) encodes an explicit count into the kind itself.
+	BackendHybrid BackendKind = "hybrid"
 )
+
+// HybridIslands returns the hybrid backend kind pinned to k SMP islands,
+// e.g. HybridIslands(2) == "hybrid:2". k is clamped to [1, Threads] at
+// program creation, so HybridIslands(1) is an all-local degenerate (one
+// big SMP) and any k ≥ Threads degenerates to one worker per island (a
+// pure NOW). A non-positive k leaves the count unspecified, deferring to
+// Config.Islands (and its default) exactly like plain BackendHybrid.
+func HybridIslands(k int) BackendKind {
+	if k <= 0 {
+		return BackendHybrid
+	}
+	return BackendKind(fmt.Sprintf("hybrid:%d", k))
+}
+
+// parseBackendKind splits a kind into its base name and, for hybrid kinds,
+// the encoded island count (0 when unspecified).
+func parseBackendKind(k BackendKind) (base BackendKind, islands int, ok bool) {
+	s := string(k)
+	if s == "" {
+		return BackendNOW, 0, true
+	}
+	if rest, found := strings.CutPrefix(s, string(BackendHybrid)); found {
+		if rest == "" {
+			return BackendHybrid, 0, true
+		}
+		if num, found := strings.CutPrefix(rest, ":"); found {
+			v, err := strconv.Atoi(num)
+			if err == nil && v > 0 {
+				return BackendHybrid, v, true
+			}
+		}
+		return "", 0, false
+	}
+	switch BackendKind(s) {
+	case BackendNOW, BackendSMP:
+		return BackendKind(s), 0, true
+	}
+	return "", 0, false
+}
 
 // Worker is one thread's handle on its backend: shared-memory access,
 // synchronization, and the virtual clock. It is the runtime-level API the

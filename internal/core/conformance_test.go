@@ -378,20 +378,23 @@ var conformanceScenarios = []conformanceScenario{
 	},
 }
 
-// TestBackendConformance runs every scenario on every backend and
-// requires identical observable results, with the NOW backend as the
-// reference.
+// TestBackendConformance runs every scenario on every backend — the NOW,
+// the SMP, and the hybrid at island counts {1, 2, procs} — and requires
+// identical observable results, with the NOW backend as the reference.
 func TestBackendConformance(t *testing.T) {
 	for _, sc := range conformanceScenarios {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
 			ref := sc.run(t, BackendNOW)
 			for _, bk := range backends[1:] {
-				got := sc.run(t, bk)
-				if !reflect.DeepEqual(got, ref) {
-					t.Errorf("backend %s diverges from %s:\n got %v\nwant %v",
-						bk, backends[0], got, ref)
-				}
+				bk := bk
+				t.Run(string(bk), func(t *testing.T) {
+					got := sc.run(t, bk)
+					if !reflect.DeepEqual(got, ref) {
+						t.Errorf("backend %s diverges from %s:\n got %v\nwant %v",
+							bk, backends[0], got, ref)
+					}
+				})
 			}
 		})
 	}

@@ -54,6 +54,13 @@ type Config struct {
 	// Backend selects the execution substrate; the zero value is
 	// BackendNOW, the paper's network of workstations.
 	Backend BackendKind
+	// Islands is the SMP island count of the hybrid backend (ignored by
+	// the others): the team's Threads workers are mapped onto this many
+	// islands, intra-island sharing at bus scale, inter-island coherence
+	// through the DSM. 0 defaults to 2; the value is clamped to
+	// [1, Threads]. An island count encoded in the Backend kind itself
+	// (HybridIslands) takes precedence.
+	Islands int
 }
 
 // Program is one OpenMP program instance: shared-data layout, registered
@@ -74,13 +81,20 @@ func NewProgram(cfg Config) *Program {
 		panic("core: Config.Threads must be positive")
 	}
 	var be Backend
-	switch cfg.Backend {
-	case "", BackendNOW:
+	base, islands, ok := parseBackendKind(cfg.Backend)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown backend %q", cfg.Backend))
+	}
+	switch base {
+	case BackendNOW:
 		be = newDSMBackend(cfg)
 	case BackendSMP:
 		be = newSMPBackend(cfg)
-	default:
-		panic(fmt.Sprintf("core: unknown backend %q", cfg.Backend))
+	case BackendHybrid:
+		if islands == 0 {
+			islands = cfg.Islands
+		}
+		be = newHybridBackend(cfg, islands)
 	}
 	p := &Program{
 		be:       be,

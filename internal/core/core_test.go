@@ -6,8 +6,17 @@ import (
 
 // backends lists every execution substrate; the runtime tests below run
 // identically on each, which is the first half of the backend-seam
-// contract (conformance_test.go adds the cross-backend comparisons).
-var backends = []BackendKind{BackendNOW, BackendSMP}
+// contract (conformance_test.go adds the cross-backend comparisons). The
+// hybrid backend appears at three island counts: the all-local degenerate
+// (1), a genuine NOW-of-SMPs split (2), and — via clamping of a large
+// count — one thread per island, the pure-NOW degenerate.
+var backends = []BackendKind{
+	BackendNOW,
+	BackendSMP,
+	HybridIslands(1),
+	HybridIslands(2),
+	HybridIslands(1 << 20), // clamps to islands == procs
+}
 
 // forEachBackend runs fn as a subtest per backend.
 func forEachBackend(t *testing.T, fn func(t *testing.T, bk BackendKind)) {

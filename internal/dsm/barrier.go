@@ -26,7 +26,11 @@ func newBarrierMgr(procs int) *barrierMgr {
 
 // Barrier synchronizes all processors (OpenMP barrier semantics: all
 // modifications before the barrier are visible to every thread after it).
-func (n *Node) Barrier() {
+// On an SMP island this is the inter-island phase only: the hybrid backend
+// gathers the island's threads locally and one of them crosses the
+// network on the island's behalf.
+func (c *Client) Barrier() {
+	n := c.n
 	procs := n.sys.cfg.Procs
 	n.mu.Lock()
 	n.stats.Barriers++
@@ -41,10 +45,10 @@ func (n *Node) Barrier() {
 		encodeRecords(&w, n.deltaForLocked(n.knownVC[0]))
 		n.noteSentLocked(0)
 		// Sent under mu: atomic with the estimate update.
-		n.ep.Send(0, msgBarrArrive, network.ClassRequest, w.b)
+		n.ep.SendAt(0, msgBarrArrive, network.ClassRequest, w.b, c.clk.Now())
 		n.mu.Unlock()
 
-		m := n.recvReply(msgBarrDepart)
+		m := c.recvReply(msgBarrDepart, 0)
 		r := rbuf{b: m.Payload}
 		mgrVC := r.vc()
 		recs := decodeRecords(&r)
@@ -56,7 +60,7 @@ func (n *Node) Barrier() {
 			// departure, NOT our own: the server may already have
 			// incorporated intervals a faster peer created after leaving
 			// this barrier, and those are not globally known yet.
-			n.gcEpochLocked(mgrVC)
+			n.gcEpochLocked(c, mgrVC)
 		}
 		n.mu.Unlock()
 		return
@@ -91,8 +95,8 @@ func (n *Node) Barrier() {
 		senderVC := r.vc()
 		arrivals = append(arrivals, arrival{from: m.From, vc: senderVC})
 	}
-	n.clock.AdvanceTo(latest)
-	n.clock.Advance(sim.Time(procs-1) * n.sys.plat.RequestService)
+	c.clk.AdvanceTo(latest)
+	c.clk.Advance(sim.Time(procs-1) * n.sys.plat.RequestService)
 
 	n.mu.Lock()
 	// Snapshot the departure clock ONCE, before the send loop's unlock
@@ -109,7 +113,7 @@ func (n *Node) Barrier() {
 		// validation fetches race with nothing, and the departure arrival
 		// times then carry the (real, TreadMarks-style) GC pause. The
 		// manager's merged clock is the floor every departure carries.
-		n.gcEpochLocked(n.vc.clone())
+		n.gcEpochLocked(c, n.vc.clone())
 	}
 	depVC := n.vc.clone()
 	for _, a := range arrivals {
@@ -122,7 +126,7 @@ func (n *Node) Barrier() {
 		// is sound — only the floor clock must be the snapshot.
 		encodeRecords(&w, n.deltaForLocked(a.vc))
 		n.mu.Unlock()
-		n.ep.Send(a.from, msgBarrDepart, network.ClassReply, w.b)
+		n.ep.SendAt(a.from, msgBarrDepart, network.ClassReply, w.b, c.clk.Now())
 		n.mu.Lock()
 	}
 	n.mu.Unlock()

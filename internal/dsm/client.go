@@ -1,0 +1,218 @@
+package dsm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// The island-delegate hooks: everything a NOW-of-SMPs backend needs to
+// let SEVERAL application threads share one dsm.Node.
+//
+// A classic node is one workstation with exactly one application thread;
+// every blocking primitive parks that thread on the node's single reply
+// channel and every protocol cost lands on the node's single clock. An
+// SMP island keeps one Node as its delegate — one seat in the LRC
+// protocol, one private copy of the paged address space — but runs a whole
+// team of threads against it. Client is one such thread's handle: it
+// carries the thread's own virtual clock, a reply tag that routes grants
+// and acknowledgments back to the exact thread that asked for them, and
+// the island-local cost constants for synchronization satisfied without
+// leaving the node.
+//
+// The classic single-thread node is the degenerate case: every Node owns
+// a default client (tag 0, the node's own clock, zero local costs) and its
+// exported application API simply delegates to it, so a system built
+// without Config.MultiClient keeps its API and protocol semantics. (The
+// wire format did change for everyone: tagged requests and replies cost
+// 4 extra bytes, and handleSemaWait's banked-timestamp causality fix can
+// delay a semaphore grant that previously ignored its matching signal's
+// virtual time.)
+
+// ClientCosts are the island-local (bus-scale) synchronization charges a
+// multi-client node applies to operations that complete without protocol
+// messages: a lock handoff between two threads of the island, a semaphore
+// op banked at a local manager, a condition wake. The zero value (used by
+// the classic client) charges nothing, preserving single-thread behavior.
+type ClientCosts struct {
+	Lock sim.Time
+	Sema sim.Time
+	Cond sim.Time
+}
+
+// Client is one application thread's handle on a Node. All application-
+// side protocol operations (synchronization, typed shared-memory access,
+// fork/join) are Client methods; Node re-exports them through its default
+// client for the classic one-thread-per-node configuration.
+type Client struct {
+	n     *Node
+	clk   *sim.Clock
+	tag   uint32
+	costs ClientCosts
+}
+
+// NewClient registers an additional application thread on the node. The
+// thread's protocol replies are routed by a per-node tag, so the node must
+// belong to a system created with Config.MultiClient. clk is the thread's
+// own virtual clock (protocol costs incurred on the thread's behalf are
+// charged there).
+func (n *Node) NewClient(clk *sim.Clock, costs ClientCosts) *Client {
+	if n.router == nil {
+		panic("dsm: NewClient requires a Config.MultiClient system")
+	}
+	n.mu.Lock()
+	n.nextTag++
+	tag := n.nextTag
+	n.mu.Unlock()
+	return &Client{n: n, clk: clk, tag: tag, costs: costs}
+}
+
+// Node returns the island delegate this client runs against.
+func (c *Client) Node() *Node { return c.n }
+
+// Now returns the client's current virtual time.
+func (c *Client) Now() sim.Time { return c.clk.Now() }
+
+// Compute charges the virtual cost of flops floating-point operations to
+// the client's clock.
+func (c *Client) Compute(flops float64) {
+	c.clk.Advance(c.n.sys.plat.ComputeCost(flops))
+}
+
+// Charge advances the client's clock by an explicit duration.
+func (c *Client) Charge(d sim.Time) { c.clk.Advance(d) }
+
+// recvReply blocks the client for the next reply addressed to it —
+// from the wire or from the node's own protocol server (self-grants) —
+// advances the client's clock to its arrival, and asserts its type. On a
+// classic node this reads the shared reply channel directly; on a
+// multi-client node the reply router matches (type, key), where key is
+// the client's tag for tagged reply types and 0 for replies that are
+// unique per node by construction (page/diff replies under the island
+// engine lock, barrier departures, flush acks).
+func (c *Client) recvReply(wantType int, key uint32) *network.Message {
+	n := c.n
+	var m *network.Message
+	if n.router != nil {
+		m = n.router.await(wantType, key, n.sys.done)
+	} else {
+		select {
+		case m = <-n.ep.Chan(network.ClassReply):
+		case m = <-n.selfReply:
+		case <-n.sys.done:
+		}
+	}
+	if m == nil {
+		panic(abortError{cause: "switch shut down"})
+	}
+	c.clk.AdvanceTo(m.Arrive)
+	if m.Type != wantType {
+		panic(fmt.Sprintf("dsm: node %d expected reply type %d, got %d from %d", n.id, wantType, m.Type, m.From))
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------
+// Reply routing. One goroutine per multi-client node drains the node's
+// reply channels and matches each message to the waiter it answers. Tagged
+// reply types (lock grants, semaphore grants and acks, condition-wait
+// acks) carry the requesting client's tag in a fixed payload position;
+// untagged types route by message type alone, which is unambiguous because
+// the operations that await them are serialized per island (see the
+// uniqueness argument in recvReply).
+// ---------------------------------------------------------------------
+
+type routeKey struct {
+	typ int
+	key uint32
+}
+
+type replyRouter struct {
+	mu      sync.Mutex
+	waiting map[routeKey][]chan *network.Message
+	backlog map[routeKey][]*network.Message
+}
+
+func newReplyRouter() *replyRouter {
+	return &replyRouter{
+		waiting: make(map[routeKey][]chan *network.Message),
+		backlog: make(map[routeKey][]*network.Message),
+	}
+}
+
+// replyRouteKey extracts the routing key of a reply message: the client
+// tag for tagged types, 0 otherwise.
+func replyRouteKey(m *network.Message) routeKey {
+	k := routeKey{typ: m.Type}
+	switch m.Type {
+	case msgLockGrant, msgSemaGrant:
+		// Payload leads with [i32 id][u32 tag].
+		r := rbuf{b: m.Payload}
+		r.i32()
+		k.key = r.u32()
+	case msgSemaAck, msgCondWaitAck:
+		// Payload is [u32 tag].
+		r := rbuf{b: m.Payload}
+		k.key = r.u32()
+	}
+	return k
+}
+
+// route delivers one message: to a registered waiter if any, otherwise to
+// the backlog for the next matching await.
+func (r *replyRouter) route(m *network.Message) {
+	k := replyRouteKey(m)
+	r.mu.Lock()
+	if q := r.waiting[k]; len(q) > 0 {
+		ch := q[0]
+		r.waiting[k] = q[1:]
+		r.mu.Unlock()
+		ch <- m
+		return
+	}
+	r.backlog[k] = append(r.backlog[k], m)
+	r.mu.Unlock()
+}
+
+// await blocks until a message with the given (type, key) is routed here
+// or the system shuts down (returning nil).
+func (r *replyRouter) await(typ int, key uint32, done <-chan struct{}) *network.Message {
+	k := routeKey{typ: typ, key: key}
+	r.mu.Lock()
+	if q := r.backlog[k]; len(q) > 0 {
+		m := q[0]
+		r.backlog[k] = q[1:]
+		r.mu.Unlock()
+		return m
+	}
+	ch := make(chan *network.Message, 1)
+	r.waiting[k] = append(r.waiting[k], ch)
+	r.mu.Unlock()
+	select {
+	case m := <-ch:
+		return m
+	case <-done:
+		return nil
+	}
+}
+
+// pump is the router goroutine: it drains the node's wire reply channel
+// and self-reply channel and routes every message. It exits when the
+// switch shuts down.
+func (r *replyRouter) pump(n *Node) {
+	for {
+		select {
+		case m, ok := <-n.ep.Chan(network.ClassReply):
+			if !ok || m == nil {
+				return
+			}
+			r.route(m)
+		case m := <-n.selfReply:
+			r.route(m)
+		case <-n.sys.done:
+			return
+		}
+	}
+}

@@ -14,10 +14,16 @@ import (
 // the manager removes the first thread from that queue and puts it at the
 // end of the queue for the lock. The waiting thread will regain the lock
 // after all previous lock acquires for the same lock are released."
+//
+// Multi-client nodes: a wait registration carries the waiting client's
+// reply tag; the eventual wake-grant (an ordinary lock grant issued when
+// the queue transfer reaches the front of the lock chain) echoes it, so
+// the wake routes to the exact island thread that went to sleep even while
+// island-mates acquire and release the same lock.
 
 // condQueue lives at the associated lock's manager node.
 type condQueue struct {
-	waiters []semaWaiter // reuse: from, vc-at-wait, arrival time
+	waiters []semaWaiter // reuse: from, tag, vc-at-wait, arrival time
 }
 
 func (n *Node) condFor(id int) *condQueue {
@@ -45,7 +51,8 @@ func (n *Node) condFor(id int) *condQueue {
 // wakeup; observed as a rare QSORT termination deadlock). With the ack,
 // any signaler acquired the lock after our registration completed, so
 // its signal is enqueued at the manager strictly after our wait.
-func (n *Node) CondWait(condID, lockID int) {
+func (c *Client) CondWait(condID, lockID int) {
+	n := c.n
 	mgr := n.lockMgr(lockID)
 	n.mu.Lock()
 	n.stats.CondOps++
@@ -61,34 +68,30 @@ func (n *Node) CondWait(condID, lockID int) {
 	if n.id == mgr {
 		// Local registration is atomic with the release under mu.
 		cq := n.condFor(condID)
-		cq.waiters = append(cq.waiters, semaWaiter{from: n.id, vc: myVC, arrive: n.clock.Now()})
+		cq.waiters = append(cq.waiters, semaWaiter{from: n.id, tag: c.tag, vc: myVC, arrive: c.clk.Now()})
 	} else {
 		var w wbuf
 		w.i32(condID)
 		w.i32(lockID)
+		w.u32(c.tag)
 		w.vc(myVC)
 		n.mu.Unlock()
-		n.ep.Send(mgr, msgCondWait, network.ClassRequest, w.b)
-		n.recvReply(msgCondWaitAck)
+		n.ep.SendAt(mgr, msgCondWait, network.ClassRequest, w.b, c.clk.Now())
+		c.recvReply(msgCondWaitAck, c.tag)
 		n.mu.Lock()
 	}
 
-	// Registered: now free the lock and serve anyone queued behind us.
-	ls.held = false
-	if len(ls.pending) > 0 {
-		p := ls.pending[0]
-		ls.pending = ls.pending[1:]
-		ls.haveToken = false
-		n.sendGrantLocked(lockID, p.from, p.vc, n.clock.Now())
-	}
-	n.mu.Unlock()
+	// Registered: now free the lock — an island-mate parked locally takes
+	// it first, then anyone queued behind us in the global chain.
+	c.handoffLocked(ls, lockID)
 
 	// Block until a signal routes the lock back to us.
-	m := n.recvReply(msgLockGrant)
+	m := c.recvReply(msgLockGrant, c.tag)
 	r := rbuf{b: m.Payload}
 	if got := r.i32(); got != lockID {
 		panic("dsm: condition wake granted wrong lock")
 	}
+	r.u32() // tag: already matched by routing
 	senderVC := r.vc()
 	recs := decodeRecords(&r)
 	n.mu.Lock()
@@ -96,28 +99,32 @@ func (n *Node) CondWait(condID, lockID int) {
 	n.noteHeardLocked(m.From, senderVC)
 	ls.haveToken = true
 	ls.held = true
+	ls.holderTag = c.tag
 	n.mu.Unlock()
+	c.clk.Advance(c.costs.Cond + c.costs.Lock)
 }
 
 // CondSignal unblocks one thread waiting on condID (no effect if none).
 // The caller must hold the associated lock; the woken thread regains the
 // lock only after the caller (and any earlier acquirers) release it.
-func (n *Node) CondSignal(condID, lockID int) {
-	n.condNotify(condID, lockID, false)
+func (c *Client) CondSignal(condID, lockID int) {
+	c.condNotify(condID, lockID, false)
 }
 
 // CondBroadcast unblocks every thread waiting on condID; the woken threads
 // chain onto the lock's request queue in their wait order.
-func (n *Node) CondBroadcast(condID, lockID int) {
-	n.condNotify(condID, lockID, true)
+func (c *Client) CondBroadcast(condID, lockID int) {
+	c.condNotify(condID, lockID, true)
 }
 
-func (n *Node) condNotify(condID, lockID int, all bool) {
+func (c *Client) condNotify(condID, lockID int, all bool) {
+	n := c.n
+	c.clk.Advance(c.costs.Cond)
 	mgr := n.lockMgr(lockID)
 	n.mu.Lock()
 	n.stats.CondOps++
 	if n.id == mgr {
-		n.condWakeLocked(condID, lockID, all, n.clock.Now())
+		n.condWakeLocked(condID, lockID, all, c.clk.Now())
 		n.mu.Unlock()
 		return
 	}
@@ -129,7 +136,7 @@ func (n *Node) condNotify(condID, lockID int, all bool) {
 	if all {
 		typ = msgCondBroadcast
 	}
-	n.ep.Send(mgr, typ, network.ClassRequest, w.b)
+	n.ep.SendAt(mgr, typ, network.ClassRequest, w.b, c.clk.Now())
 }
 
 // condWakeLocked implements the manager's queue transfer: each woken
@@ -139,7 +146,7 @@ func (n *Node) condWakeLocked(condID, lockID int, all bool, at sim.Time) {
 	for len(cq.waiters) > 0 {
 		wtr := cq.waiters[0]
 		cq.waiters = cq.waiters[1:]
-		n.enqueueLockRequestLocked(lockID, wtr.from, wtr.vc, at)
+		n.enqueueLockRequestLocked(lockID, wtr.from, wtr.tag, wtr.vc, at)
 		if !all {
 			return
 		}
@@ -148,38 +155,30 @@ func (n *Node) condWakeLocked(condID, lockID int, all bool, at sim.Time) {
 
 // enqueueLockRequestLocked runs the manager's acquire logic on behalf of a
 // remote (or local) requester — exactly what handleAcqReq does for a wire
-// request.
-func (n *Node) enqueueLockRequestLocked(lockID, requester int, reqVC VectorClock, at sim.Time) {
+// request. When the chain ends at this node, the token is granted if free
+// and queued behind the current holder otherwise (the holder may be any
+// client of this node).
+func (n *Node) enqueueLockRequestLocked(lockID, requester int, tag uint32, reqVC VectorClock, at sim.Time) {
 	ls := n.lockFor(lockID)
 	prev := ls.lastReq
 	ls.lastReq = requester
 	if prev == n.id {
 		if ls.haveToken && !ls.held {
 			ls.haveToken = false
-			n.sendGrantLocked(lockID, requester, reqVC, at)
+			n.sendGrantLocked(lockID, requester, tag, reqVC, at)
 			return
 		}
-		ls.pending = append(ls.pending, pendingReq{from: requester, vc: reqVC, arrive: at})
+		ls.pending = append(ls.pending, pendingReq{from: requester, tag: tag, vc: reqVC, arrive: at})
 		return
 	}
+	// Forward to the chain tail. If the waiter was itself the tail when it
+	// went to sleep, the forward loops back to its own node, whose server
+	// grants to the local application thread.
 	var w wbuf
 	w.i32(lockID)
 	w.i32(requester)
+	w.u32(tag)
 	w.vc(reqVC)
-	if prev == requester {
-		// The waiter was itself the chain tail when it went to sleep; its
-		// own node still has the free token, so the forward loops back to
-		// it and its server grants to the local application thread.
-		if requester == n.id {
-			// Manager == waiter == tail: grant locally.
-			if !ls.haveToken || ls.held {
-				panic("dsm: condition wake found manager tail without token")
-			}
-			ls.haveToken = false
-			n.sendGrantLocked(lockID, requester, reqVC, at)
-			return
-		}
-	}
 	n.ep.SendAt(prev, msgAcqFwd, network.ClassRequest, w.b, at)
 }
 
@@ -190,14 +189,17 @@ func (n *Node) handleCondWait(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	condID := r.i32()
 	_ = r.i32() // lockID: queue transfer happens at signal time
+	tag := r.u32()
 	reqVC := r.vc()
 	at := m.Arrive + n.sys.plat.RequestService
 	n.mu.Lock()
 	n.chargeInterruptLocked()
 	cq := n.condFor(condID)
-	cq.waiters = append(cq.waiters, semaWaiter{from: m.From, vc: reqVC, arrive: m.Arrive})
+	cq.waiters = append(cq.waiters, semaWaiter{from: m.From, tag: tag, vc: reqVC, arrive: m.Arrive})
 	n.mu.Unlock()
-	n.ep.SendAt(m.From, msgCondWaitAck, network.ClassReply, nil, at)
+	var ack wbuf
+	ack.u32(tag)
+	n.ep.SendAt(m.From, msgCondWaitAck, network.ClassReply, ack.b, at)
 }
 
 // handleCondNotify runs on the lock manager's protocol server for both

@@ -14,7 +14,8 @@ import (
 //
 // It is retained here so the ablation experiments can measure exactly that
 // cost against the proposed semaphores and condition variables.
-func (n *Node) Flush() {
+func (c *Client) Flush() {
+	n := c.n
 	procs := n.sys.cfg.Procs
 	n.mu.Lock()
 	n.stats.Flushes++
@@ -32,11 +33,11 @@ func (n *Node) Flush() {
 		encodeRecords(&w, n.deltaForLocked(n.knownVC[j]))
 		n.noteSentLocked(j)
 		// Sent under mu: atomic with the estimate update.
-		n.ep.Send(j, msgFlush, network.ClassRequest, w.b)
+		n.ep.SendAt(j, msgFlush, network.ClassRequest, w.b, c.clk.Now())
 	}
 	n.mu.Unlock()
 	for i := 0; i < procs-1; i++ {
-		n.recvReply(msgFlushAck)
+		c.recvReply(msgFlushAck, 0)
 	}
 }
 

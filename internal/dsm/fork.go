@@ -15,7 +15,8 @@ import (
 // in Section 4.3.2). Fork counts as a release by the master and an acquire
 // by each slave; join is the reverse, so the master sees all slave writes
 // after RunParallel returns.
-func (n *Node) RunParallel(region string, arg []byte) {
+func (c *Client) RunParallel(region string, arg []byte) {
+	n := c.n
 	if n.id != 0 {
 		panic("dsm: RunParallel must be called by the master (node 0)")
 	}
@@ -32,7 +33,7 @@ func (n *Node) RunParallel(region string, arg []byte) {
 	n.closeIntervalLocked()
 	forkVC := n.vc.clone() // one clock for the GC floor and every fork message
 	if n.sys.gcOn {
-		n.gcEpochLocked(forkVC)
+		n.gcEpochLocked(c, forkVC)
 	}
 	for i := 1; i < procs; i++ {
 		var w wbuf
@@ -42,7 +43,7 @@ func (n *Node) RunParallel(region string, arg []byte) {
 		encodeRecords(&w, n.deltaForLocked(n.knownVC[i]))
 		n.noteSentLocked(i)
 		// Sent under mu: atomic with the estimate update.
-		n.ep.Send(i, msgFork, network.ClassRequest, w.b)
+		n.ep.SendAt(i, msgFork, network.ClassRequest, w.b, c.clk.Now())
 	}
 	n.mu.Unlock()
 
@@ -65,7 +66,7 @@ func (n *Node) RunParallel(region string, arg []byte) {
 		// Consistency information was already incorporated by the
 		// protocol server, in wire order; the join here only
 		// synchronizes time.
-		n.clock.AdvanceTo(m.Arrive)
+		c.clk.AdvanceTo(m.Arrive)
 	}
 }
 

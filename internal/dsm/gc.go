@@ -134,7 +134,7 @@ func ivlRecordBytes(ivl *interval) int64 {
 // floors, which are identical on every node by construction, so every
 // node skips and collects the same episodes with no extra coordination;
 // checkEpochFloor tripwires that agreement.
-func (n *Node) gcEpochLocked(retire VectorClock) {
+func (n *Node) gcEpochLocked(c *Client, retire VectorClock) {
 	episode := n.stats.GCEpisodes
 	n.stats.GCEpisodes++
 	pending := retire.sum()
@@ -153,7 +153,7 @@ func (n *Node) gcEpochLocked(retire VectorClock) {
 
 	n.freeRetiredLocked()
 	if n.id == 0 {
-		n.gcValidatePagesLocked(retire)
+		n.gcValidatePagesLocked(c, retire)
 	} else {
 		n.gcFlushPagesLocked(retire)
 	}
@@ -227,7 +227,7 @@ func (n *Node) freeRetiredLocked() {
 // one parallel wave. Releases and reacquires n.mu around the network
 // section; this is safe because every other application thread is parked
 // awaiting its departure, leaving only protocol servers active.
-func (n *Node) gcValidatePagesLocked(retire VectorClock) {
+func (n *Node) gcValidatePagesLocked(c *Client, retire VectorClock) {
 	type pageWork struct {
 		pg    *page
 		fetch []*interval
@@ -263,13 +263,13 @@ func (n *Node) gcValidatePagesLocked(retire VectorClock) {
 	// the parallel validation sweep.
 	requests := 0
 	for _, w := range work {
-		requests += n.sendDiffRequests(w.pg.id, w.fetch)
+		requests += c.sendDiffRequests(w.pg.id, w.fetch)
 	}
 
 	n.mu.Unlock()                                    // --- network section: servers may run meanwhile ---
 	diffs := make(map[PageID]map[int]map[int][]byte) // page -> creator -> seq -> diff
 	for i := 0; i < requests; i++ {
-		pid, from, bySeq := n.recvDiffReply()
+		pid, from, bySeq := c.recvDiffReply()
 		if diffs[pid] == nil {
 			diffs[pid] = make(map[int]map[int][]byte)
 		}
@@ -287,7 +287,7 @@ func (n *Node) gcValidatePagesLocked(retire VectorClock) {
 			}
 			applied := applyDiff(w.pg.data, d)
 			n.stats.DiffsApplied++
-			n.clock.Advance(plat.DiffApply + sim.Time(float64(applied)*plat.DiffApplyPerByte))
+			c.clk.Advance(plat.DiffApply + sim.Time(float64(applied)*plat.DiffApplyPerByte))
 		}
 		w.pg.missing = w.pg.missing[:0]
 		if w.pg.state == pageInvalid {

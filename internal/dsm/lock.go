@@ -18,6 +18,16 @@ import (
 // An acquire therefore costs 0 messages (token already local), 2 messages
 // (requester ↔ holder when the manager is one of them), or 3 messages
 // (request, forward, grant) — landing in the paper's 170–700 µs window.
+//
+// Multi-client nodes (SMP islands): the node holds ONE seat in this
+// protocol — the token, the chain position, the pending queue are all
+// island-level — and the island's threads share it. A thread that finds
+// the lock held by an island-mate parks on a local queue; a release hands
+// ownership to the local queue first (an island-internal bus-scale
+// handoff, no messages), and only a release with no local waiter passes
+// the token to the global chain. Requests and grants carry the acquiring
+// client's reply tag so concurrent acquires and condition-variable
+// re-acquires from one island route back to the exact thread.
 
 // lockState tracks one lock on one node. Manager fields are meaningful
 // only on the lock's manager; holder fields on whichever node has the
@@ -28,12 +38,26 @@ type lockState struct {
 
 	// holder side
 	held      bool
+	holderTag uint32 // tag of the local client holding it (self-deadlock check)
 	haveToken bool
 	pending   []pendingReq // forwarded requests awaiting our release
+
+	// multi-client (island) side
+	localQ         []localLockWaiter // island threads awaiting a local handoff
+	localRelease   sim.Time          // latest local release (bus-scale handoff coupling)
+	reqOutstanding bool              // a local client's acquire request is in flight
+}
+
+// localLockWaiter is one island thread parked for a local lock handoff;
+// the releaser transfers ownership under n.mu and posts its release time.
+type localLockWaiter struct {
+	tag uint32
+	ch  chan sim.Time
 }
 
 type pendingReq struct {
 	from   int
+	tag    uint32
 	vc     VectorClock
 	arrive sim.Time
 }
@@ -57,21 +81,49 @@ func (n *Node) lockFor(id int) *lockState {
 }
 
 // Acquire obtains lock id with acquire (consistency-importing) semantics.
-func (n *Node) Acquire(id int) {
+func (c *Client) Acquire(id int) {
+	n := c.n
 	n.mu.Lock()
 	ls := n.lockFor(id)
-	if ls.held {
-		panic(fmt.Sprintf("dsm: node %d re-acquired held lock %d", n.id, id))
+	if ls.held || ls.reqOutstanding {
+		if n.router == nil {
+			panic(fmt.Sprintf("dsm: node %d re-acquired held lock %d", n.id, id))
+		}
+		if ls.held && ls.holderTag == c.tag {
+			panic(fmt.Sprintf("dsm: node %d client re-acquired held lock %d", n.id, id))
+		}
+		// An island-mate holds the lock (or is already fetching the
+		// token): park on the local queue. The waker transfers ownership
+		// under n.mu, so a wake means the lock is ours.
+		ch := make(chan sim.Time, 1)
+		ls.localQ = append(ls.localQ, localLockWaiter{tag: c.tag, ch: ch})
+		n.stats.LockAcquires++
+		n.stats.LockLocal++
+		n.mu.Unlock()
+		var rel sim.Time
+		select {
+		case rel = <-ch:
+		case <-n.sys.done:
+			panic(abortError{cause: "switch shut down"})
+		}
+		c.clk.AdvanceTo(rel)
+		c.clk.Advance(c.costs.Lock)
+		return
 	}
 	if ls.haveToken && len(ls.pending) == 0 {
 		// Free local re-acquire: no messages, no new consistency info.
 		ls.held = true
+		ls.holderTag = c.tag
 		n.stats.LockAcquires++
 		n.stats.LockLocal++
+		rel := ls.localRelease
 		n.mu.Unlock()
+		c.clk.AdvanceTo(rel)
+		c.clk.Advance(c.costs.Lock)
 		return
 	}
 	n.stats.LockAcquires++
+	ls.reqOutstanding = true
 	mgr := n.lockMgr(id)
 	myVC := n.vc.clone()
 	if n.id == mgr {
@@ -80,27 +132,41 @@ func (n *Node) Acquire(id int) {
 		prev := ls.lastReq
 		ls.lastReq = n.id
 		if prev == n.id {
-			panic(fmt.Sprintf("dsm: node %d chain tail for lock %d but token absent", n.id, id))
+			if n.router == nil {
+				// One thread per node: the tail being this node with the
+				// token absent is a protocol bug.
+				panic(fmt.Sprintf("dsm: node %d chain tail for lock %d but token absent", n.id, id))
+			}
+			// Multi-client: the chain already ends here — a grant is in
+			// flight to an island-mate (a condition-variable wake whose
+			// transfer made this node the tail). Queue behind it; the
+			// release-side handoff will grant us through selfReply.
+			ls.pending = append(ls.pending, pendingReq{from: n.id, tag: c.tag, vc: myVC, arrive: c.clk.Now()})
+			n.mu.Unlock()
+		} else {
+			var w wbuf
+			w.i32(id)
+			w.i32(n.id) // requester
+			w.u32(c.tag)
+			w.vc(myVC)
+			n.mu.Unlock()
+			n.ep.SendAt(prev, msgAcqFwd, network.ClassRequest, w.b, c.clk.Now())
 		}
-		var w wbuf
-		w.i32(id)
-		w.i32(n.id) // requester
-		w.vc(myVC)
-		n.mu.Unlock()
-		n.ep.Send(prev, msgAcqFwd, network.ClassRequest, w.b)
 	} else {
 		var w wbuf
 		w.i32(id)
+		w.u32(c.tag)
 		w.vc(myVC)
 		n.mu.Unlock()
-		n.ep.Send(mgr, msgAcqReq, network.ClassRequest, w.b)
+		n.ep.SendAt(mgr, msgAcqReq, network.ClassRequest, w.b, c.clk.Now())
 	}
 
-	m := n.recvReply(msgLockGrant)
+	m := c.recvReply(msgLockGrant, c.tag)
 	r := rbuf{b: m.Payload}
 	if got := r.i32(); got != id {
 		panic(fmt.Sprintf("dsm: node %d got grant for lock %d while acquiring %d", n.id, got, id))
 	}
+	r.u32() // tag: already matched by routing
 	senderVC := r.vc()
 	recs := decodeRecords(&r)
 	n.mu.Lock()
@@ -108,39 +174,70 @@ func (n *Node) Acquire(id int) {
 	n.noteHeardLocked(m.From, senderVC)
 	ls.haveToken = true
 	ls.held = true
+	ls.holderTag = c.tag
+	ls.reqOutstanding = false
 	n.mu.Unlock()
+	c.clk.Advance(c.costs.Lock)
 }
 
 // Release releases lock id with release (consistency-exporting) semantics.
-// If an acquire request was forwarded here while the lock was held, the
-// token and the consistency delta go straight to that requester.
-func (n *Node) Release(id int) {
+// On a multi-client node, a parked island-mate takes the lock first (a
+// local bus-scale handoff); otherwise, if an acquire request was forwarded
+// here while the lock was held, the token and the consistency delta go
+// straight to that requester.
+func (c *Client) Release(id int) {
+	n := c.n
 	n.mu.Lock()
 	ls := n.lockFor(id)
 	if !ls.held {
 		panic(fmt.Sprintf("dsm: node %d released lock %d it does not hold", n.id, id))
 	}
 	n.closeIntervalLocked()
+	c.handoffLocked(ls, id)
+}
+
+// handoffLocked performs the release-side lock handoff: a parked
+// island-mate takes ownership first (local bus-scale transfer), otherwise
+// a pending forwarded request takes the token, otherwise the lock simply
+// becomes free with the token cached. Requires n.mu held; releases it.
+func (c *Client) handoffLocked(ls *lockState, id int) {
+	n := c.n
+	if t := c.clk.Now(); t > ls.localRelease {
+		ls.localRelease = t
+	}
+	if len(ls.localQ) > 0 {
+		// Ownership transfer to a parked island-mate: held stays true so
+		// the protocol server can never hand the token away in between.
+		w := ls.localQ[0]
+		ls.localQ = ls.localQ[1:]
+		ls.holderTag = w.tag
+		rel := ls.localRelease
+		n.mu.Unlock()
+		w.ch <- rel
+		return
+	}
 	ls.held = false
 	if len(ls.pending) > 0 {
 		p := ls.pending[0]
 		ls.pending = ls.pending[1:]
 		ls.haveToken = false
-		n.sendGrantLocked(id, p.from, p.vc, n.clock.Now())
+		n.sendGrantLocked(id, p.from, p.tag, p.vc, c.clk.Now())
 	}
 	n.mu.Unlock()
 }
 
-// grantPayloadLocked builds a lock-grant message body: lock id, our vector
-// clock, and every interval the requester (whose clock is reqVC) lacks.
-// Grants are exact deltas (relative to the requester's own reported clock)
-// so they never update the knownVC estimates: estimates may only grow with
-// request-class sends, whose per-pair FIFO ordering makes the estimate
-// sound (a reply-class grant could overtake an in-flight request-class
-// delta and leave the receiver with an interval gap).
-func (n *Node) grantPayloadLocked(id int, reqVC VectorClock, to int) []byte {
+// grantPayloadLocked builds a lock-grant message body: lock id, the
+// grantee's reply tag, our vector clock, and every interval the requester
+// (whose clock is reqVC) lacks. Grants are exact deltas (relative to the
+// requester's own reported clock) so they never update the knownVC
+// estimates: estimates may only grow with request-class sends, whose
+// per-pair FIFO ordering makes the estimate sound (a reply-class grant
+// could overtake an in-flight request-class delta and leave the receiver
+// with an interval gap).
+func (n *Node) grantPayloadLocked(id int, tag uint32, reqVC VectorClock) []byte {
 	var w wbuf
 	w.i32(id)
+	w.u32(tag)
 	w.vc(n.vc)
 	encodeRecords(&w, n.deltaForLocked(reqVC))
 	return w.b
@@ -149,8 +246,8 @@ func (n *Node) grantPayloadLocked(id int, reqVC VectorClock, to int) []byte {
 // sendGrantLocked delivers a grant from protocol-server context at virtual
 // time at, using the self-reply channel when the grantee is this node
 // (e.g. a manager acquiring its own lock via a condition-variable wake).
-func (n *Node) sendGrantLocked(id int, to int, reqVC VectorClock, at sim.Time) {
-	payload := n.grantPayloadLocked(id, reqVC, to)
+func (n *Node) sendGrantLocked(id int, to int, tag uint32, reqVC VectorClock, at sim.Time) {
+	payload := n.grantPayloadLocked(id, tag, reqVC)
 	n.sendOrSelfLocked(to, msgLockGrant, payload, at)
 }
 
@@ -169,6 +266,7 @@ func (n *Node) sendOrSelfLocked(to, typ int, payload []byte, at sim.Time) {
 func (n *Node) handleAcqReq(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	id := r.i32()
+	tag := r.u32()
 	reqVC := r.vc()
 	at := m.Arrive + n.sys.plat.RequestService
 
@@ -183,15 +281,16 @@ func (n *Node) handleAcqReq(m *network.Message) {
 		// own application thread).
 		if ls.haveToken && !ls.held {
 			ls.haveToken = false
-			n.sendGrantLocked(id, m.From, reqVC, at)
+			n.sendGrantLocked(id, m.From, tag, reqVC, at)
 			return
 		}
-		ls.pending = append(ls.pending, pendingReq{from: m.From, vc: reqVC, arrive: m.Arrive})
+		ls.pending = append(ls.pending, pendingReq{from: m.From, tag: tag, vc: reqVC, arrive: m.Arrive})
 		return
 	}
 	var w wbuf
 	w.i32(id)
 	w.i32(m.From)
+	w.u32(tag)
 	w.vc(reqVC)
 	n.ep.SendAt(prev, msgAcqFwd, network.ClassRequest, w.b, at)
 }
@@ -201,6 +300,7 @@ func (n *Node) handleAcqFwd(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	id := r.i32()
 	requester := r.i32()
+	tag := r.u32()
 	reqVC := r.vc()
 	at := m.Arrive + n.sys.plat.RequestService
 
@@ -210,10 +310,10 @@ func (n *Node) handleAcqFwd(m *network.Message) {
 	ls := n.lockFor(id)
 	if ls.haveToken && !ls.held {
 		ls.haveToken = false
-		n.sendGrantLocked(id, requester, reqVC, at)
+		n.sendGrantLocked(id, requester, tag, reqVC, at)
 		return
 	}
-	ls.pending = append(ls.pending, pendingReq{from: requester, vc: reqVC, arrive: m.Arrive})
+	ls.pending = append(ls.pending, pendingReq{from: requester, tag: tag, vc: reqVC, arrive: m.Arrive})
 }
 
 func (n *Node) chargeInterruptLocked() {

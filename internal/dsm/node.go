@@ -17,14 +17,21 @@ import (
 // TreadMarks' SIGIO handler), a private copy of the paged shared address
 // space, and a virtual clock.
 //
-// All exported methods are for the application thread. A node's state is
-// guarded by mu; the application thread releases mu whenever it blocks on
+// All exported methods are for the application thread; they delegate to
+// the node's default Client (see client.go), and a multi-client system
+// (an SMP island sharing the node among a team of threads) creates
+// additional Clients with their own clocks and reply tags. A node's state
+// is guarded by mu; application threads release mu whenever they block on
 // the network so the server can keep serving remote requests.
 type Node struct {
 	sys   *System
 	id    int
 	clock sim.Clock
 	ep    *network.Endpoint
+
+	c0      Client       // default client: the classic single app thread
+	router  *replyRouter // reply demultiplexer; non-nil in multi-client mode
+	nextTag uint32       // reply-tag allocator for NewClient (under mu)
 
 	mu        sync.Mutex
 	vc        VectorClock
@@ -119,6 +126,11 @@ func (n *Node) Sys() *System { return n.sys }
 
 // Now returns the node's current virtual time.
 func (n *Node) Now() sim.Time { return n.clock.Now() }
+
+// AdvanceClockTo raises the node's clock to t if later (an island-delegate
+// hook: after a hybrid backend joins an island's local workers, the node
+// clock must carry the island's completion time into the join message).
+func (n *Node) AdvanceClockTo(t sim.Time) { n.clock.AdvanceTo(t) }
 
 // Compute charges the virtual cost of flops floating-point operations to
 // the node's clock. Application kernels call it to account for the real
@@ -372,18 +384,21 @@ func readableLocked(pg *page) bool {
 }
 
 // ensureReadableLocked drives the read-fault loop until the page has a
-// current local copy. It may release and reacquire n.mu.
-func (n *Node) ensureReadableLocked(pg *page) {
+// current local copy. It may release and reacquire n.mu. Fault costs are
+// charged to the calling client's clock.
+func (c *Client) ensureReadableLocked(pg *page) {
+	n := c.n
 	for !readableLocked(pg) {
 		n.stats.ReadFaults++
-		n.faultInLocked(pg)
+		c.faultInLocked(pg)
 	}
 }
 
 // ensureWritableLocked drives the write-fault loop until the page is
 // writable with a twin in the open interval. It may release and reacquire
 // n.mu.
-func (n *Node) ensureWritableLocked(pg *page) {
+func (c *Client) ensureWritableLocked(pg *page) {
+	n := c.n
 	if n.sys.cfg.Procs == 1 {
 		// Single-processor fast path: with no other node to ever request
 		// a diff or send a write notice, TreadMarks performs no twinning
@@ -400,23 +415,23 @@ func (n *Node) ensureWritableLocked(pg *page) {
 		}
 		if !readableLocked(pg) {
 			n.stats.WriteFaults++
-			n.faultInLocked(pg)
+			c.faultInLocked(pg)
 			continue
 		}
 		// Read-only with a current copy: take the write fault.
 		n.stats.WriteFaults++
-		n.clock.Advance(n.sys.plat.FaultOverhead)
+		c.clk.Advance(n.sys.plat.FaultOverhead)
 		if pg.twinIvl != nil {
 			// The previous interval's diff must be encoded before the
 			// twin can be reused; charge the page scan.
 			n.ensureDiffEncodedLocked(pg)
-			n.clock.Advance(n.sys.plat.DiffCreate + sim.Time(float64(PageSize)*n.sys.plat.DiffPerByte))
+			c.clk.Advance(n.sys.plat.DiffCreate + sim.Time(float64(PageSize)*n.sys.plat.DiffPerByte))
 		}
 		pg.twin = make([]byte, PageSize)
 		copy(pg.twin, pg.data)
 		n.noteGCPageLocked(pg)
 		n.protoAddLocked(PageSize)
-		n.clock.Advance(n.sys.plat.TwinCopy)
+		c.clk.Advance(n.sys.plat.TwinCopy)
 		pg.state = pageReadWrite
 		if !pg.inDirty {
 			pg.inDirty = true
@@ -431,7 +446,8 @@ func (n *Node) ensureWritableLocked(pg *page) {
 // returns the number of requests sent. Callers collect exactly that
 // many msgDiffRep replies via recvDiffReply. It reads only immutable
 // interval identity, so it may run with or without n.mu held.
-func (n *Node) sendDiffRequests(pid PageID, fetch []*interval) int {
+func (c *Client) sendDiffRequests(pid PageID, fetch []*interval) int {
+	n := c.n
 	byCreator := make(map[int][]*interval)
 	var creators []int
 	for _, ivl := range fetch {
@@ -441,15 +457,15 @@ func (n *Node) sendDiffRequests(pid PageID, fetch []*interval) int {
 		byCreator[ivl.creator] = append(byCreator[ivl.creator], ivl)
 	}
 	sort.Ints(creators)
-	for _, c := range creators {
+	for _, cr := range creators {
 		var w wbuf
 		w.u32(uint32(pid))
-		ivls := byCreator[c]
+		ivls := byCreator[cr]
 		w.u32(uint32(len(ivls)))
 		for _, ivl := range ivls {
 			w.u32(uint32(ivl.seq))
 		}
-		n.ep.Send(c, msgDiffReq, network.ClassRequest, w.b)
+		n.ep.SendAt(cr, msgDiffReq, network.ClassRequest, w.b, c.clk.Now())
 	}
 	return len(creators)
 }
@@ -457,8 +473,8 @@ func (n *Node) sendDiffRequests(pid PageID, fetch []*interval) int {
 // recvDiffReply blocks for one msgDiffRep and decodes it into the page
 // it answers for, the creator that served it, and its per-seq diffs.
 // Must be called WITHOUT holding n.mu.
-func (n *Node) recvDiffReply() (PageID, int, map[int][]byte) {
-	rep := n.recvReply(msgDiffRep)
+func (c *Client) recvDiffReply() (PageID, int, map[int][]byte) {
+	rep := c.recvReply(msgDiffRep, 0)
 	r := rbuf{b: rep.Payload}
 	pid := PageID(r.u32())
 	cnt := int(r.u32())
@@ -492,9 +508,10 @@ func sortCausal(ivls []*interval) {
 // topological order of the happens-before relation. n.mu is released
 // while requests are in flight; the loop in ensure*Locked re-checks state
 // afterwards because new write notices may have arrived meanwhile.
-func (n *Node) faultInLocked(pg *page) {
+func (c *Client) faultInLocked(pg *page) {
+	n := c.n
 	plat := n.sys.plat
-	n.clock.Advance(plat.FaultOverhead)
+	c.clk.Advance(plat.FaultOverhead)
 
 	if pg.data == nil && n.id == 0 {
 		pg.data = make([]byte, PageSize)
@@ -550,8 +567,8 @@ func (n *Node) faultInLocked(pg *page) {
 	if needPage {
 		var w wbuf
 		w.u32(uint32(pid))
-		n.ep.Send(pageSource, msgPageReq, network.ClassRequest, w.b)
-		rep := n.recvReply(msgPageRep)
+		n.ep.SendAt(pageSource, msgPageReq, network.ClassRequest, w.b, c.clk.Now())
+		rep := c.recvReply(msgPageRep, 0)
 		r := rbuf{b: rep.Payload}
 		if PageID(r.u32()) != pid {
 			panic("dsm: page reply for wrong page")
@@ -567,10 +584,10 @@ func (n *Node) faultInLocked(pg *page) {
 	// modelling TreadMarks' parallel diff fetch. This must follow the
 	// page fetch: the reply queue is shared, and recvReply asserts each
 	// reply's type.
-	nreq := n.sendDiffRequests(pid, fetch)
+	nreq := c.sendDiffRequests(pid, fetch)
 	diffs := make(map[int]map[int][]byte, nreq)
 	for i := 0; i < nreq; i++ {
-		gotPid, from, bySeq := n.recvDiffReply()
+		gotPid, from, bySeq := c.recvDiffReply()
 		if gotPid != pid {
 			panic("dsm: diff reply for wrong page")
 		}
@@ -582,7 +599,7 @@ func (n *Node) faultInLocked(pg *page) {
 	if squashed && debugSquash&4 != 0 {
 		// Differential verification (test hook): re-fetch the chain the
 		// squash skipped and check the squashed copy reflects it.
-		n.verifySquashLocked(pg, pid, pageContent, resolved)
+		c.verifySquashLocked(pg, pid, pageContent, resolved)
 	}
 
 	if needPage && (pg.data == nil || squashed) {
@@ -600,7 +617,7 @@ func (n *Node) faultInLocked(pg *page) {
 		}
 		applied := applyDiff(pg.data, d)
 		n.stats.DiffsApplied++
-		n.clock.Advance(plat.DiffApply + sim.Time(float64(applied)*plat.DiffApplyPerByte))
+		c.clk.Advance(plat.DiffApply + sim.Time(float64(applied)*plat.DiffApplyPerByte))
 	}
 
 	// Remove exactly the resolved notices (the whole snapshot when the
@@ -622,32 +639,13 @@ func (n *Node) faultInLocked(pg *page) {
 	}
 }
 
-// recvReply blocks the application thread for the next reply — from the
-// wire or from the node's own protocol server (self-grants) — advances the
-// clock to its arrival, and asserts its type. It panics with an abort
-// error if the system is shutting down.
-func (n *Node) recvReply(wantType int) *network.Message {
-	var m *network.Message
-	select {
-	case m = <-n.ep.Chan(network.ClassReply):
-	case m = <-n.selfReply:
-	case <-n.sys.done:
-	}
-	if m == nil {
-		panic(abortError{cause: "switch shut down"})
-	}
-	n.clock.AdvanceTo(m.Arrive)
-	if m.Type != wantType {
-		panic(fmt.Sprintf("dsm: node %d expected reply type %d, got %d from %d", n.id, wantType, m.Type, m.From))
-	}
-	return m
-}
-
 // ---------------------------------------------------------------------
 // Typed access to shared memory. These are the compiler-emitted access
 // checks that stand in for mprotect faults: every call verifies page
 // validity and takes the fault path when needed. Plain in-page accesses
 // are the fast path; multi-page spans decompose into per-page segments.
+// The operations are Client methods so fault costs land on the accessing
+// thread's clock; Node re-exports them through the default client.
 // ---------------------------------------------------------------------
 
 func (n *Node) checkRange(a Addr, size int) {
@@ -657,69 +655,72 @@ func (n *Node) checkRange(a Addr, size int) {
 }
 
 // ReadF64 reads a float64 at shared address a.
-func (n *Node) ReadF64(a Addr) float64 {
-	return math.Float64frombits(n.readU64(a))
+func (c *Client) ReadF64(a Addr) float64 {
+	return math.Float64frombits(c.readU64(a))
 }
 
 // WriteF64 writes a float64 at shared address a.
-func (n *Node) WriteF64(a Addr, v float64) {
-	n.writeU64(a, math.Float64bits(v))
+func (c *Client) WriteF64(a Addr, v float64) {
+	c.writeU64(a, math.Float64bits(v))
 }
 
 // ReadI64 reads an int64 at shared address a.
-func (n *Node) ReadI64(a Addr) int64 { return int64(n.readU64(a)) }
+func (c *Client) ReadI64(a Addr) int64 { return int64(c.readU64(a)) }
 
 // WriteI64 writes an int64 at shared address a.
-func (n *Node) WriteI64(a Addr, v int64) { n.writeU64(a, uint64(v)) }
+func (c *Client) WriteI64(a Addr, v int64) { c.writeU64(a, uint64(v)) }
 
 // ReadI32 reads an int32 at shared address a.
-func (n *Node) ReadI32(a Addr) int32 {
+func (c *Client) ReadI32(a Addr) int32 {
 	var buf [4]byte
-	n.ReadBytes(a, buf[:])
+	c.ReadBytes(a, buf[:])
 	return int32(binary.LittleEndian.Uint32(buf[:]))
 }
 
 // WriteI32 writes an int32 at shared address a.
-func (n *Node) WriteI32(a Addr, v int32) {
+func (c *Client) WriteI32(a Addr, v int32) {
 	var buf [4]byte
 	binary.LittleEndian.PutUint32(buf[:], uint32(v))
-	n.WriteBytes(a, buf[:])
+	c.WriteBytes(a, buf[:])
 }
 
-func (n *Node) readU64(a Addr) uint64 {
+func (c *Client) readU64(a Addr) uint64 {
+	n := c.n
 	n.checkRange(a, 8)
 	off := int(a) % PageSize
 	if off+8 <= PageSize {
 		n.mu.Lock()
 		pg := n.pageFor(PageID(int(a) / PageSize))
-		n.ensureReadableLocked(pg)
+		c.ensureReadableLocked(pg)
 		v := binary.LittleEndian.Uint64(pg.data[off:])
 		n.mu.Unlock()
 		return v
 	}
 	var buf [8]byte
-	n.ReadBytes(a, buf[:])
+	c.ReadBytes(a, buf[:])
 	return binary.LittleEndian.Uint64(buf[:])
 }
 
-func (n *Node) writeU64(a Addr, v uint64) {
+func (c *Client) writeU64(a Addr, v uint64) {
+	n := c.n
 	n.checkRange(a, 8)
 	off := int(a) % PageSize
 	if off+8 <= PageSize {
 		n.mu.Lock()
 		pg := n.pageFor(PageID(int(a) / PageSize))
-		n.ensureWritableLocked(pg)
+		c.ensureWritableLocked(pg)
 		binary.LittleEndian.PutUint64(pg.data[off:], v)
 		n.mu.Unlock()
 		return
 	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
-	n.WriteBytes(a, buf[:])
+	c.WriteBytes(a, buf[:])
 }
 
 // ReadBytes copies len(dst) bytes of shared memory starting at a into dst.
-func (n *Node) ReadBytes(a Addr, dst []byte) {
+func (c *Client) ReadBytes(a Addr, dst []byte) {
+	n := c.n
 	n.checkRange(a, len(dst))
 	defer oracleCheck(n.id, a, dst)
 	n.mu.Lock()
@@ -732,7 +733,7 @@ func (n *Node) ReadBytes(a Addr, dst []byte) {
 			chunk = len(dst)
 		}
 		pg := n.pageFor(pid)
-		n.ensureReadableLocked(pg)
+		c.ensureReadableLocked(pg)
 		copy(dst[:chunk], pg.data[off:off+chunk])
 		dst = dst[chunk:]
 		a += Addr(chunk)
@@ -740,7 +741,8 @@ func (n *Node) ReadBytes(a Addr, dst []byte) {
 }
 
 // WriteBytes copies src into shared memory starting at a.
-func (n *Node) WriteBytes(a Addr, src []byte) {
+func (c *Client) WriteBytes(a Addr, src []byte) {
+	n := c.n
 	n.checkRange(a, len(src))
 	oracleWrite(a, src)
 	n.mu.Lock()
@@ -753,7 +755,7 @@ func (n *Node) WriteBytes(a Addr, src []byte) {
 			chunk = len(src)
 		}
 		pg := n.pageFor(pid)
-		n.ensureWritableLocked(pg)
+		c.ensureWritableLocked(pg)
 		copy(pg.data[off:off+chunk], src[:chunk])
 		src = src[chunk:]
 		a += Addr(chunk)
@@ -761,7 +763,8 @@ func (n *Node) WriteBytes(a Addr, src []byte) {
 }
 
 // ReadF64s reads len(dst) consecutive float64s starting at a.
-func (n *Node) ReadF64s(a Addr, dst []float64) {
+func (c *Client) ReadF64s(a Addr, dst []float64) {
+	n := c.n
 	n.checkRange(a, 8*len(dst))
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -771,7 +774,7 @@ func (n *Node) ReadF64s(a Addr, dst []float64) {
 		pid := PageID(addr / PageSize)
 		off := addr % PageSize
 		pg := n.pageFor(pid)
-		n.ensureReadableLocked(pg)
+		c.ensureReadableLocked(pg)
 		for off+8 <= PageSize && i < len(dst) {
 			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(pg.data[off:]))
 			off += 8
@@ -782,7 +785,7 @@ func (n *Node) ReadF64s(a Addr, dst []float64) {
 			// unaligned bases); fall back to the byte path.
 			var buf [8]byte
 			n.mu.Unlock()
-			n.ReadBytes(Addr(int(a)+8*i), buf[:])
+			c.ReadBytes(Addr(int(a)+8*i), buf[:])
 			n.mu.Lock()
 			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
 			i++
@@ -791,7 +794,8 @@ func (n *Node) ReadF64s(a Addr, dst []float64) {
 }
 
 // WriteF64s writes the float64s of src to consecutive addresses from a.
-func (n *Node) WriteF64s(a Addr, src []float64) {
+func (c *Client) WriteF64s(a Addr, src []float64) {
+	n := c.n
 	n.checkRange(a, 8*len(src))
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -801,7 +805,7 @@ func (n *Node) WriteF64s(a Addr, src []float64) {
 		pid := PageID(addr / PageSize)
 		off := addr % PageSize
 		pg := n.pageFor(pid)
-		n.ensureWritableLocked(pg)
+		c.ensureWritableLocked(pg)
 		for off+8 <= PageSize && i < len(src) {
 			binary.LittleEndian.PutUint64(pg.data[off:], math.Float64bits(src[i]))
 			off += 8
@@ -811,7 +815,7 @@ func (n *Node) WriteF64s(a Addr, src []float64) {
 			var buf [8]byte
 			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(src[i]))
 			n.mu.Unlock()
-			n.WriteBytes(Addr(int(a)+8*i), buf[:])
+			c.WriteBytes(Addr(int(a)+8*i), buf[:])
 			n.mu.Lock()
 			i++
 		}
@@ -819,31 +823,105 @@ func (n *Node) WriteF64s(a Addr, src []float64) {
 }
 
 // ReadI32s reads len(dst) consecutive int32s starting at a.
-func (n *Node) ReadI32s(a Addr, dst []int32) {
+func (c *Client) ReadI32s(a Addr, dst []int32) {
 	buf := make([]byte, 4*len(dst))
-	n.ReadBytes(a, buf)
+	c.ReadBytes(a, buf)
 	for i := range dst {
 		dst[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
 	}
 }
 
 // WriteI32s writes the int32s of src to consecutive addresses from a.
-func (n *Node) WriteI32s(a Addr, src []int32) {
+func (c *Client) WriteI32s(a Addr, src []int32) {
 	buf := make([]byte, 4*len(src))
 	for i, v := range src {
 		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
 	}
-	n.WriteBytes(a, buf)
+	c.WriteBytes(a, buf)
 }
+
+// ---------------------------------------------------------------------
+// The classic single-thread node API: every application-side operation
+// delegated to the node's default client (tag 0, the node's own clock).
+// ---------------------------------------------------------------------
+
+// ReadF64 reads a float64 at shared address a.
+func (n *Node) ReadF64(a Addr) float64 { return n.c0.ReadF64(a) }
+
+// WriteF64 writes a float64 at shared address a.
+func (n *Node) WriteF64(a Addr, v float64) { n.c0.WriteF64(a, v) }
+
+// ReadI64 reads an int64 at shared address a.
+func (n *Node) ReadI64(a Addr) int64 { return n.c0.ReadI64(a) }
+
+// WriteI64 writes an int64 at shared address a.
+func (n *Node) WriteI64(a Addr, v int64) { n.c0.WriteI64(a, v) }
+
+// ReadI32 reads an int32 at shared address a.
+func (n *Node) ReadI32(a Addr) int32 { return n.c0.ReadI32(a) }
+
+// WriteI32 writes an int32 at shared address a.
+func (n *Node) WriteI32(a Addr, v int32) { n.c0.WriteI32(a, v) }
+
+// ReadBytes copies len(dst) bytes of shared memory starting at a into dst.
+func (n *Node) ReadBytes(a Addr, dst []byte) { n.c0.ReadBytes(a, dst) }
+
+// WriteBytes copies src into shared memory starting at a.
+func (n *Node) WriteBytes(a Addr, src []byte) { n.c0.WriteBytes(a, src) }
+
+// ReadF64s reads len(dst) consecutive float64s starting at a.
+func (n *Node) ReadF64s(a Addr, dst []float64) { n.c0.ReadF64s(a, dst) }
+
+// WriteF64s writes the float64s of src to consecutive addresses from a.
+func (n *Node) WriteF64s(a Addr, src []float64) { n.c0.WriteF64s(a, src) }
+
+// ReadI32s reads len(dst) consecutive int32s starting at a.
+func (n *Node) ReadI32s(a Addr, dst []int32) { n.c0.ReadI32s(a, dst) }
+
+// WriteI32s writes the int32s of src to consecutive addresses from a.
+func (n *Node) WriteI32s(a Addr, src []int32) { n.c0.WriteI32s(a, src) }
+
+// Barrier synchronizes all processors (see Client.Barrier).
+func (n *Node) Barrier() { n.c0.Barrier() }
+
+// Acquire obtains lock id with acquire semantics (see Client.Acquire).
+func (n *Node) Acquire(id int) { n.c0.Acquire(id) }
+
+// Release releases lock id with release semantics (see Client.Release).
+func (n *Node) Release(id int) { n.c0.Release(id) }
+
+// SemaWait performs P(id) (see Client.SemaWait).
+func (n *Node) SemaWait(id int) { n.c0.SemaWait(id) }
+
+// SemaSignal performs V(id) (see Client.SemaSignal).
+func (n *Node) SemaSignal(id int) { n.c0.SemaSignal(id) }
+
+// CondWait atomically releases lockID, blocks on condition variable
+// condID, and re-acquires the lock (see Client.CondWait).
+func (n *Node) CondWait(condID, lockID int) { n.c0.CondWait(condID, lockID) }
+
+// CondSignal unblocks one waiter on condID (see Client.CondSignal).
+func (n *Node) CondSignal(condID, lockID int) { n.c0.CondSignal(condID, lockID) }
+
+// CondBroadcast unblocks every waiter on condID (see Client.CondBroadcast).
+func (n *Node) CondBroadcast(condID, lockID int) { n.c0.CondBroadcast(condID, lockID) }
+
+// Flush is the OpenMP flush directive (see Client.Flush).
+func (n *Node) Flush() { n.c0.Flush() }
+
+// RunParallel forks the named region on every slave node, runs it on the
+// master too, and joins (see Client.RunParallel).
+func (n *Node) RunParallel(region string, arg []byte) { n.c0.RunParallel(region, arg) }
 
 // verifySquashLocked cross-checks a squashed page against the diff chain
 // it replaced (diagnostic only; enabled via SetDebugSquashMode(7)).
-func (n *Node) verifySquashLocked(pg *page, pid PageID, content []byte, chain []*interval) {
-	nreq := n.sendDiffRequests(pid, chain)
+func (c *Client) verifySquashLocked(pg *page, pid PageID, content []byte, chain []*interval) {
+	n := c.n
+	nreq := c.sendDiffRequests(pid, chain)
 	n.mu.Unlock()
 	diffs := make(map[int]map[int][]byte, nreq)
 	for i := 0; i < nreq; i++ {
-		_, from, bySeq := n.recvDiffReply()
+		_, from, bySeq := c.recvDiffReply()
 		diffs[from] = bySeq
 	}
 	n.mu.Lock()

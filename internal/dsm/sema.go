@@ -15,15 +15,21 @@ import (
 // sema_signal or a sema_wait costs two messages including an
 // acknowledgment." Waiters block instead of busy-waiting — the paper's
 // argument for adding semaphores to the standard.
+//
+// Banked signals carry their virtual timestamps: a P that consumes a
+// banked V resumes no earlier than that V was performed, which is what
+// couples producer and consumer time when the two run as threads of one
+// node (an SMP island) and no message arrival exists to carry the order.
 
 // semaState lives at a semaphore's manager node.
 type semaState struct {
-	value   int
+	banked  []sim.Time // FIFO of banked signal timestamps (len == classic "value")
 	waiters []semaWaiter
 }
 
 type semaWaiter struct {
 	from   int
+	tag    uint32
 	vc     VectorClock
 	arrive sim.Time
 }
@@ -39,40 +45,45 @@ func (n *Node) semaFor(id int) *semaState {
 
 // SemaSignal performs V(id): release semantics. Consistency information
 // flows to the manager, which passes it on to the woken waiter (if any).
-func (n *Node) SemaSignal(id int) {
+func (c *Client) SemaSignal(id int) {
+	n := c.n
+	c.clk.Advance(c.costs.Sema)
 	mgr := n.lockMgr(id)
 	n.mu.Lock()
 	n.stats.SemaOps++
 	n.closeIntervalLocked()
 	if n.id == mgr {
-		n.semaSignalAtMgrLocked(id, n.vc.clone(), n.id, n.clock.Now())
+		n.semaSignalAtMgrLocked(id, c.clk.Now())
 		n.mu.Unlock()
 		return
 	}
 	var w wbuf
 	w.i32(id)
+	w.u32(c.tag)
 	w.vc(n.vc)
 	encodeRecords(&w, n.deltaForLocked(n.knownVC[mgr]))
 	n.noteSentLocked(mgr)
 	// Send while holding mu: the estimate update and the send must be
 	// atomic with respect to other request-class deltas to mgr.
-	n.ep.Send(mgr, msgSemaSignal, network.ClassRequest, w.b)
+	n.ep.SendAt(mgr, msgSemaSignal, network.ClassRequest, w.b, c.clk.Now())
 	n.mu.Unlock()
-	n.recvReply(msgSemaAck) // two messages including the acknowledgment
+	c.recvReply(msgSemaAck, c.tag) // two messages including the acknowledgment
 }
 
 // semaSignalAtMgrLocked applies a signal at the manager: wake the first
-// waiter with a grant carrying its missing intervals, or bank the count.
-func (n *Node) semaSignalAtMgrLocked(id int, _ VectorClock, _ int, at sim.Time) {
+// waiter with a grant carrying its missing intervals, or bank the signal's
+// timestamp.
+func (n *Node) semaSignalAtMgrLocked(id int, at sim.Time) {
 	ss := n.semaFor(id)
 	if len(ss.waiters) == 0 {
-		ss.value++
+		ss.banked = append(ss.banked, at)
 		return
 	}
 	wtr := ss.waiters[0]
 	ss.waiters = ss.waiters[1:]
 	var w wbuf
 	w.i32(id)
+	w.u32(wtr.tag)
 	w.vc(n.vc)
 	encodeRecords(&w, n.deltaForLocked(wtr.vc)) // exact delta: no estimate update
 	n.sendOrSelfLocked(wtr.from, msgSemaGrant, w.b, at)
@@ -80,46 +91,54 @@ func (n *Node) semaSignalAtMgrLocked(id int, _ VectorClock, _ int, at sim.Time) 
 
 // SemaWait performs P(id): acquire semantics, blocking (not spinning)
 // until a matching signal arrives.
-func (n *Node) SemaWait(id int) {
+func (c *Client) SemaWait(id int) {
+	n := c.n
 	mgr := n.lockMgr(id)
 	n.mu.Lock()
 	n.stats.SemaOps++
 	if n.id == mgr {
 		ss := n.semaFor(id)
-		if ss.value > 0 {
+		if len(ss.banked) > 0 {
 			// The manager already incorporated the signaler's intervals
-			// when the banked signal arrived; nothing more to import.
-			ss.value--
+			// when the banked signal arrived; only its timestamp matters.
+			at := ss.banked[0]
+			ss.banked = ss.banked[1:]
 			n.mu.Unlock()
+			c.clk.AdvanceTo(at)
+			c.clk.Advance(c.costs.Sema)
 			return
 		}
-		ss.waiters = append(ss.waiters, semaWaiter{from: n.id, vc: n.vc.clone(), arrive: n.clock.Now()})
+		ss.waiters = append(ss.waiters, semaWaiter{from: n.id, tag: c.tag, vc: n.vc.clone(), arrive: c.clk.Now()})
 		n.mu.Unlock()
 	} else {
 		var w wbuf
 		w.i32(id)
+		w.u32(c.tag)
 		w.vc(n.vc)
 		n.mu.Unlock()
-		n.ep.Send(mgr, msgSemaWait, network.ClassRequest, w.b)
+		n.ep.SendAt(mgr, msgSemaWait, network.ClassRequest, w.b, c.clk.Now())
 	}
 
-	m := n.recvReply(msgSemaGrant)
+	m := c.recvReply(msgSemaGrant, c.tag)
 	r := rbuf{b: m.Payload}
 	if got := r.i32(); got != id {
 		panic("dsm: semaphore grant for wrong semaphore")
 	}
+	r.u32() // tag: already matched by routing
 	senderVC := r.vc()
 	recs := decodeRecords(&r)
 	n.mu.Lock()
 	n.incorporateLocked(recs, senderVC)
 	n.noteHeardLocked(m.From, senderVC)
 	n.mu.Unlock()
+	c.clk.Advance(c.costs.Sema)
 }
 
 // handleSemaSignal runs on the manager's protocol server.
 func (n *Node) handleSemaSignal(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	id := r.i32()
+	tag := r.u32()
 	senderVC := r.vc()
 	recs := decodeRecords(&r)
 	at := m.Arrive + n.sys.plat.RequestService
@@ -130,15 +149,18 @@ func (n *Node) handleSemaSignal(m *network.Message) {
 	// carry it to waiters.
 	n.incorporateLocked(recs, senderVC)
 	n.noteHeardLocked(m.From, senderVC)
-	n.semaSignalAtMgrLocked(id, senderVC, m.From, at)
+	n.semaSignalAtMgrLocked(id, at)
 	n.mu.Unlock()
-	n.ep.SendAt(m.From, msgSemaAck, network.ClassReply, nil, at)
+	var ack wbuf
+	ack.u32(tag)
+	n.ep.SendAt(m.From, msgSemaAck, network.ClassReply, ack.b, at)
 }
 
 // handleSemaWait runs on the manager's protocol server.
 func (n *Node) handleSemaWait(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	id := r.i32()
+	tag := r.u32()
 	reqVC := r.vc()
 	at := m.Arrive + n.sys.plat.RequestService
 
@@ -146,14 +168,21 @@ func (n *Node) handleSemaWait(m *network.Message) {
 	defer n.mu.Unlock()
 	n.chargeInterruptLocked()
 	ss := n.semaFor(id)
-	if ss.value > 0 {
-		ss.value--
+	if len(ss.banked) > 0 {
+		// A P cannot complete before its matching V: the grant leaves no
+		// earlier than the banked signal's timestamp.
+		bankedAt := ss.banked[0]
+		ss.banked = ss.banked[1:]
+		if bankedAt > at {
+			at = bankedAt
+		}
 		var w wbuf
 		w.i32(id)
+		w.u32(tag)
 		w.vc(n.vc)
 		encodeRecords(&w, n.deltaForLocked(reqVC)) // exact delta
 		n.ep.SendAt(m.From, msgSemaGrant, network.ClassReply, w.b, at)
 		return
 	}
-	ss.waiters = append(ss.waiters, semaWaiter{from: m.From, vc: reqVC, arrive: m.Arrive})
+	ss.waiters = append(ss.waiters, semaWaiter{from: m.From, tag: tag, vc: reqVC, arrive: m.Arrive})
 }

@@ -36,9 +36,12 @@ func (n *Node) serve() {
 				// The fork is this node's side of the master's fork GC
 				// epoch; the master's clock in the message is the floor.
 				// Safe in server context: the application thread is
-				// parked awaiting this very fork.
+				// parked awaiting this very fork. (Node 0 never takes
+				// this path, so the default client's clock is only ever
+				// touched for the flush-style page purge, not a
+				// validation fetch.)
 				n.mu.Lock()
-				n.gcEpochLocked(senderVC)
+				n.gcEpochLocked(&n.c0, senderVC)
 				n.mu.Unlock()
 			}
 			n.forkCh <- m // consumed by the slave's application thread

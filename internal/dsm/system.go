@@ -62,6 +62,12 @@ type Config struct {
 	// which are identical on every node, so the decision needs no extra
 	// coordination (see gcEpochLocked). 0 collects at every episode.
 	GCMinRetire int
+	// MultiClient lets several application threads share each node (the
+	// NOW-of-SMPs configuration: every node is an SMP island's protocol
+	// delegate). It starts a reply router per node so tagged grants and
+	// acknowledgments reach the exact thread that requested them; create
+	// the per-thread handles with Node.NewClient.
+	MultiClient bool
 }
 
 // System is one simulated network of workstations running TreadMarks.
@@ -136,6 +142,15 @@ func New(cfg Config) *System {
 			n.knownVC[j] = newVC(cfg.Procs)
 		}
 		n.ep = s.sw.Endpoint(i, &n.clock)
+		n.c0 = Client{n: n, clk: &n.clock}
+		if cfg.MultiClient {
+			n.router = newReplyRouter()
+			s.serverWG.Add(1)
+			go func(n *Node) {
+				defer s.serverWG.Done()
+				n.router.pump(n)
+			}(n)
+		}
 		s.nodes = append(s.nodes, n)
 	}
 	s.nodes[0].barrier = newBarrierMgr(cfg.Procs)
@@ -162,6 +177,11 @@ func (s *System) Platform() *sim.Platform { return s.plat }
 
 // Switch exposes the interconnect (for statistics).
 func (s *System) Switch() *network.Switch { return s.sw }
+
+// Done is closed when the system aborts or shuts down; external worker
+// threads (a hybrid backend's island teams) select on it so they unwind
+// alongside the nodes' own application threads.
+func (s *System) Done() <-chan struct{} { return s.done }
 
 // Register binds a parallel-region body to a name on every node. It must
 // be called before Run forks the region. Registering models all nodes

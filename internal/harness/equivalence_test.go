@@ -26,6 +26,30 @@ func TestCrossImplementationEquivalence(t *testing.T) {
 	}
 }
 
+// TestHybridEquivalenceAcrossIslands extends the suite along the hybrid
+// backend's island axis: every application must reproduce the sequential
+// checksum at procs ∈ EquivalenceProcs for islands ∈ {1, 2} (the plain
+// omp-hybrid rows of TestCrossImplementationEquivalence already cover the
+// default island count; the pinned impls here exercise the degenerate
+// all-local split and the two-island split at every processor count).
+func TestHybridEquivalenceAcrossIslands(t *testing.T) {
+	for _, a := range Apps {
+		for _, islands := range []int{1, 2} {
+			for _, procs := range EquivalenceProcs {
+				a, islands, procs := a, islands, procs
+				impl := HybridImpl(islands)
+				name := fmt.Sprintf("%s/%s/p%d", a.Name, impl, procs)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					if err := CheckEquivalence(a, Test, impl, procs); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestEquivalenceCoversAllApps guards the suite itself: if the app
 // registry grows, the equivalence grid grows with it (7 apps after the
 // LU/Barnes addition).

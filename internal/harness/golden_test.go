@@ -89,10 +89,16 @@ func TestConcurrentGridOutputByteIdentical(t *testing.T) {
 			t.Fatalf("output with %d workers differs from sequential:\n--- %d workers ---\n%s\n--- sequential ---\n%s", w, w, got, sequential)
 		}
 	}
-	// Sanity: the fake grid really exercises every app row.
+	// Sanity: the fake grid really exercises every app row and every
+	// implementation column (the hybrid column included).
 	for _, a := range Apps {
 		if !strings.Contains(sequential, a.Name) {
 			t.Errorf("rendered artifacts missing app %s", a.Name)
+		}
+	}
+	for _, impl := range Impls {
+		if !strings.Contains(sequential, implLabel(impl)) {
+			t.Errorf("rendered artifacts missing impl column %s", implLabel(impl))
 		}
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/apps"
@@ -24,23 +26,54 @@ import (
 )
 
 // Impl selects one of the implementations under comparison (plus
-// sequential): the paper's three, and the same OpenMP source executed on
-// the hardware-shared-memory (SMP) backend — the baseline the paper
-// retargets OpenMP away from.
+// sequential): the paper's three, the same OpenMP source executed on the
+// hardware-shared-memory (SMP) backend — the baseline the paper retargets
+// OpenMP away from — and on the hybrid NOW-of-SMPs backend, the cluster
+// configuration that succeeded the paper's testbed.
 type Impl string
 
 // Implementations.
 const (
-	Seq    Impl = "seq"
-	OMP    Impl = "omp"     // OpenMP on the NOW (TreadMarks) backend
-	OMPSMP Impl = "omp-smp" // the SAME OpenMP source on hardware shared memory
-	Tmk    Impl = "tmk"
-	MPI    Impl = "mpi"
+	Seq       Impl = "seq"
+	OMP       Impl = "omp"        // OpenMP on the NOW (TreadMarks) backend
+	OMPSMP    Impl = "omp-smp"    // the SAME OpenMP source on hardware shared memory
+	OMPHybrid Impl = "omp-hybrid" // the SAME source on a NOW of SMP islands
+	Tmk       Impl = "tmk"
+	MPI       Impl = "mpi"
 )
 
 // Impls is the comparison order used in the figures: the paper's three
-// implementations plus the NOW-vs-SMP column pair for the OpenMP source.
-var Impls = []Impl{OMP, OMPSMP, Tmk, MPI}
+// implementations plus the NOW / SMP / NOW-of-SMPs column triple for the
+// one OpenMP source.
+var Impls = []Impl{OMP, OMPSMP, OMPHybrid, Tmk, MPI}
+
+// HybridIslands is the SMP island count used when an omp-hybrid cell does
+// not pin one explicitly (the tables and Figure 6); nowbench -islands
+// overrides it. The count is clamped to the cell's processor count by the
+// core runtime.
+var HybridIslands = 2
+
+// HybridImpl returns the omp-hybrid implementation pinned to an explicit
+// island count, e.g. HybridImpl(2) == "omp-hybrid@2" (the equivalence
+// suite sweeps these).
+func HybridImpl(islands int) Impl {
+	return Impl(fmt.Sprintf("%s@%d", OMPHybrid, islands))
+}
+
+// hybridBackendKind maps an omp-hybrid Impl (with or without a pinned
+// island count) to its core backend kind.
+func hybridBackendKind(impl Impl) (core.BackendKind, bool) {
+	s := string(impl)
+	if s == string(OMPHybrid) {
+		return core.HybridIslands(HybridIslands), true
+	}
+	if rest, ok := strings.CutPrefix(s, string(OMPHybrid)+"@"); ok {
+		if k, err := strconv.Atoi(rest); err == nil && k > 0 {
+			return core.HybridIslands(k), true
+		}
+	}
+	return "", false
+}
 
 // implLabel returns an Impl's column heading in the printed artifacts.
 func implLabel(i Impl) string {
@@ -49,6 +82,8 @@ func implLabel(i Impl) string {
 		return "OpenMP"
 	case OMPSMP:
 		return "OMP/SMP"
+	case OMPHybrid:
+		return "OMP/Hyb"
 	case Tmk:
 		return "Tmk"
 	case MPI:
@@ -92,6 +127,9 @@ var Apps = []App{
 		RunSeq:   func(s Scale) apps.Result { return sweep3d.RunSeq(sweepParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
 			p := sweepParams(s)
+			if bk, ok := hybridBackendKind(impl); ok {
+				return sweep3d.RunOMPOn(p, procs, bk)
+			}
 			switch impl {
 			case OMP:
 				return sweep3d.RunOMP(p, procs)
@@ -113,6 +151,9 @@ var Apps = []App{
 		RunSeq:   func(s Scale) apps.Result { return fft3d.RunSeq(fftParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
 			p := fftParams(s)
+			if bk, ok := hybridBackendKind(impl); ok {
+				return fft3d.RunOMPOn(p, procs, bk)
+			}
 			switch impl {
 			case OMP:
 				return fft3d.RunOMP(p, procs)
@@ -134,6 +175,9 @@ var Apps = []App{
 		RunSeq:   func(s Scale) apps.Result { return water.RunSeq(waterParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
 			p := waterParams(s)
+			if bk, ok := hybridBackendKind(impl); ok {
+				return water.RunOMPOn(p, procs, bk)
+			}
 			switch impl {
 			case OMP:
 				return water.RunOMP(p, procs)
@@ -155,6 +199,9 @@ var Apps = []App{
 		RunSeq:   func(s Scale) apps.Result { return tsp.RunSeq(tspParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
 			p := tspParams(s)
+			if bk, ok := hybridBackendKind(impl); ok {
+				return tsp.RunOMPOn(p, procs, bk)
+			}
 			switch impl {
 			case OMP:
 				return tsp.RunOMP(p, procs)
@@ -176,6 +223,9 @@ var Apps = []App{
 		RunSeq:   func(s Scale) apps.Result { return qsort.RunSeq(qsortParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
 			p := qsortParams(s)
+			if bk, ok := hybridBackendKind(impl); ok {
+				return qsort.RunOMPOn(p, procs, bk)
+			}
 			switch impl {
 			case OMP:
 				return qsort.RunOMP(p, procs)
@@ -197,6 +247,9 @@ var Apps = []App{
 		RunSeq:   func(s Scale) apps.Result { return lu.RunSeq(luParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
 			p := luParams(s)
+			if bk, ok := hybridBackendKind(impl); ok {
+				return lu.RunOMPOn(p, procs, bk)
+			}
 			switch impl {
 			case OMP:
 				return lu.RunOMP(p, procs)
@@ -218,6 +271,9 @@ var Apps = []App{
 		RunSeq:   func(s Scale) apps.Result { return barnes.RunSeq(barnesParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
 			p := barnesParams(s)
+			if bk, ok := hybridBackendKind(impl); ok {
+				return barnes.RunOMPOn(p, procs, bk)
+			}
 			switch impl {
 			case OMP:
 				return barnes.RunOMP(p, procs)

@@ -41,10 +41,11 @@ func Table1(w io.Writer, s Scale) error {
 	return nil
 }
 
-// Figure6 prints the paper's Figure 6 extended into a NOW-vs-SMP
-// comparison: speedup on `procs` processors for every implementation of
-// each application — the OpenMP source on both its backends, TreadMarks,
-// and MPI (speedups relative to the sequential time of Table 1).
+// Figure6 prints the paper's Figure 6 extended into a NOW vs SMP vs
+// NOW-of-SMPs comparison: speedup on `procs` processors for every
+// implementation of each application — the OpenMP source on all three of
+// its backends, TreadMarks, and MPI (speedups relative to the sequential
+// time of Table 1). The hybrid column uses HybridIslands SMP islands.
 func Figure6(w io.Writer, s Scale, procs int) error {
 	cells := make([]cellKey, 0, len(Apps)*(len(Impls)+1))
 	for _, a := range Apps {
@@ -55,8 +56,9 @@ func Figure6(w io.Writer, s Scale, procs int) error {
 	}
 	got := computeCells(s, cells)
 
-	fprintf(w, "Figure 6: speedup comparison among the OpenMP (NOW and SMP backends),\n")
-	fprintf(w, "TreadMarks and MPI versions of the applications (%d processors)\n\n", procs)
+	fprintf(w, "Figure 6: speedup comparison among the OpenMP (NOW, SMP and hybrid\n")
+	fprintf(w, "NOW-of-SMPs backends), TreadMarks and MPI versions (%d processors,\n", procs)
+	fprintf(w, "%d islands in the hybrid column)\n\n", HybridIslands)
 	hdr := fmt.Sprintf("%-10s", "App")
 	for _, impl := range Impls {
 		hdr += fmt.Sprintf(" %8s", implLabel(impl))
@@ -83,7 +85,8 @@ func Figure6(w io.Writer, s Scale, procs int) error {
 // Table2 prints the paper's Table 2: amount of data transmitted and
 // number of messages in every implementation (the omp-smp columns are
 // identically zero — hardware shared memory has no interconnect — and
-// are printed as the baseline the NOW numbers are paying for).
+// are printed as the baseline the NOW numbers are paying for; the
+// omp-hybrid columns sit in between, counting only inter-island traffic).
 func Table2(w io.Writer, s Scale, procs int) error {
 	cells := make([]cellKey, 0, len(Apps)*len(Impls))
 	for _, a := range Apps {
@@ -94,7 +97,8 @@ func Table2(w io.Writer, s Scale, procs int) error {
 	got := computeCells(s, cells)
 
 	fprintf(w, "Table 2: amount of data transmitted and number of messages in the\n")
-	fprintf(w, "OpenMP (NOW and SMP backends), TreadMarks and MPI versions (%d processors)\n\n", procs)
+	fprintf(w, "OpenMP (NOW, SMP and hybrid backends), TreadMarks and MPI versions\n")
+	fprintf(w, "(%d processors, %d islands in the hybrid columns)\n\n", procs, HybridIslands)
 	group := func(title string) string {
 		out := fmt.Sprintf(" | %10s", title)
 		for i := 1; i < len(Impls); i++ {
@@ -197,13 +201,13 @@ func SpeedupSweep(w io.Writer, s Scale, procsList []int) error {
 			return seq.Err
 		}
 		fprintf(w, "%s (seq %s)\n", a.Name, seq.Res.Time)
-		fprintf(w, "  %-8s", "procs")
+		fprintf(w, "  %-10s", "procs")
 		for _, p := range procsList {
 			fprintf(w, " %7d", p)
 		}
 		fprintf(w, "\n")
 		for _, impl := range Impls {
-			fprintf(w, "  %-8s", impl)
+			fprintf(w, "  %-10s", impl)
 			for _, p := range procsList {
 				c := got[cellKey{App: a.Name, Impl: impl, Procs: p}]
 				if c.Err != nil {
