@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short test-race smp-race hybrid-race bench-smoke bench tables ci
+.PHONY: build vet fmt-check test test-short test-race smp-race hybrid-race gc-race bench-smoke bench tables ci
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,17 @@ hybrid-race:
 	$(GO) test -race -run 'TestBackendConformance|TestHybrid' ./internal/core
 	$(GO) test -race -run 'TestHybridRaceSmoke' ./internal/harness
 
+# Acquire-epoch GC smoke under the race detector: the GC property suite
+# (randomized lock/sema/cond interleavings, coordinator invariants,
+# bounded chains) plus the lock/semaphore applications — QSORT and
+# Sweep3D at multiples of their test scale — with the collector forced to
+# low pressure. The consensus pushes, server-side purges, and fetch-lock
+# exclusion all exercise cross-goroutine edges, so this is where an
+# ordering bug in the acquire collector fails first.
+gc-race:
+	$(GO) test -race -run 'TestAcquireGC|TestAcqCoord|TestGC' ./internal/dsm
+	$(GO) test -race -run 'TestAcquireGC|TestAblationGCPolicyGrid' ./internal/harness
+
 # One-iteration benchmark smoke: compiles and executes every benchmark
 # family (Table 1 / Figure 6 / Table 2 / micro / ablations) so they can
 # never silently rot.
@@ -57,4 +68,4 @@ bench:
 tables:
 	$(GO) run ./cmd/nowbench -all
 
-ci: build vet fmt-check test smp-race hybrid-race test-race bench-smoke
+ci: build vet fmt-check test smp-race hybrid-race gc-race test-race bench-smoke

@@ -10,10 +10,15 @@
 //	                               hardware-shared-memory baseline, the
 //	                               omp-hybrid columns inter-island only)
 //	nowbench -gc                   protocol-metadata GC accounting table
+//	                               (incl. acquire-epoch counts per app)
 //	nowbench -micro                Section 6 platform characteristics
 //	nowbench -ablation section3    Section 3 flush-vs-sema/condvar studies
-//	nowbench -ablation gc          the GC every-episode/adaptive/off
-//	                               ablation with trigger counts
+//	nowbench -ablation gc          the GC ablations: every-episode vs
+//	                               adaptive vs off trigger counts, plus
+//	                               the acquire-epoch policy x trigger grid
+//	                               (flush / validate-hot / adaptive
+//	                               purges on a lock/semaphore kernel and
+//	                               on Water)
 //	nowbench -ablation all         both of the above
 //	nowbench -sweep                speedup curves for P = 1,2,4,8
 //	nowbench -all                  everything above
@@ -21,9 +26,13 @@
 // Add -scale test for a fast run on reduced inputs, -procs N to change
 // the processor count of Figure 6 / Table 2, and -islands K to set the
 // SMP island count of the omp-hybrid columns (default 2; clamped to the
-// processor count). Independent experiment cells run concurrently on a
-// bounded worker pool (output order is unaffected); -workers N bounds the
-// pool, with -workers 1 reproducing the fully sequential harness.
+// processor count). -gcpressure N and -gcpolicy P set the DSM's default
+// acquire-epoch trigger and validate-vs-flush purge policy for every
+// cell of the run (see dsm.Config.GCPressure / GCPolicy). Independent
+// experiment cells run concurrently on a weighted worker pool — SMP and
+// hybrid cells are cheaper than full-protocol NOW cells and pack several
+// to a worker slot — with output order unaffected; -workers N bounds the
+// pool, and -workers 1 reproduces the fully sequential harness.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/dsm"
 	"repro/internal/harness"
 )
 
@@ -47,8 +57,21 @@ func main() {
 		islands  = flag.Int("islands", 0, "SMP island count for the omp-hybrid columns (0 = default 2)")
 		scale    = flag.String("scale", "full", "workload scale: full or test")
 		workers  = flag.Int("workers", 0, "grid worker pool width (0 = one per CPU, 1 = sequential)")
+		gcPress  = flag.Int("gcpressure", 0, "default acquire-epoch GC trigger (0 = dsm default, negative disables)")
+		gcPolicy = flag.String("gcpolicy", "", "default GC purge policy: flush, validate-hot, or adaptive")
 	)
 	flag.Parse()
+
+	if *gcPress != 0 {
+		dsm.SetGCPressureDefault(*gcPress)
+	}
+	if *gcPolicy != "" {
+		p, err := dsm.ParseGCPolicy(*gcPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		dsm.SetGCPolicyDefault(p)
+	}
 
 	s := harness.Scale(*scale)
 	if s != harness.Full && s != harness.Test {

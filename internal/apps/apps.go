@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/dsm"
 	"repro/internal/sim"
 )
 
@@ -42,18 +43,24 @@ type Result struct {
 	IntervalsRetired  int64
 	PeakIntervalChain int64
 	PeakProtoBytes    int64
-	// GC trigger accounting of DSM-backed runs: synchronization episodes
-	// the collector examined and collection epochs it actually ran (equal
-	// unless adaptive triggering via dsm.Config.GCMinRetire is active).
-	GCEpisodes int64
-	GCEpochs   int64
+	// GC accounting of DSM-backed runs: barrier/fork synchronization
+	// episodes the collector examined, collection epochs it actually ran
+	// there (equal unless adaptive triggering via dsm.Config.GCMinRetire
+	// is active), acquire epochs announced by the lock-manager consensus
+	// (dsm.Config.GCPressure), and the per-page validate-vs-flush purge
+	// outcomes (dsm.Config.GCPolicy).
+	GCEpisodes       int64
+	GCEpochs         int64
+	GCAcqEpochs      int64
+	GCPagesValidated int64
+	GCPagesFlushed   int64
 }
 
 // ProtoSource reports DSM protocol-metadata counters; dsm.System and
 // core.Program both implement it.
 type ProtoSource interface {
 	ProtoSummary() (retired, peakChain, peakBytes int64)
-	GCSummary() (episodes, epochs int64)
+	GCSummary() dsm.GCStats
 }
 
 // DSMResult assembles the Result of a DSM-backed run (TreadMarks or
@@ -62,7 +69,9 @@ type ProtoSource interface {
 func DSMResult(checksum float64, t sim.Time, msgs, bytes int64, src ProtoSource) Result {
 	r := Result{Checksum: checksum, Time: t, Messages: msgs, Bytes: bytes}
 	r.IntervalsRetired, r.PeakIntervalChain, r.PeakProtoBytes = src.ProtoSummary()
-	r.GCEpisodes, r.GCEpochs = src.GCSummary()
+	g := src.GCSummary()
+	r.GCEpisodes, r.GCEpochs, r.GCAcqEpochs = g.Episodes, g.Epochs, g.AcqEpochs
+	r.GCPagesValidated, r.GCPagesFlushed = g.PagesValidated, g.PagesFlushed
 	return r
 }
 

@@ -17,10 +17,13 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 // "critical, condition variables").
 func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
 	prog := core.NewProgram(core.Config{
-		Threads:   procs,
-		HeapBytes: 8<<20 + 4*p.N + 16*p.QueueCap,
-		Platform:  p.Platform,
-		Backend:   backend,
+		Threads:    procs,
+		HeapBytes:  8<<20 + 4*p.N + 16*p.QueueCap,
+		Platform:   p.Platform,
+		Backend:    backend,
+		DisableGC:  p.DisableGC,
+		GCPressure: p.GCPressure,
+		GCPolicy:   p.GCPolicy,
 	})
 	s := newSharedQS(p, prog)
 	lockID := core.CriticalLockID("qs")

@@ -26,6 +26,15 @@ type Params struct {
 	QueueCap int
 	// Platform overrides the cost model.
 	Platform *sim.Platform
+	// DisableGC turns off the DSM's metadata collection in the DSM-backed
+	// implementations; GCPressure and GCPolicy set the acquire-epoch
+	// trigger and the per-page validate-vs-flush purge policy (see
+	// dsm.Config). QSORT synchronizes through critical sections and a
+	// condition variable, so between region boundaries only the acquire
+	// source collects for it.
+	DisableGC  bool
+	GCPressure int
+	GCPolicy   string
 }
 
 // Default returns the paper-scale configuration (256K keys, bubble

@@ -13,9 +13,12 @@ const tmkLock = 11
 // Figure 4 task queue written against Tmk locks and condition variables.
 func RunTmk(p Params, procs int) (apps.Result, error) {
 	sys := dsm.New(dsm.Config{
-		Procs:     procs,
-		HeapBytes: 8<<20 + 4*p.N + 16*p.QueueCap,
-		Platform:  p.Platform,
+		Procs:      procs,
+		HeapBytes:  8<<20 + 4*p.N + 16*p.QueueCap,
+		Platform:   p.Platform,
+		DisableGC:  p.DisableGC,
+		GCPressure: p.GCPressure,
+		GCPolicy:   dsm.MustParseGCPolicy(p.GCPolicy),
 	})
 	s := newSharedQS(p, sys)
 

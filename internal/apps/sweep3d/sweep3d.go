@@ -37,6 +37,14 @@ type Params struct {
 	AngleBlock int
 	// Platform overrides the cost model.
 	Platform *sim.Platform
+	// DisableGC turns off the DSM's metadata collection in the DSM-backed
+	// implementations; GCPressure and GCPolicy set the acquire-epoch
+	// trigger and the per-page validate-vs-flush purge policy (see
+	// dsm.Config). Sweep3D synchronizes through semaphore pipelines, so
+	// between region boundaries only the acquire source collects for it.
+	DisableGC  bool
+	GCPressure int
+	GCPolicy   string
 }
 
 // Default returns the paper-scale configuration (50×50×50 mesh, 6 angles

@@ -18,9 +18,12 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 	slotBytes := core.PageRound(8 * p.BlockX * nz * p.AngleBlock)
 
 	sys := dsm.New(dsm.Config{
-		Procs:     procs,
-		HeapBytes: 16<<20 + procs*nxb*nab*slotBytes,
-		Platform:  p.Platform,
+		Procs:      procs,
+		HeapBytes:  16<<20 + procs*nxb*nab*slotBytes,
+		Platform:   p.Platform,
+		DisableGC:  p.DisableGC,
+		GCPressure: p.GCPressure,
+		GCPolicy:   dsm.MustParseGCPolicy(p.GCPolicy),
 	})
 	slots := sys.MallocPage(procs * nxb * nab * slotBytes)
 	partials := sys.MallocPage(dsm.PageSize * procs)

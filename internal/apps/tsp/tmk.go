@@ -12,7 +12,11 @@ const tmkLock = 7
 // RunTmk executes the hand-coded TreadMarks version: identical worker
 // structure, written against Tmk_lock_acquire/Tmk_lock_release directly.
 func RunTmk(p Params, procs int) (apps.Result, error) {
-	sys := dsm.New(dsm.Config{Procs: procs, Platform: p.Platform})
+	sys := dsm.New(dsm.Config{
+		Procs: procs, Platform: p.Platform,
+		DisableGC: p.DisableGC, GCPressure: p.GCPressure,
+		GCPolicy: dsm.MustParseGCPolicy(p.GCPolicy),
+	})
 	s := newSharedTSP(p, sys)
 	d := Cities(p)
 	minInc := minIncident(d)

@@ -21,7 +21,11 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
 	n := p.NMol
 	bytesArr := 8 * n * dof
-	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform, Backend: backend})
+	prog := core.NewProgram(core.Config{
+		Threads: procs, Platform: p.Platform, Backend: backend,
+		DisableGC: p.DisableGC, GCMinRetire: p.GCMinRetire,
+		GCPressure: p.GCPressure, GCPolicy: p.GCPolicy,
+	})
 	posA := prog.SharedPage(bytesArr)
 	velA := prog.SharedPage(bytesArr)
 	forceA := prog.SharedPage(bytesArr)

@@ -13,7 +13,11 @@ import (
 func RunTmk(p Params, procs int) (apps.Result, error) {
 	n := p.NMol
 	bytesArr := 8 * n * dof
-	sys := dsm.New(dsm.Config{Procs: procs, Platform: p.Platform, DisableGC: p.DisableGC, GCMinRetire: p.GCMinRetire})
+	sys := dsm.New(dsm.Config{
+		Procs: procs, Platform: p.Platform,
+		DisableGC: p.DisableGC, GCMinRetire: p.GCMinRetire,
+		GCPressure: p.GCPressure, GCPolicy: dsm.MustParseGCPolicy(p.GCPolicy),
+	})
 	posA := sys.MallocPage(bytesArr)
 	velA := sys.MallocPage(bytesArr)
 	forceA := sys.MallocPage(bytesArr)

@@ -37,16 +37,27 @@ type Params struct {
 	Seed uint64
 	// Platform overrides the cost model.
 	Platform *sim.Platform
-	// DisableGC turns off the DSM's barrier-epoch metadata collection in
-	// RunTmk (the GC ablation's control arm).
+	// DisableGC turns off the DSM's metadata collection (both epoch
+	// sources) in the DSM-backed implementations (the GC ablation's
+	// control arm).
 	DisableGC bool
-	// GCMinRetire sets the DSM collector's adaptive trigger threshold in
-	// RunTmk (see dsm.Config.GCMinRetire; 0 collects at every episode).
+	// GCMinRetire sets the DSM collector's adaptive barrier/fork-episode
+	// trigger threshold (see dsm.Config.GCMinRetire; 0 collects at every
+	// episode).
 	GCMinRetire int
+	// GCPressure sets the acquire-epoch trigger threshold (see
+	// dsm.Config.GCPressure; 0 = default, negative disables).
+	GCPressure int
+	// GCPolicy selects the per-page validate-vs-flush purge policy
+	// ("", "flush", "validate-hot", "adaptive").
+	GCPolicy string
 }
 
-// Default returns the paper-scale configuration (512 molecules).
-func Default() Params { return Params{NMol: 512, Steps: 2, Seed: 31415} }
+// Default returns the paper-scale configuration: 512 molecules at 8x the
+// original two-step run. Long runs stopped being metadata-bound once the
+// barrier-epoch and acquire-epoch collectors landed, so the Full scale
+// now exercises a genuinely long trajectory.
+func Default() Params { return Params{NMol: 512, Steps: 16, Seed: 31415} }
 
 // Small returns a test-scale configuration.
 func Small() Params { return Params{NMol: 64, Steps: 2, Seed: 31415} }

@@ -188,10 +188,11 @@ type Backend interface {
 	// ProtoSummary reports consistency-protocol metadata accounting
 	// (all zero on backends that keep none).
 	ProtoSummary() (retired, peakChain, peakBytes int64)
-	// GCSummary reports metadata-GC trigger accounting: synchronization
-	// episodes examined and collections actually run (zero on backends
-	// without a collector).
-	GCSummary() (episodes, epochs int64)
+	// GCSummary reports metadata-GC accounting: barrier/fork episodes
+	// examined, collections run per epoch source (episode and acquire),
+	// and validate-vs-flush purge outcomes (zero on backends without a
+	// collector).
+	GCSummary() dsm.GCStats
 }
 
 // The NOW worker is the DSM node itself.

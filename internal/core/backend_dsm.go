@@ -13,11 +13,7 @@ type dsmBackend struct {
 }
 
 func newDSMBackend(cfg Config) *dsmBackend {
-	return &dsmBackend{sys: dsm.New(dsm.Config{
-		Procs:     cfg.Threads,
-		HeapBytes: cfg.HeapBytes,
-		Platform:  cfg.Platform,
-	})}
+	return &dsmBackend{sys: dsm.New(dsmConfig(cfg, cfg.Threads, false))}
 }
 
 func (b *dsmBackend) Procs() int               { return b.sys.Procs() }
@@ -44,4 +40,4 @@ func (b *dsmBackend) ProtoSummary() (int64, int64, int64) {
 	return b.sys.ProtoSummary()
 }
 
-func (b *dsmBackend) GCSummary() (int64, int64) { return b.sys.GCSummary() }
+func (b *dsmBackend) GCSummary() dsm.GCStats { return b.sys.GCSummary() }

@@ -119,12 +119,7 @@ func newHybridBackend(cfg Config, islands int) *hybridBackend {
 		procs:   procs,
 		nisl:    islands,
 		regions: make(map[string]func(Worker, []byte)),
-		sys: dsm.New(dsm.Config{
-			Procs:       islands,
-			HeapBytes:   cfg.HeapBytes,
-			Platform:    cfg.Platform,
-			MultiClient: true,
-		}),
+		sys:     dsm.New(dsmConfig(cfg, islands, true)),
 	}
 	costs := dsm.ClientCosts{Lock: smpLockCost, Sema: smpSemaCost, Cond: smpCondCost}
 	for i := 0; i < islands; i++ {
@@ -293,7 +288,7 @@ func (b *hybridBackend) ProtoSummary() (int64, int64, int64) {
 	return b.sys.ProtoSummary()
 }
 
-func (b *hybridBackend) GCSummary() (int64, int64) { return b.sys.GCSummary() }
+func (b *hybridBackend) GCSummary() dsm.GCStats { return b.sys.GCSummary() }
 
 // ---------------------------------------------------------------------
 // Worker: identity, clock, fork.

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/dsm"
 	"repro/internal/sim"
 )
 
@@ -266,7 +267,7 @@ func (b *smpBackend) MaxClock() sim.Time {
 func (b *smpBackend) Traffic() (int64, int64)             { return 0, 0 }
 func (b *smpBackend) ResetTraffic()                       {}
 func (b *smpBackend) ProtoSummary() (int64, int64, int64) { return 0, 0, 0 }
-func (b *smpBackend) GCSummary() (int64, int64)           { return 0, 0 }
+func (b *smpBackend) GCSummary() dsm.GCStats              { return dsm.GCStats{} }
 
 // ---------------------------------------------------------------------
 // Worker: identity, clock, fork/join.

@@ -3,6 +3,8 @@ package core
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/dsm"
 )
 
 // The backend-seam conformance suite: every core primitive is exercised
@@ -378,10 +380,10 @@ var conformanceScenarios = []conformanceScenario{
 	},
 }
 
-// TestBackendConformance runs every scenario on every backend — the NOW,
+// runConformanceSuite runs every scenario on every backend — the NOW,
 // the SMP, and the hybrid at island counts {1, 2, procs} — and requires
 // identical observable results, with the NOW backend as the reference.
-func TestBackendConformance(t *testing.T) {
+func runConformanceSuite(t *testing.T) {
 	for _, sc := range conformanceScenarios {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
@@ -398,4 +400,24 @@ func TestBackendConformance(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestBackendConformance is the suite under the default GC configuration.
+func TestBackendConformance(t *testing.T) { runConformanceSuite(t) }
+
+// TestBackendConformanceAcquireGC reruns the nine scenarios on all three
+// backends with the acquire-epoch collector forced on at very low
+// pressure and the validate-hot purge policy — collection epochs then
+// interleave with nearly every synchronization operation, and the
+// observable results must still be identical across backends (the
+// collector is invisible to the computation). Runs sequentially with the
+// package defaults flipped, like the GC-off equivalence suite.
+func TestBackendConformanceAcquireGC(t *testing.T) {
+	prevP := dsm.SetGCPressureDefault(2)
+	prevPol := dsm.SetGCPolicyDefault(dsm.GCPolicyValidateHot)
+	t.Cleanup(func() {
+		dsm.SetGCPressureDefault(prevP)
+		dsm.SetGCPolicyDefault(prevPol)
+	})
+	runConformanceSuite(t)
 }

@@ -39,6 +39,7 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"repro/internal/dsm"
 	"repro/internal/sim"
 )
 
@@ -61,6 +62,39 @@ type Config struct {
 	// [1, Threads]. An island count encoded in the Backend kind itself
 	// (HybridIslands) takes precedence.
 	Islands int
+
+	// DSM metadata-GC knobs, forwarded to the NOW and hybrid backends
+	// (no-ops on hardware shared memory, which keeps no LRC metadata).
+	//
+	// DisableGC turns collection off entirely; GCMinRetire is the
+	// adaptive barrier/fork-episode trigger (see dsm.Config.GCMinRetire);
+	// GCPressure is the acquire-epoch trigger for lock/semaphore programs
+	// (0 = dsm.DefaultGCPressure, negative disables; see
+	// dsm.Config.GCPressure); GCPolicy selects the per-page
+	// validate-vs-flush purge policy ("", "flush", "validate-hot",
+	// "adaptive" — see dsm.ParseGCPolicy).
+	DisableGC   bool
+	GCMinRetire int
+	GCPressure  int
+	GCPolicy    string
+}
+
+// dsmConfig assembles the dsm.Config shared by the DSM-backed backends.
+func dsmConfig(cfg Config, procs int, multiClient bool) dsm.Config {
+	policy, err := dsm.ParseGCPolicy(cfg.GCPolicy)
+	if err != nil {
+		panic(err.Error())
+	}
+	return dsm.Config{
+		Procs:       procs,
+		HeapBytes:   cfg.HeapBytes,
+		Platform:    cfg.Platform,
+		MultiClient: multiClient,
+		DisableGC:   cfg.DisableGC,
+		GCMinRetire: cfg.GCMinRetire,
+		GCPressure:  cfg.GCPressure,
+		GCPolicy:    policy,
+	}
 }
 
 // Program is one OpenMP program instance: shared-data layout, registered
@@ -155,9 +189,10 @@ func (p *Program) ProtoSummary() (retired, peakChain, peakBytes int64) {
 	return p.be.ProtoSummary()
 }
 
-// GCSummary reports metadata-GC trigger accounting: synchronization
-// episodes examined and collections run (zero on the SMP backend).
-func (p *Program) GCSummary() (episodes, epochs int64) { return p.be.GCSummary() }
+// GCSummary reports metadata-GC accounting: synchronization episodes
+// examined, collections run per epoch source, and the validate-vs-flush
+// purge outcomes (all zero on the SMP backend).
+func (p *Program) GCSummary() dsm.GCStats { return p.be.GCSummary() }
 
 // criticalLock maps a critical-section name to a lock id. Named critical
 // sections with the same name share one lock program-wide, per the

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/dsm"
 	"repro/internal/sim"
 )
 
@@ -205,8 +206,8 @@ func TestHybridIslandsOneZeroMetadata(t *testing.T) {
 	if r, c, b := p.ProtoSummary(); r != 0 || c != 0 || b != 0 {
 		t.Errorf("islands=1 reported protocol metadata: %d %d %d", r, c, b)
 	}
-	if eps, epochs := p.GCSummary(); eps != 0 || epochs != 0 {
-		t.Errorf("islands=1 reported GC activity: %d %d", eps, epochs)
+	if g := p.GCSummary(); g != (dsm.GCStats{}) {
+		t.Errorf("islands=1 reported GC activity: %+v", g)
 	}
 }
 

@@ -1,0 +1,615 @@
+package dsm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/network"
+)
+
+// Acquire-epoch garbage collection for lock/semaphore/condvar programs.
+//
+// The barrier-epoch collector (gc.go) keys on barriers and forks, so
+// applications that synchronize exclusively through locks, semaphores, and
+// condition variables — TSP's critical sections, QSORT's task-queue
+// condvars, Sweep3D's semaphore pipelines — accumulate interval chains for
+// the whole region between forks. Real TreadMarks solves this with a
+// consensus garbage collection triggered on memory pressure (Amza et al.,
+// IEEE Computer '96); this file is the simulation's analogue, led by the
+// synchronization managers.
+//
+// Every lock acquire, semaphore wait/signal, and condition-variable wait
+// already carries the requesting thread's vector clock on the wire, so the
+// managers collectively observe, over time, a lower bound of every node's
+// clock. The componentwise minimum of those observations is a floor F with
+// the property that EVERY node has incorporated every interval under F —
+// exactly the global agreement Keleher's LRC garbage collection requires.
+// When the retirable-interval pressure (the floor's component sum beyond
+// the last issued floor) crosses Config.GCPressure, the managers announce
+// an acquire epoch with floor F, piggybacked on the grant messages of
+// whatever synchronization the nodes perform next; each node, on its next
+// sync operation, purges its page copies up to F (per the validate-vs-
+// flush policy, Config.GCPolicy), truncates per-creator interval lists
+// behind ivlBase, and releases the diffs and twins of intervals retired by
+// the PREVIOUS acquire epoch.
+//
+// Soundness is the same one-epoch-delayed free as the barrier collector,
+// with an acknowledgment gate standing in for barrier quiescence:
+//
+//   - An announced floor F is ≤ every node's true clock at announcement
+//     time (it is a min over clocks genuinely carried in sync requests),
+//     so every node has stored every interval under F, and all future
+//     intervals have sequence numbers above F.
+//   - The coordinator announces epoch k+1 only after every node has
+//     reported a purge covering EVERY floor issued so far — acquire floors
+//     and collected barrier/fork-episode floors alike (gcEpochLocked feeds
+//     both into the coordinator). Once every node has purged ⊇ F, no node
+//     holds an unfetched write notice ≤ F, and none can ever reacquire
+//     one, so the diffs of intervals under F are unreachable forever:
+//     freeing them while processing epoch k+1 needs no further
+//     coordination. Barrier-source frees stay safe for the symmetric
+//     reason (every node purges the episode floor — which dominates every
+//     previously announced acquire floor — before resuming application
+//     code, and a node parked in the episode cannot fetch).
+//
+// In the simulation the coordinator is a System-level registry standing in
+// for the managers' shared bookkeeping: the clocks it aggregates are the
+// ones genuinely present in the request wire format, and the epoch
+// announcements and purge acknowledgments ride messages that already flow
+// (grants, acks, departures) — a few extra bytes the simulation does not
+// charge separately.
+
+// DefaultGCPressure is the acquire-epoch trigger used when Config.GCPressure
+// is zero: an epoch is announced when the consensus floor would newly retire
+// at least this many interval records. It is set comfortably above the
+// per-episode retirement of barrier-dense applications, so programs whose
+// barriers and forks already collect promptly never pay for an extra
+// acquire round.
+const DefaultGCPressure = 256
+
+// GCPolicy selects how a node purges page copies that owe retired diffs at
+// a collection epoch (barrier, fork, or acquire source alike). Node 0
+// always validates: it is the page server, and its copy is the base every
+// first fetch builds on.
+type GCPolicy int
+
+const (
+	// GCPolicyDefault defers to the package default (flush, unless
+	// overridden by SetGCPolicyDefault for ablations and tests).
+	GCPolicyDefault GCPolicy = iota
+	// GCPolicyFlush discards every stale copy outright; the next access
+	// refetches the whole page from node 0's validated copy. This is the
+	// classic TreadMarks invalidate choice and the pre-policy behaviour.
+	GCPolicyFlush
+	// GCPolicyValidateHot fetches and applies the retired diffs of pages
+	// faulted since the last collection (hot pages — the ones the node
+	// will touch again), keeping their copies; cold pages are flushed.
+	GCPolicyValidateHot
+	// GCPolicyAdaptive validates hot pages only when their retired-notice
+	// chain is short (cheap to fetch as diffs); long chains and cold pages
+	// are flushed — a whole-page refetch is cheaper than a long diff walk.
+	GCPolicyAdaptive
+)
+
+// adaptiveValidateMaxChain is GCPolicyAdaptive's cutoff: a hot page owing
+// at most this many retired diffs is validated, a longer chain flushed.
+const adaptiveValidateMaxChain = 8
+
+// String returns the knob spelling accepted by ParseGCPolicy.
+func (p GCPolicy) String() string {
+	switch p {
+	case GCPolicyDefault:
+		return "default"
+	case GCPolicyFlush:
+		return "flush"
+	case GCPolicyValidateHot:
+		return "validate-hot"
+	case GCPolicyAdaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("GCPolicy(%d)", int(p))
+}
+
+// MustParseGCPolicy is ParseGCPolicy for configuration paths where an
+// unknown spelling is a programming error (app Params plumbing).
+func MustParseGCPolicy(s string) GCPolicy {
+	p, err := ParseGCPolicy(s)
+	if err != nil {
+		panic(err.Error())
+	}
+	return p
+}
+
+// ParseGCPolicy parses a policy knob ("", "default", "flush",
+// "validate-hot", "adaptive").
+func ParseGCPolicy(s string) (GCPolicy, error) {
+	switch s {
+	case "", "default":
+		return GCPolicyDefault, nil
+	case "flush":
+		return GCPolicyFlush, nil
+	case "validate-hot":
+		return GCPolicyValidateHot, nil
+	case "adaptive":
+		return GCPolicyAdaptive, nil
+	}
+	return GCPolicyDefault, fmt.Errorf("dsm: unknown GC policy %q", s)
+}
+
+// Package defaults behind the zero Config values, overridable for
+// ablations and tests (like SetGCDefault, they must not change while
+// systems are running).
+var (
+	gcDefaultPolicy   = GCPolicyFlush
+	gcDefaultPressure = DefaultGCPressure
+)
+
+// SetGCPolicyDefault sets the purge policy used by systems whose Config
+// leaves GCPolicy at GCPolicyDefault, returning the previous default.
+func SetGCPolicyDefault(p GCPolicy) GCPolicy {
+	prev := gcDefaultPolicy
+	if p != GCPolicyDefault {
+		gcDefaultPolicy = p
+	} else {
+		gcDefaultPolicy = GCPolicyFlush
+	}
+	return prev
+}
+
+// SetGCPressureDefault sets the acquire-epoch pressure threshold used by
+// systems whose Config leaves GCPressure at 0, returning the previous
+// default. Negative disables acquire epochs by default.
+func SetGCPressureDefault(n int) int {
+	prev := gcDefaultPressure
+	if n == 0 {
+		gcDefaultPressure = DefaultGCPressure
+	} else {
+		gcDefaultPressure = n
+	}
+	return prev
+}
+
+// acqCoord is the acquire-epoch consensus state: the simulation stand-in
+// for bookkeeping the lock/semaphore/condvar managers share. Its mutex is
+// a leaf — no method touches a node's state — so nodes may call it with or
+// without their own mutex held.
+type acqCoord struct {
+	mu       sync.Mutex
+	pressure int64
+
+	// reported[i] is the latest clock node i has carried on any sync
+	// request (a sound lower bound of its true clock; clocks only grow).
+	reported []VectorClock
+	// purged[i] is the merged floor of every collection epoch node i has
+	// completed (acquire and barrier/fork sources alike).
+	purged []VectorClock
+	// baseline is the merged floor of every epoch issued so far:
+	// announced acquire floors plus collected episode floors. The next
+	// announcement is gated on every purged[i] covering it.
+	baseline VectorClock
+	baseSum  int64
+
+	announced int64 // acquire epochs announced
+	pushes    int64 // consensus push rounds initiated
+
+	// Push-round pacing: a round is started only when at least pushGap
+	// reports have arrived since the last one. The gap starts at procs
+	// and doubles each time a round completes without any consensus
+	// progress (some thread the consensus is stuck on — say, a condvar
+	// waiter whose wake depends on the pressured thread itself — cannot
+	// be helped by more messages), resetting once progress resumes; a
+	// pressured node can therefore never storm the quiet ones.
+	reports   int64
+	pushStamp int64
+	pushGap   int64
+	pushProg  int64 // progressLocked() at the last push round
+}
+
+func newAcqCoord(procs int, pressure int) *acqCoord {
+	co := &acqCoord{pressure: int64(pressure), baseline: newVC(procs), pushGap: int64(procs)}
+	for i := 0; i < procs; i++ {
+		co.reported = append(co.reported, newVC(procs))
+		co.purged = append(co.purged, newVC(procs))
+	}
+	return co
+}
+
+// progressLocked is a monotone scalar that advances whenever any node
+// purges or an epoch is announced — what the backpressure loop and the
+// push backoff watch to distinguish "consensus under way" from
+// "consensus stuck on a thread only the application can unblock".
+func (co *acqCoord) progressLocked() int64 {
+	p := co.announced
+	for _, v := range co.purged {
+		p += v.sum()
+	}
+	return p
+}
+
+// progress is progressLocked under the coordinator lock.
+func (co *acqCoord) progress() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.progressLocked()
+}
+
+// report records node id's clock as carried on a sync request and runs
+// the announcement check. It returns the floor of an issued epoch id has
+// not yet purged (if any), plus the set of quiet peers id should push a
+// consensus-sync delta to (nil outside a push round): nodes whose stale
+// clocks hold the consensus floor back, or whose missing purge
+// acknowledgment gates the next announcement, while retirable pressure
+// has built past the threshold. The push — TreadMarks' "interrupt every
+// process for the consensus" — is what lets programs whose other threads
+// sit parked on a condition variable or semaphore still retire the busy
+// thread's interval chains.
+// wantPush must be FALSE for callers that will not actually send the
+// returned deltas (the server-side handler): a push round's pacing state
+// (pushStamp, pushGap backoff) is consumed when the round is issued, and
+// consuming it without sending would silently swallow the round.
+func (co *acqCoord) report(id int, vc VectorClock, wantPush bool) (floor VectorClock, pending bool, push []int) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.reports++
+	co.reported[id].merge(vc)
+	co.maybeAnnounceLocked()
+	// Node 0 processes every epoch FIRST: a non-manager purge may flush a
+	// copy and later rebuild it from node 0's, so node 0's copy must
+	// already reflect every write under the floor by then — the ordering
+	// a barrier provides structurally (the manager validates before any
+	// departure) and the acquire consensus must impose explicitly.
+	if !co.baseline.dominatedBy(co.purged[id]) &&
+		(id == 0 || co.baseline.dominatedBy(co.purged[0])) {
+		floor = co.baseline.clone()
+		pending = true
+	}
+	// Push-round check: raw pressure counts every interval any node has
+	// reported beyond the issued baseline — the metadata actually
+	// accumulating somewhere — while the announcement path is blocked
+	// (floor held back by stale clocks, or gate held by missing purges).
+	if !wantPush || co.reports-co.pushStamp < co.pushGap {
+		return floor, pending, nil
+	}
+	raw := int64(0)
+	union := co.reported[0].clone()
+	for _, r := range co.reported[1:] {
+		union.merge(r)
+	}
+	raw = union.sum() - co.baseSum
+	if raw < co.pressure {
+		return floor, pending, nil
+	}
+	for i := range co.reported {
+		if i == id {
+			continue
+		}
+		if !union.dominatedBy(co.reported[i]) || !co.baseline.dominatedBy(co.purged[i]) {
+			push = append(push, i)
+		}
+	}
+	if push != nil {
+		co.pushStamp = co.reports
+		co.pushes++
+		if prog := co.progressLocked(); prog == co.pushProg {
+			if co.pushGap < 1024*int64(len(co.reported)) {
+				co.pushGap *= 2
+			}
+		} else {
+			co.pushGap = int64(len(co.reported))
+			co.pushProg = prog
+		}
+	}
+	return floor, pending, push
+}
+
+// maybeAnnounceLocked issues a new acquire epoch when (a) every node has
+// purged everything issued so far — the acknowledgment gate that makes the
+// one-epoch-delayed free sound, and blocks announcements while a barrier
+// episode's purges are still in flight — and (b) the consensus floor would
+// newly retire at least the pressure threshold.
+func (co *acqCoord) maybeAnnounceLocked() {
+	for _, p := range co.purged {
+		if !co.baseline.dominatedBy(p) {
+			return
+		}
+	}
+	cand := co.reported[0].clone()
+	for _, r := range co.reported[1:] {
+		for i, v := range r {
+			if v < cand[i] {
+				cand[i] = v
+			}
+		}
+	}
+	// Monotone: every floor already issued is ≤ every node's true clock,
+	// so merging keeps cand a sound global floor.
+	cand.merge(co.baseline)
+	if cand.sum()-co.baseSum < co.pressure {
+		return
+	}
+	co.baseline = cand
+	co.baseSum = cand.sum()
+	co.announced++
+}
+
+// notePurged records that node id has completed a collection epoch with
+// the given floor (its copies owe no diff under it, and never will again).
+func (co *acqCoord) notePurged(id int, floor VectorClock) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.purged[id].merge(floor)
+	// A node's clock dominates any floor it purged.
+	co.reported[id].merge(floor)
+}
+
+// noteIssued folds a collected barrier/fork-episode floor into the
+// baseline (called by node 0 when it decides an episode collects, BEFORE
+// any departure or fork goes out): announcements stay blocked until every
+// node has processed the episode, and episode-driven retirement does not
+// count toward acquire pressure.
+func (co *acqCoord) noteIssued(floor VectorClock) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.baseline.merge(floor)
+	co.baseSum = co.baseline.sum()
+}
+
+// announcedCount returns the number of acquire epochs issued so far.
+func (co *acqCoord) announcedCount() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.announced
+}
+
+// gcSpinTries bounds the backpressure loop of gcSyncHook: a pressured
+// node yields at most this many times waiting for the consensus to catch
+// up, so a consensus stalled on a thread that only this node can unblock
+// (e.g. a condvar waiter expecting our signal) can never livelock the
+// application.
+const gcSpinTries = 4096
+
+// gcSyncHook runs after every application-side synchronization operation:
+// it reports the calling thread's clock to the coordinator (the clock is
+// genuinely on the wire in the operation's request), processes any
+// announced epoch this node has not purged yet — the node's side of the
+// epoch consensus, piggybacked on the operation's grant — and, when the
+// coordinator asks for a push round, sends consensus-sync deltas to the
+// quiet nodes holding the floor back. While this node's own retained
+// chain sits far past the trigger, the hook additionally applies
+// backpressure, yielding the processor so the peers' protocol servers can
+// take their side of the consensus (real TreadMarks stalls the allocating
+// process until the garbage-collection consensus completes); the chain
+// peak therefore stays bounded by the trigger, not by how fast one
+// thread can race ahead of the scheduler. Must be called WITHOUT n.mu
+// held.
+//
+// spin must be FALSE at call sites where the application still holds a
+// lock (the tail of Acquire and CondWait, condition notifies): stalling
+// there stretches the critical section, piles island-mates onto the
+// local handoff queue — whose priority over the global chain would then
+// starve every other island's acquire, freezing the very consensus the
+// backpressure is waiting for (a livelock the hybrid TSP surfaced).
+// Release/semaphore/flush tails hold nothing and are where the
+// backpressure lives.
+func (c *Client) gcSyncHook(spin bool) {
+	n := c.n
+	co := n.sys.acq
+	if co == nil {
+		return
+	}
+	c.gcSyncOnce()
+	if !spin {
+		return
+	}
+	limit := 4 * co.pressure
+	if int64(c.retainedChain()) <= limit {
+		return
+	}
+	// Backpressure: yield while the consensus is demonstrably advancing
+	// (nodes purging, epochs announcing), re-running a consensus step
+	// every few yields. A consensus stuck on a thread only the
+	// application can unblock — a condvar waiter whose wake depends on
+	// this very thread — makes no progress, and the loop gives up after
+	// a short grace instead of stalling the application (or flooding the
+	// wire with retries; see pushGap).
+	prog := co.progress()
+	stuck := 0
+	for try := 0; try < gcSpinTries; try++ {
+		select {
+		case <-n.sys.done:
+			panic(abortError{cause: "switch shut down"})
+		default:
+		}
+		runtime.Gosched()
+		if try%8 != 7 {
+			continue
+		}
+		c.gcSyncOnce()
+		if int64(c.retainedChain()) <= limit {
+			return
+		}
+		if p := co.progress(); p != prog {
+			prog, stuck = p, 0
+		} else if stuck++; stuck >= 8 {
+			return
+		}
+	}
+}
+
+// retainedChain returns the node's longest retained per-creator interval
+// list — what the backpressure loop bounds.
+func (c *Client) retainedChain() int {
+	n := c.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	chain := 0
+	for _, have := range n.intervals {
+		if len(have) > chain {
+			chain = len(have)
+		}
+	}
+	return chain
+}
+
+// gcSyncOnce is one consensus step: report, process a pending epoch, send
+// any requested push deltas.
+func (c *Client) gcSyncOnce() {
+	n := c.n
+	co := n.sys.acq
+	n.mu.Lock()
+	vc := n.vc.clone()
+	n.mu.Unlock()
+	floor, pending, push := co.report(n.id, vc, true)
+	if pending {
+		n.mu.Lock()
+		done := n.acqEpochLocked(c, floor)
+		n.mu.Unlock()
+		if done {
+			// Only the client that actually ran the purge acknowledges:
+			// the coordinator free-gates on this, and an island-mate that
+			// found the epoch already claimed must not vouch for an
+			// unfinished purge.
+			co.notePurged(n.id, floor)
+		}
+	}
+	for _, j := range push {
+		// One delta per quiet node, exactly like a flush notice: their
+		// servers incorporate it in wire order, raising their clocks past
+		// the pressured node's intervals so the consensus floor can
+		// advance without waiting for their application threads.
+		n.mu.Lock()
+		var w wbuf
+		w.vc(n.vc)
+		encodeRecords(&w, n.deltaForLocked(n.knownVC[j]))
+		n.noteSentLocked(j)
+		n.stats.GCSyncPushes++
+		// Sent under mu: atomic with the estimate update.
+		n.ep.SendAt(j, msgGCSync, network.ClassRequest, w.b, c.clk.Now())
+		n.mu.Unlock()
+	}
+}
+
+// handleGCSync runs on a quiet node's protocol server: incorporate the
+// pushed delta (raising this node's clock), report the new clock, and —
+// if an issued epoch is pending here and no application fetch is in
+// flight — run it flush-only right now, so a node parked on a condition
+// variable or deep in a compute phase neither holds the consensus floor
+// nor gates the next announcement. Node 0 never collects in server
+// context: its purge must validate (fetch diffs), which a server cannot
+// block on; its application-thread hook runs the epoch instead.
+func (n *Node) handleGCSync(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	senderVC := r.vc()
+	recs := decodeRecords(&r)
+	at := m.Arrive + n.sys.plat.RequestService
+	n.mu.Lock()
+	n.chargeInterruptLocked()
+	n.incorporateLocked(recs, senderVC)
+	n.noteHeardLocked(m.From, senderVC)
+	vc := n.vc.clone()
+	// Reverse delta: a quiet node's own last intervals have never been
+	// carried anywhere (deltas only travel on sends, and it is not
+	// sending), so the consensus floor could never cover its writes. The
+	// exchange makes the push a two-way clock-and-notice swap, exactly
+	// TreadMarks' consensus round; it stops as soon as both sides are
+	// current (an empty delta sends nothing).
+	if back := n.deltaForLocked(n.knownVC[m.From]); len(back) > 0 {
+		var w wbuf
+		w.vc(n.vc)
+		encodeRecords(&w, back)
+		// Non-blocking: a server must NEVER block on a peer's bounded
+		// request queue (two servers mutually blocked sending into each
+		// other's full inboxes would stall every grant in the system). A
+		// dropped reverse delta only delays the consensus floor — the
+		// next push round retries — and the knownVC estimate is updated
+		// only when the send actually happened, keeping the gap-free
+		// delta invariant.
+		if n.ep.TrySendAt(m.From, msgGCSync, network.ClassRequest, w.b, at) {
+			n.noteSentLocked(m.From)
+			n.stats.GCSyncPushes++
+		}
+	}
+	n.mu.Unlock()
+	co := n.sys.acq
+	if co == nil {
+		return
+	}
+	floor, pending, _ := co.report(n.id, vc, false)
+	if !pending || n.id == 0 {
+		return
+	}
+	// The TryLock is load-bearing: if the application thread is mid-fetch
+	// (it holds fetchMu), a server-side purge could discard notices whose
+	// diffs that fetch is about to request, opening the free-after-fetch
+	// race the fetch lock exists to prevent. When the node is busy we
+	// simply skip — a busy node's own hook processes the epoch shortly.
+	if !n.fetchMu.TryLock() {
+		return
+	}
+	n.mu.Lock()
+	done := n.acqEpochServerLocked(floor)
+	n.mu.Unlock()
+	n.fetchMu.Unlock()
+	if done {
+		co.notePurged(n.id, floor)
+	}
+}
+
+// acqEpochLocked processes one announced acquire epoch on this node: free
+// what the PREVIOUS acquire epoch retired, purge page copies up to the new
+// floor per the policy, and advance the floor. Requires n.mu; the purge
+// may release and reacquire it around its diff-fetch wave. Returns false
+// if the floor was already covered (an island-mate claimed the epoch, or a
+// barrier episode superseded it).
+func (n *Node) acqEpochLocked(c *Client, floor VectorClock) bool {
+	return n.acqEpoch(c, floor, false)
+}
+
+// acqEpochServerLocked is the protocol-server variant used by the
+// consensus push (handleGCSync): the purge is flush-only and never
+// releases n.mu — a server cannot block on network replies. The caller
+// must hold BOTH n.mu and fetchMu.
+func (n *Node) acqEpochServerLocked(floor VectorClock) bool {
+	return n.acqEpoch(nil, floor, true)
+}
+
+func (n *Node) acqEpoch(c *Client, floor VectorClock, serverSide bool) bool {
+	if n.gcPurgeVC != nil && floor.dominatedBy(n.gcPurgeVC) {
+		return false
+	}
+	if serverSide {
+		if !n.gcCanFlushAllLocked(floor) {
+			// Some copy holds own writes above the floor: only a
+			// validating purge may keep it, and validation fetches diffs,
+			// which a server cannot block on. Leave the epoch to the
+			// application thread.
+			return false
+		}
+		if !floor.dominatedBy(n.vc) {
+			// A stale push raced a just-issued barrier/fork episode: node
+			// 0 folds the episode floor into the coordinator baseline
+			// BEFORE this node's departure/fork delta arrives, so a push
+			// processed in that window hands us a floor covering intervals
+			// we have not incorporated yet. The episode delivery itself
+			// will purge past this floor moments later; skip.
+			return false
+		}
+	} else if !floor.dominatedBy(n.vc) {
+		// Impossible on the application thread: the floor is a min over
+		// reported clocks (ours included) merged with episode floors whose
+		// episodes this thread has already processed.
+		panic(fmt.Sprintf("dsm: node %d acquire-epoch floor %v above local clock %v", n.id, floor, n.vc))
+	}
+	purge := func() { n.gcPurgePagesLocked(c, floor, false) }
+	if serverSide {
+		// A node reached by a push is quiet — parked on a condition
+		// variable or deep in a compute phase — so its covered copies are
+		// cold: the policy question answers itself, and flushing needs no
+		// network.
+		purge = func() { n.gcFlushCoveredLocked(floor) }
+	}
+	n.gcCollectLocked(&n.gcAcqFreeVC, floor, purge)
+	n.stats.GCAcqEpochs++
+	return true
+}

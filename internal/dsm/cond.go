@@ -102,6 +102,7 @@ func (c *Client) CondWait(condID, lockID int) {
 	ls.holderTag = c.tag
 	n.mu.Unlock()
 	c.clk.Advance(c.costs.Cond + c.costs.Lock)
+	c.gcSyncHook(false) // the re-acquired lock is held: never stall here
 }
 
 // CondSignal unblocks one thread waiting on condID (no effect if none).
@@ -126,6 +127,7 @@ func (c *Client) condNotify(condID, lockID int, all bool) {
 	if n.id == mgr {
 		n.condWakeLocked(condID, lockID, all, c.clk.Now())
 		n.mu.Unlock()
+		c.gcSyncHook(false) // the associated lock is held: never stall here
 		return
 	}
 	var w wbuf
@@ -137,6 +139,7 @@ func (c *Client) condNotify(condID, lockID int, all bool) {
 		typ = msgCondBroadcast
 	}
 	n.ep.SendAt(mgr, typ, network.ClassRequest, w.b, c.clk.Now())
+	c.gcSyncHook(false) // the associated lock is held: never stall here
 }
 
 // condWakeLocked implements the manager's queue transfer: each woken

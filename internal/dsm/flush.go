@@ -39,6 +39,7 @@ func (c *Client) Flush() {
 	for i := 0; i < procs-1; i++ {
 		c.recvReply(msgFlushAck, 0)
 	}
+	c.gcSyncHook(true)
 }
 
 // handleFlush runs on every other node's protocol server: incorporate the

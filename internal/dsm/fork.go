@@ -91,7 +91,17 @@ func (n *Node) slaveLoop() {
 		region := r.str()
 		arg := r.bytes()
 		// The consistency trailer was already incorporated by the
-		// protocol server, in wire order.
+		// protocol server, in wire order; the fork is this node's side of
+		// the master's fork GC epoch, with the master's clock as carried
+		// in the message as the floor. It runs here, on the application
+		// thread, so a validate-policy purge can fetch diffs without
+		// blocking this node's protocol server.
+		if n.sys.gcOn {
+			forkVC := r.vc()
+			n.mu.Lock()
+			n.gcEpochLocked(&n.c0, forkVC)
+			n.mu.Unlock()
+		}
 		fn := n.sys.region(region)
 		fn(n, arg)
 

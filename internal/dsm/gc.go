@@ -6,27 +6,34 @@ import (
 	"repro/internal/sim"
 )
 
-// Barrier-epoch garbage collection of lazy-release-consistency metadata.
+// Garbage collection of lazy-release-consistency metadata.
 //
 // Without collection, intervals, write notices, encoded diffs, and twins
 // accumulate for the whole run: protocol memory grows without bound and
 // every fault walks ever-longer chains. Real TreadMarks reclaims this
 // state at global synchronization points; this file is the simulation's
-// analogue, keyed to barriers because a barrier is the one moment the
-// system is provably quiescent — every application thread is parked
-// inside Barrier(), so no fault, lock grant, or delta is in flight.
+// analogue for the BARRIER/FORK epoch source (acqgc.go adds the
+// lock-manager-led acquire source for programs that never barrier), keyed
+// to barriers because a barrier is the one moment the system is provably
+// quiescent — every application thread is parked inside Barrier(), so no
+// fault, lock grant, or delta is in flight.
 //
 // One epoch runs per global synchronization episode — each barrier and
 // each fork (the region boundary that is OpenMP's implicit barrier) —
 // in three steps on every node:
 //
-//  1. FREE the interval records retired at the PREVIOUS epoch (the
-//     retire floor saved in gcFreeVC). The one-epoch delay is what makes
-//     freeing safe without extra message rounds: diffs of intervals
-//     retired at epoch k may still be fetched DURING epoch k by the
-//     manager's validation pass, but after every node has finished epoch
-//     k no reference to them exists anywhere, so epoch k+1 can free them
-//     with no coordination.
+//  1. FREE the interval records — and their encoded diffs and remaining
+//     twins — retired at the PREVIOUS episode epoch (the retire floor
+//     saved in gcFreeVC). The one-epoch delay is what makes freeing safe
+//     without extra message rounds: diffs of intervals retired at epoch k
+//     may still be fetched DURING epoch k by any node's validation pass,
+//     but after every node has finished epoch k no unfetched write notice
+//     under the floor exists anywhere (each node either applied or
+//     discarded its covered notices), none can ever reappear (new
+//     intervals carry higher sequence numbers), and so epoch k+1 can free
+//     with no coordination. A twin that is still unencoded here was never
+//     needed at all and is released without ever paying for diff
+//     creation.
 //
 //  2. PURGE page references covered by the new retire floor — node 0's
 //     merged vector clock at the episode, which covers every interval in
@@ -34,9 +41,11 @@ import (
 //     time it processes its departure (or fork). Node 0 (the page
 //     server, whose copy must stay authoritative) VALIDATES: it fetches
 //     and applies every pending diff, bringing each of its copies
-//     current. Other nodes FLUSH: they discard the stale copy outright
-//     and refault it from node 0's validated copy on next access — the
-//     classic validate-vs-invalidate choice of TreadMarks GC.
+//     current. Other nodes choose per page between FLUSHING the stale
+//     copy (refetch it whole on next access) and validating it — the
+//     classic validate-vs-invalidate choice of TreadMarks GC, now a
+//     per-page policy (Config.GCPolicy) keyed on whether the page was
+//     faulted since the last collection.
 //
 //     The floor is always node 0's clock AS CARRIED IN THE EPISODE'S
 //     MESSAGE, never the local clock: a node's protocol server may
@@ -46,20 +55,19 @@ import (
 //     epoch floors must be identical on every node for the one-epoch
 //     free delay to be sound.
 //
-//  3. RELEASE diff sources: encoded diffs and still-unencoded twins of
-//     the node's own retired intervals. Ordering makes this safe with no
-//     acknowledgment: the manager validates BEFORE sending any
-//     departure, and a non-manager purges only AFTER processing its
-//     departure, so by the time any node reaches this step every fetch
-//     that could want these diffs has already been served. A twin that
-//     is still unencoded here was never needed at all and is released
-//     without ever paying for diff creation.
+//  3. Report the purge to the acquire-epoch coordinator (when one is
+//     running): collected episode floors join the coordinator's issued
+//     baseline, so acquire announcements stay blocked until every node
+//     has processed the episode — the interlock that lets the two epoch
+//     sources free behind their own floors without racing each other's
+//     validation fetches.
 //
 // Finally the knownVC estimates are raised to the freed floor (every
 // node provably incorporated everything under it one epoch ago), and the
 // floor advances. Locks, semaphores, and condition variables need no
-// special handling: a thread blocked on any of them keeps the barrier —
-// and therefore the collector — from running at all.
+// special handling here: a thread blocked on any of them keeps the
+// barrier — and therefore this collector — from running at all (the
+// acquire source is what collects for them).
 
 // epochFloor tracks one episode's floor (and trigger-decision) agreement
 // across nodes.
@@ -74,8 +82,8 @@ type epochFloor struct {
 // suite; it must not be flipped while systems are running.
 var gcDefault = true
 
-// SetGCDefault enables or disables barrier-epoch garbage collection for
-// subsequently created systems (ablations and tests only).
+// SetGCDefault enables or disables garbage collection (both epoch
+// sources) for subsequently created systems (ablations and tests only).
 func SetGCDefault(on bool) { gcDefault = on }
 
 // checkEpochFloor verifies that every node presents the identical retire
@@ -116,14 +124,13 @@ func ivlRecordBytes(ivl *interval) int64 {
 
 // gcEpochLocked runs one synchronization episode of the collector with
 // the given retire floor: it decides — identically on every node —
-// whether to collect, and if so runs the epoch. It requires n.mu and —
-// on node 0 only — releases and reacquires it while diff fetches are in
-// flight. Node 0 calls it at each barrier (after incorporating every
-// arrival, before sending any departure) and at each fork (before
-// sending the fork messages), passing its own clock; every other node
-// calls it immediately after incorporating the matching departure or
-// fork delta, passing the clock that message carried — the identical
-// floor.
+// whether to collect, and if so runs the epoch. It requires n.mu and
+// releases and reacquires it while validation diff fetches are in flight.
+// Node 0 calls it at each barrier (after incorporating every arrival,
+// before sending any departure) and at each fork (before sending the fork
+// messages), passing its own clock; every other node calls it — on its
+// APPLICATION thread — after incorporating the matching departure or fork
+// delta, passing the clock that message carried: the identical floor.
 //
 // Adaptive triggering (Config.GCMinRetire): collecting at EVERY episode
 // costs ~25% on barrier-dense workloads (see `nowbench -ablation gc`),
@@ -131,9 +138,10 @@ func ivlRecordBytes(ivl *interval) int64 {
 // number of interval records the floor would newly retire — the floor's
 // component sum minus the last collection's — and the epoch runs only
 // when it reaches the threshold. Both sums derive exclusively from
-// floors, which are identical on every node by construction, so every
-// node skips and collects the same episodes with no extra coordination;
-// checkEpochFloor tripwires that agreement.
+// episode floors, which are identical on every node by construction (the
+// acquire-epoch source never touches gcFreeVC), so every node skips and
+// collects the same episodes with no extra coordination; checkEpochFloor
+// tripwires that agreement.
 func (n *Node) gcEpochLocked(c *Client, retire VectorClock) {
 	episode := n.stats.GCEpisodes
 	n.stats.GCEpisodes++
@@ -150,32 +158,57 @@ func (n *Node) gcEpochLocked(c *Client, retire VectorClock) {
 	if !collect {
 		return
 	}
-
-	n.freeRetiredLocked()
-	if n.id == 0 {
-		n.gcValidatePagesLocked(c, retire)
-	} else {
-		n.gcFlushPagesLocked(retire)
+	if n.sys.acq != nil && n.id == 0 {
+		// Block acquire announcements until every node has processed this
+		// episode (noteIssued runs before any departure or fork message
+		// leaves node 0, so no node can still be unaware of the episode
+		// when the gate reopens).
+		n.sys.acq.noteIssued(retire)
 	}
-	n.gcReleaseDiffSourcesLocked()
 
-	// Raise the piggyback-delta estimates to the freed floor: everything
-	// under it was incorporated by every node before the previous epoch
-	// ended. (deltaForLocked additionally clamps to the retained base,
-	// so this is an optimization, not a soundness requirement.)
-	if n.gcFreeVC != nil {
+	n.gcCollectLocked(&n.gcFreeVC, retire, func() { n.gcPurgePagesLocked(c, retire, true) })
+	n.stats.GCEpochs++
+	if n.sys.acq != nil {
+		n.sys.acq.notePurged(n.id, retire)
+	}
+}
+
+// gcCollectLocked is the collection-epoch tail shared by the two epoch
+// sources, each threading its own delayed-free floor through `prev`
+// (gcFreeVC for barrier/fork episodes, gcAcqFreeVC for acquire epochs):
+// FREE everything the source's previous epoch retired, raise the
+// piggyback-delta estimates to that freed floor (everything under it was
+// incorporated by every node before the previous epoch completed;
+// deltaForLocked additionally clamps to the retained base, so this is an
+// optimization, not a soundness requirement), advance the source floor,
+// claim it in gcPurgeVC BEFORE the purge can release n.mu (so a
+// concurrent island-mate's hook skips instead of double-purging), run the
+// purge, and close out the epoch bookkeeping. The soundness argument
+// requires both sources to execute exactly this sequence.
+func (n *Node) gcCollectLocked(prev *VectorClock, floor VectorClock, purge func()) {
+	n.freeRetiredLocked(*prev)
+	if *prev != nil {
 		for j := range n.knownVC {
 			if j != n.id {
-				n.knownVC[j].merge(n.gcFreeVC)
+				n.knownVC[j].merge(*prev)
 			}
 		}
 	}
-	n.gcFreeVC = retire
-	n.stats.GCEpochs++
+	*prev = floor
+	if n.gcPurgeVC == nil {
+		n.gcPurgeVC = floor.clone()
+	} else {
+		n.gcPurgeVC.merge(floor)
+	}
+	purge()
+	n.gcSeq++
+	n.pruneGCPagesLocked()
+}
 
-	// Prune the work list: only pages still owing uncovered notices stay
-	// (twins and covered notices were just released). Clearing the tail
-	// drops the pruned pages' references.
+// pruneGCPagesLocked shrinks the GC work list after a collection: only
+// pages still owing uncovered notices (or holding a twin) stay. Clearing
+// the tail drops the pruned pages' references.
+func (n *Node) pruneGCPagesLocked() {
 	kept := n.gcPages[:0]
 	for _, pg := range n.gcPages {
 		if len(pg.missing) > 0 || pg.twin != nil {
@@ -191,11 +224,15 @@ func (n *Node) gcEpochLocked(c *Client, retire VectorClock) {
 }
 
 // freeRetiredLocked truncates every per-creator interval list up to the
-// previous epoch's retire floor.
-func (n *Node) freeRetiredLocked() {
-	free := n.gcFreeVC
+// given floor, releasing each freed record together with its encoded
+// diffs and — for the node's own intervals — any twin still owed to it.
+// The floor must be globally purged: every node has already applied or
+// discarded all write notices under it, so nothing here can ever be
+// fetched again (handleDiffReq's retired-interval tripwire enforces
+// this). Both epoch sources call it with their own delayed floor.
+func (n *Node) freeRetiredLocked(free VectorClock) {
 	if free == nil {
-		return // first epoch: nothing retired yet
+		return // first epoch of this source: nothing retired yet
 	}
 	for c := range n.intervals {
 		have := n.intervals[c]
@@ -209,8 +246,23 @@ func (n *Node) freeRetiredLocked() {
 		}
 		for _, ivl := range have[:drop] {
 			n.protoAddLocked(-ivlRecordBytes(ivl))
-			for _, d := range ivl.diffs { // normally already released in step 3
+			for _, d := range ivl.diffs {
 				n.protoAddLocked(-int64(len(d)))
+			}
+			ivl.diffs = nil
+			if c == n.id {
+				// A twin still owed to a freed interval encodes a diff no
+				// one can ever request: release it without paying for the
+				// encoding.
+				for _, pid := range ivl.pages {
+					pg := n.pages[pid]
+					if pg != nil && pg.twinIvl == ivl {
+						pg.twinIvl = nil
+						pg.twin = nil
+						n.protoAddLocked(-PageSize)
+						n.stats.TwinsCollected++
+					}
+				}
 			}
 		}
 		// Copy to a fresh slice so the freed records' backing array is
@@ -221,13 +273,119 @@ func (n *Node) freeRetiredLocked() {
 	}
 }
 
-// gcValidatePagesLocked is the manager's purge: every work-list page
-// with pending write notices is brought current by fetching and applying the noticed
-// diffs, exactly as a fault would but with all pages' requests issued in
-// one parallel wave. Releases and reacquires n.mu around the network
-// section; this is safe because every other application thread is parked
-// awaiting its departure, leaving only protocol servers active.
-func (n *Node) gcValidatePagesLocked(c *Client, retire VectorClock) {
+// gcShouldValidateLocked applies the per-page validate-vs-flush policy to
+// one page owing `covered` retired notices. Node 0 always validates: it is
+// the allocator and page server, and its copy is the base every first
+// fetch builds on — flushing it would lose the only authoritative copy.
+func (n *Node) gcShouldValidateLocked(pg *page, covered int) bool {
+	if n.id == 0 {
+		return true
+	}
+	if pg.data == nil {
+		return false // nothing to preserve: flushing is free
+	}
+	// Hot = faulted within the last two collections. The one-collection
+	// slack matters: a node that fell behind the announcement stream can
+	// process two epochs with no round of application faults in between,
+	// and the strict "since the last collection" reading would then flush
+	// every page it is about to re-read.
+	hot := pg.hotSeq >= 0 && n.gcSeq-pg.hotSeq <= 1
+	switch n.sys.gcPolicy {
+	case GCPolicyValidateHot:
+		return hot
+	case GCPolicyAdaptive:
+		return hot && covered <= adaptiveValidateMaxChain
+	}
+	return false // GCPolicyFlush
+}
+
+// gcCanFlushAllLocked reports whether a flush-only purge to the given
+// floor is safe on this node: no covered-owing page may hold own writes
+// above the floor (flushing would lose them; see page.lastOwnSeq). The
+// server-side purge checks this BEFORE touching any state and defers to
+// the application-thread hook (which can validate) when it fails.
+func (n *Node) gcCanFlushAllLocked(retire VectorClock) bool {
+	for _, pg := range n.gcPages {
+		if len(pg.missing) == 0 || pg.lastOwnSeq < 0 || retire.covers(n.id, pg.lastOwnSeq) {
+			continue
+		}
+		for _, m := range pg.missing {
+			if retire.covers(m.creator, m.seq) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gcFlushPageLocked discards one page's copy together with its covered
+// notices, preserving notices newer than the floor — the flush half of
+// the validate-vs-flush choice, shared by the per-page policy purge and
+// the consensus-push purge. Requires n.mu.
+func (n *Node) gcFlushPageLocked(pg *page, retire VectorClock) {
+	if pg.twin != nil || pg.inDirty {
+		panic(fmt.Sprintf("dsm: node %d GC flushing page %d with live twin", n.id, pg.id))
+	}
+	keep := pg.missing[:0]
+	for _, m := range pg.missing {
+		if !retire.covers(m.creator, m.seq) {
+			keep = append(keep, m)
+		}
+	}
+	for i := len(keep); i < len(pg.missing); i++ {
+		pg.missing[i] = nil
+	}
+	pg.missing = keep
+	pg.data = nil
+	pg.state = pageInvalid
+	n.stats.GCPagesFlushed++
+}
+
+// gcFlushCoveredLocked is the network-free purge used by the consensus
+// push path (acqEpochServerLocked): every copy owing notices covered by
+// the floor is discarded outright, notices newer than the floor are
+// preserved. The caller must have checked gcCanFlushAllLocked. Requires
+// n.mu (and the caller holds fetchMu, so no local fault snapshot can
+// straddle the flush).
+func (n *Node) gcFlushCoveredLocked(retire VectorClock) {
+	for _, pg := range n.gcPages {
+		if len(pg.missing) == 0 {
+			continue
+		}
+		covered := false
+		for _, m := range pg.missing {
+			if retire.covers(m.creator, m.seq) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			n.gcFlushPageLocked(pg, retire)
+		}
+	}
+}
+
+// gcPurgePagesLocked is the purge step shared by both epoch sources:
+// every work-list page owing notices covered by the retire floor is
+// either validated (its covered diffs fetched and applied in one parallel
+// wave, exactly as a fault would) or flushed (copy discarded, to be
+// refetched whole from node 0's validated copy on next access), per
+// gcShouldValidateLocked. Notices newer than the floor are preserved
+// either way.
+//
+// It requires n.mu and releases/reacquires it around the network section.
+// The whole purge holds fetchMu: page and diff replies route by message
+// type alone, so the wave must never interleave with a concurrent
+// application fault on a multi-client node — and holding fetchMu across
+// the classification also guarantees no local fault snapshot straddles
+// the purge. At quiescent episodes (barrier/fork) the exclusivity is
+// vacuous; at acquire epochs it is load-bearing.
+func (n *Node) gcPurgePagesLocked(c *Client, retire VectorClock, quiescent bool) {
+	n.mu.Unlock()
+	n.fetchMu.Lock()
+	defer n.fetchMu.Unlock()
+	n.mu.Lock()
+
 	type pageWork struct {
 		pg    *page
 		fetch []*interval
@@ -237,22 +395,42 @@ func (n *Node) gcValidatePagesLocked(c *Client, retire VectorClock) {
 		if len(pg.missing) == 0 {
 			continue
 		}
+		var covered []*interval
+		uncovered := 0
 		for _, m := range pg.missing {
-			if !retire.covers(m.creator, m.seq) {
-				// Impossible before departures are sent: no node is
-				// running application code that could create intervals.
-				panic(fmt.Sprintf("dsm: manager GC found uncovered notice (%d,%d)", m.creator, m.seq))
+			if retire.covers(m.creator, m.seq) {
+				covered = append(covered, m)
+			} else {
+				uncovered++
 			}
 		}
-		if pg.data == nil {
-			// The allocator's copy materializes as zeros; the complete
-			// notice history accumulated since allocation brings it
-			// current.
-			pg.data = make([]byte, PageSize)
+		if len(covered) == 0 {
+			continue
 		}
-		fetch := make([]*interval, len(pg.missing))
-		copy(fetch, pg.missing)
-		work = append(work, pageWork{pg: pg, fetch: fetch})
+		if quiescent && n.id == 0 && uncovered > 0 {
+			// Impossible at a barrier/fork: no node is running application
+			// code that could create intervals beyond the manager's clock.
+			panic(fmt.Sprintf("dsm: manager GC found uncovered notice on page %d at a quiescent episode", pg.id))
+		}
+		// A page owing diffs cannot carry local modifications
+		// (invalidation encodes any pending diff and drops the twin).
+		if pg.twin != nil || pg.inDirty {
+			panic(fmt.Sprintf("dsm: node %d GC purging page %d with live twin", n.id, pg.id))
+		}
+		// A copy holding own writes above the floor must be kept (see
+		// page.lastOwnSeq): validate it regardless of policy.
+		mustKeep := pg.lastOwnSeq >= 0 && !retire.covers(n.id, pg.lastOwnSeq) && pg.data != nil
+		if mustKeep || n.gcShouldValidateLocked(pg, len(covered)) {
+			if pg.data == nil {
+				// The allocator's copy materializes as zeros; the covered
+				// notice history is happens-before closed, so applying it
+				// brings the copy to exactly the covered prefix.
+				pg.data = make([]byte, PageSize)
+			}
+			work = append(work, pageWork{pg: pg, fetch: covered})
+		} else {
+			n.gcFlushPageLocked(pg, retire)
+		}
 	}
 	if len(work) == 0 {
 		return
@@ -280,6 +458,7 @@ func (n *Node) gcValidatePagesLocked(c *Client, retire VectorClock) {
 	plat := n.sys.plat
 	for _, w := range work {
 		sortCausal(w.fetch)
+		done := make(map[*interval]bool, len(w.fetch))
 		for _, ivl := range w.fetch {
 			d, ok := diffs[w.pg.id][ivl.creator][ivl.seq]
 			if !ok {
@@ -288,71 +467,23 @@ func (n *Node) gcValidatePagesLocked(c *Client, retire VectorClock) {
 			applied := applyDiff(w.pg.data, d)
 			n.stats.DiffsApplied++
 			c.clk.Advance(plat.DiffApply + sim.Time(float64(applied)*plat.DiffApplyPerByte))
+			done[ivl] = true
 		}
-		w.pg.missing = w.pg.missing[:0]
-		if w.pg.state == pageInvalid {
+		// Remove exactly the validated notices; notices newer than the
+		// floor (and any that arrived during the network section) stay.
+		rest := w.pg.missing[:0]
+		for _, m := range w.pg.missing {
+			if !done[m] {
+				rest = append(rest, m)
+			}
+		}
+		for i := len(rest); i < len(w.pg.missing); i++ {
+			w.pg.missing[i] = nil
+		}
+		w.pg.missing = rest
+		if len(w.pg.missing) == 0 && w.pg.state == pageInvalid {
 			w.pg.state = pageReadOnly
 		}
 		n.stats.GCPagesValidated++
-	}
-}
-
-// gcFlushPagesLocked is the non-manager purge: any copy still owing
-// retired diffs is discarded wholesale; the next access refetches it from
-// the manager's validated copy. Notices from intervals newer than the
-// retire floor (possible only on nodes that resumed from this barrier
-// early and already synchronized with us) are preserved.
-func (n *Node) gcFlushPagesLocked(retire VectorClock) {
-	for _, pg := range n.gcPages {
-		if len(pg.missing) == 0 {
-			continue
-		}
-		keep := pg.missing[:0]
-		dropped := false
-		for _, m := range pg.missing {
-			if retire.covers(m.creator, m.seq) {
-				dropped = true
-			} else {
-				keep = append(keep, m)
-			}
-		}
-		pg.missing = keep
-		if !dropped {
-			continue
-		}
-		// A page owing retired diffs cannot carry local modifications
-		// (invalidation encodes any pending diff and drops the twin), so
-		// discarding the copy loses nothing.
-		if pg.twin != nil || pg.inDirty {
-			panic(fmt.Sprintf("dsm: node %d GC flushing page %d with live twin", n.id, pg.id))
-		}
-		pg.data = nil
-		pg.state = pageInvalid
-		n.stats.GCPagesFlushed++
-	}
-}
-
-// gcReleaseDiffSourcesLocked drops the node's own encoded diffs and
-// remaining twins. At this point every interval in existence is covered
-// by the retire floor and every fetch that could want these diffs has
-// completed (see the ordering argument in the file comment).
-func (n *Node) gcReleaseDiffSourcesLocked() {
-	for _, pg := range n.gcPages {
-		if pg.twin == nil {
-			continue
-		}
-		if pg.twinIvl == nil {
-			panic(fmt.Sprintf("dsm: node %d GC found open-interval twin for page %d at barrier", n.id, pg.id))
-		}
-		pg.twinIvl = nil
-		pg.twin = nil
-		n.protoAddLocked(-PageSize)
-		n.stats.TwinsCollected++
-	}
-	for _, ivl := range n.intervals[n.id] {
-		for _, d := range ivl.diffs {
-			n.protoAddLocked(-int64(len(d)))
-		}
-		ivl.diffs = nil
 	}
 }

@@ -46,13 +46,31 @@ type lockState struct {
 	localQ         []localLockWaiter // island threads awaiting a local handoff
 	localRelease   sim.Time          // latest local release (bus-scale handoff coupling)
 	reqOutstanding bool              // a local client's acquire request is in flight
+	localStreak    int               // consecutive local handoffs past a pending global request
+}
+
+// localHandoffCap bounds how many consecutive releases may hand the token
+// to a parked island-mate while a forwarded global request waits: local
+// handoff stays the fast path (the island-internal bus transfer of the
+// SMP-TreadMarks systems), but an island that keeps its local queue
+// non-empty — a polling task loop does — must not starve the rest of the
+// cluster out of the lock indefinitely.
+const localHandoffCap = 8
+
+// localWake is what a parked island thread receives: either ownership of
+// the lock (retry false; rel is the handing-over release time) or notice
+// that the token left the island under the fairness cap (retry true; the
+// waiter re-contends through the global chain like any remote acquirer).
+type localWake struct {
+	rel   sim.Time
+	retry bool
 }
 
 // localLockWaiter is one island thread parked for a local lock handoff;
 // the releaser transfers ownership under n.mu and posts its release time.
 type localLockWaiter struct {
 	tag uint32
-	ch  chan sim.Time
+	ch  chan localWake
 }
 
 type pendingReq struct {
@@ -83,6 +101,7 @@ func (n *Node) lockFor(id int) *lockState {
 // Acquire obtains lock id with acquire (consistency-importing) semantics.
 func (c *Client) Acquire(id int) {
 	n := c.n
+retry:
 	n.mu.Lock()
 	ls := n.lockFor(id)
 	if ls.held || ls.reqOutstanding {
@@ -94,20 +113,27 @@ func (c *Client) Acquire(id int) {
 		}
 		// An island-mate holds the lock (or is already fetching the
 		// token): park on the local queue. The waker transfers ownership
-		// under n.mu, so a wake means the lock is ours.
-		ch := make(chan sim.Time, 1)
+		// under n.mu, so a non-retry wake means the lock is ours.
+		ch := make(chan localWake, 1)
 		ls.localQ = append(ls.localQ, localLockWaiter{tag: c.tag, ch: ch})
 		n.stats.LockAcquires++
 		n.stats.LockLocal++
 		n.mu.Unlock()
-		var rel sim.Time
+		var w localWake
 		select {
-		case rel = <-ch:
+		case w = <-ch:
 		case <-n.sys.done:
 			panic(abortError{cause: "switch shut down"})
 		}
-		c.clk.AdvanceTo(rel)
+		c.clk.AdvanceTo(w.rel)
+		if w.retry {
+			// The fairness cap sent the token to the global chain: this
+			// was not a handoff. Contend again — the island's next global
+			// request queues behind whoever the token went to.
+			goto retry
+		}
 		c.clk.Advance(c.costs.Lock)
+		c.gcSyncHook(false) // lock now held: never stall here
 		return
 	}
 	if ls.haveToken && len(ls.pending) == 0 {
@@ -120,6 +146,7 @@ func (c *Client) Acquire(id int) {
 		n.mu.Unlock()
 		c.clk.AdvanceTo(rel)
 		c.clk.Advance(c.costs.Lock)
+		c.gcSyncHook(false) // lock now held: never stall here
 		return
 	}
 	n.stats.LockAcquires++
@@ -178,6 +205,7 @@ func (c *Client) Acquire(id int) {
 	ls.reqOutstanding = false
 	n.mu.Unlock()
 	c.clk.Advance(c.costs.Lock)
+	c.gcSyncHook(false) // lock now held: never stall here
 }
 
 // Release releases lock id with release (consistency-exporting) semantics.
@@ -194,6 +222,7 @@ func (c *Client) Release(id int) {
 	}
 	n.closeIntervalLocked()
 	c.handoffLocked(ls, id)
+	c.gcSyncHook(true) // token already handed off: safe to apply backpressure
 }
 
 // handoffLocked performs the release-side lock handoff: a parked
@@ -205,18 +234,28 @@ func (c *Client) handoffLocked(ls *lockState, id int) {
 	if t := c.clk.Now(); t > ls.localRelease {
 		ls.localRelease = t
 	}
-	if len(ls.localQ) > 0 {
+	if len(ls.localQ) > 0 && (len(ls.pending) == 0 || ls.localStreak < localHandoffCap) {
 		// Ownership transfer to a parked island-mate: held stays true so
 		// the protocol server can never hand the token away in between.
+		if len(ls.pending) > 0 {
+			ls.localStreak++
+		}
 		w := ls.localQ[0]
 		ls.localQ = ls.localQ[1:]
 		ls.holderTag = w.tag
 		rel := ls.localRelease
 		n.mu.Unlock()
-		w.ch <- rel
+		w.ch <- localWake{rel: rel}
 		return
 	}
 	ls.held = false
+	ls.localStreak = 0
+	// The token leaves this node (or becomes free): any still-parked
+	// island-mates re-contend through the global chain — a local waiter
+	// may never be left parked with no holder to wake it.
+	waiters := ls.localQ
+	ls.localQ = nil
+	rel := ls.localRelease
 	if len(ls.pending) > 0 {
 		p := ls.pending[0]
 		ls.pending = ls.pending[1:]
@@ -224,6 +263,9 @@ func (c *Client) handoffLocked(ls *lockState, id int) {
 		n.sendGrantLocked(id, p.from, p.tag, p.vc, c.clk.Now())
 	}
 	n.mu.Unlock()
+	for _, w := range waiters {
+		w.ch <- localWake{rel: rel, retry: true}
+	}
 }
 
 // grantPayloadLocked builds a lock-grant message body: lock id, the

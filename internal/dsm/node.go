@@ -33,15 +33,26 @@ type Node struct {
 	router  *replyRouter // reply demultiplexer; non-nil in multi-client mode
 	nextTag uint32       // reply-tag allocator for NewClient (under mu)
 
-	mu        sync.Mutex
-	vc        VectorClock
-	intervals [][]*interval // [creator], gap-free, intervals[c][i].seq == intervalBase[c]+i
-	ivlBase   []int         // [creator] seq of the oldest retained interval (see gc.go)
-	gcFreeVC  VectorClock   // retire floor of the last GC epoch; freed at the next one
-	dirty     []*page       // pages twinned in the open interval
-	gcPages   []*page       // pages that may hold missing notices or twins (GC work list)
-	pages     []*page       // [PageID]; entries materialize lazily
-	knownVC   []VectorClock // sound lower bound of what each node has seen
+	mu          sync.Mutex
+	vc          VectorClock
+	intervals   [][]*interval // [creator], gap-free, intervals[c][i].seq == intervalBase[c]+i
+	ivlBase     []int         // [creator] seq of the oldest retained interval (see gc.go)
+	gcFreeVC    VectorClock   // floor of the last barrier/fork epoch; freed at the next one
+	gcAcqFreeVC VectorClock   // floor of the last acquire epoch; freed at the next one (acqgc.go)
+	gcPurgeVC   VectorClock   // merged floor of every collection this node has completed
+	gcSeq       int64         // collections completed; pages stamp it on faults (hot tracking)
+	dirty       []*page       // pages twinned in the open interval
+	gcPages     []*page       // pages that may hold missing notices or twins (GC work list)
+	pages       []*page       // [PageID]; entries materialize lazily
+	knownVC     []VectorClock // sound lower bound of what each node has seen
+
+	// fetchMu serializes the node's application-side fetch sequences (the
+	// fault path and GC validation waves): page and diff replies route by
+	// message type alone, so on a multi-client node two concurrent waves
+	// would steal each other's replies — and a fault snapshot must never
+	// straddle a GC purge. Always acquired WITHOUT mu held (n.mu may be
+	// taken and released while fetchMu is held, never the reverse).
+	fetchMu sync.Mutex
 
 	locks map[int]*lockState
 	semas map[int]*semaState
@@ -77,13 +88,15 @@ type NodeStats struct {
 	Flushes      int64
 	Interrupts   int64
 
-	// Barrier-epoch garbage collection counters (see gc.go).
+	// Garbage collection counters (see gc.go and acqgc.go).
 	GCEpisodes       int64 // global sync episodes examined by the collector
 	GCEpochs         int64 // episodes that actually ran a collection
+	GCAcqEpochs      int64 // acquire (lock-manager-led) epochs processed here
+	GCSyncPushes     int64 // consensus-sync deltas pushed to quiet nodes
 	IntervalsRetired int64 // interval records reclaimed
 	TwinsCollected   int64 // twins released without ever encoding their diff
-	GCPagesValidated int64 // stale copies brought current during GC (manager)
-	GCPagesFlushed   int64 // stale copies discarded during GC (non-manager)
+	GCPagesValidated int64 // stale copies brought current during GC
+	GCPagesFlushed   int64 // stale copies discarded during GC
 
 	// Protocol-metadata footprint: interval records + encoded diffs +
 	// twins retained on this node. ProtoBytes is the current gauge;
@@ -168,7 +181,7 @@ func (n *Node) pageFor(pid PageID) *page {
 	}
 	pg := n.pages[pid]
 	if pg == nil {
-		pg = &page{id: pid}
+		pg = &page{id: pid, hotSeq: -1, lastOwnSeq: -1}
 		if n.id == 0 {
 			// Node 0 is the allocator and initial owner of every page:
 			// its copy materializes as zeros, matching Tmk_malloc.
@@ -198,6 +211,7 @@ func (n *Node) closeIntervalLocked() {
 	for _, pg := range n.dirty {
 		ivl.pages = append(ivl.pages, pg.id)
 		pg.twinIvl = ivl
+		pg.lastOwnSeq = ivl.seq
 		pg.inDirty = false
 		n.mergeSeenLocked(pg, ivl.vc)
 		if pg.state == pageReadWrite {
@@ -508,10 +522,25 @@ func sortCausal(ivls []*interval) {
 // topological order of the happens-before relation. n.mu is released
 // while requests are in flight; the loop in ensure*Locked re-checks state
 // afterwards because new write notices may have arrived meanwhile.
+//
+// The whole round holds fetchMu (acquired with n.mu dropped, then the
+// state re-examined): it keeps a multi-client node's concurrent fetch
+// waves from stealing each other's type-routed replies, and it orders
+// every fault snapshot strictly before or after any GC purge — a fault
+// can therefore never fetch a notice a concurrent purge is discarding.
 func (c *Client) faultInLocked(pg *page) {
 	n := c.n
 	plat := n.sys.plat
 	c.clk.Advance(plat.FaultOverhead)
+
+	n.mu.Unlock()
+	n.fetchMu.Lock()
+	defer n.fetchMu.Unlock()
+	n.mu.Lock()
+	pg.hotSeq = n.gcSeq // faulted since the last collection: hot
+	if readableLocked(pg) {
+		return // resolved while we waited for the fetch lock
+	}
 
 	if pg.data == nil && n.id == 0 {
 		pg.data = make([]byte, PageSize)

@@ -66,6 +66,23 @@ type page struct {
 	// inDirty notes membership in the node's open-interval dirty list.
 	inDirty bool
 
+	// hotSeq is the node's collection sequence number (Node.gcSeq) at the
+	// page's last fault. A page whose hotSeq is within one collection of
+	// the current gcSeq is "hot" — recently faulted, likely to be touched
+	// again — which is what the validate-vs-flush policy keys on (see
+	// gcShouldValidateLocked). -1 until first faulted.
+	hotSeq int64
+
+	// lastOwnSeq is the sequence number of the owning node's latest
+	// closed interval that wrote this page, -1 if it never wrote it. A GC
+	// purge may flush the copy only when the retire floor covers it: the
+	// local copy is the only place the node's own writes live (its own
+	// write notices are never in `missing`), so discarding a copy with
+	// uncovered own writes would lose them — at a quiescent barrier the
+	// floor covers everything and this cannot happen, but an acquire
+	// epoch's floor may trail the node's own recent intervals.
+	lastOwnSeq int
+
 	// inGCList notes membership in the node's GC work list (gcPages):
 	// pages that may hold missing notices or twins, so a collection
 	// epoch walks only candidates instead of the whole page table.

@@ -195,7 +195,29 @@ func TestCodecRoundTripProperty(t *testing.T) {
 // scattered writes, every node converges to the same array contents as a
 // sequential execution of the same writes.
 func TestScatteredWriteConvergenceProperty(t *testing.T) {
-	f := func(seed int64) bool {
+	if err := quick.Check(scatteredWriteConverges(Config{}), &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same convergence holds with the acquire-epoch collector
+// forced to minimal pressure under each purge policy — collection epochs
+// then interleave with nearly every synchronization yet stay invisible
+// to the computation (the barrier-free half of the contract lives in
+// acquire_gc_test.go).
+func TestScatteredWriteConvergenceWithAcquireGCProperty(t *testing.T) {
+	for _, pol := range []GCPolicy{GCPolicyFlush, GCPolicyValidateHot, GCPolicyAdaptive} {
+		cfg := Config{GCPressure: 2, GCPolicy: pol}
+		if err := quick.Check(scatteredWriteConverges(cfg), &quick.Config{MaxCount: 8}); err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+	}
+}
+
+// scatteredWriteConverges builds the convergence property under a given
+// GC configuration (Procs is forced to 4).
+func scatteredWriteConverges(cfg Config) func(seed int64) bool {
+	return func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		const P = 4
 		const words = 256 // spans a page boundary: 2KB…
@@ -214,7 +236,8 @@ func TestScatteredWriteConvergenceProperty(t *testing.T) {
 			}
 		}
 
-		sys := New(Config{Procs: P})
+		cfg.Procs = P
+		sys := New(cfg)
 		base := sys.MallocPage(8 * words)
 		sys.Register("rounds", func(n *Node, _ []byte) {
 			for r := range plan {
@@ -236,8 +259,5 @@ func TestScatteredWriteConvergenceProperty(t *testing.T) {
 			}
 		})
 		return err == nil && okCh
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
-		t.Fatal(err)
 	}
 }

@@ -55,6 +55,7 @@ func (c *Client) SemaSignal(id int) {
 	if n.id == mgr {
 		n.semaSignalAtMgrLocked(id, c.clk.Now())
 		n.mu.Unlock()
+		c.gcSyncHook(true)
 		return
 	}
 	var w wbuf
@@ -68,6 +69,7 @@ func (c *Client) SemaSignal(id int) {
 	n.ep.SendAt(mgr, msgSemaSignal, network.ClassRequest, w.b, c.clk.Now())
 	n.mu.Unlock()
 	c.recvReply(msgSemaAck, c.tag) // two messages including the acknowledgment
+	c.gcSyncHook(true)
 }
 
 // semaSignalAtMgrLocked applies a signal at the manager: wake the first
@@ -106,6 +108,7 @@ func (c *Client) SemaWait(id int) {
 			n.mu.Unlock()
 			c.clk.AdvanceTo(at)
 			c.clk.Advance(c.costs.Sema)
+			c.gcSyncHook(true)
 			return
 		}
 		ss.waiters = append(ss.waiters, semaWaiter{from: n.id, tag: c.tag, vc: n.vc.clone(), arrive: c.clk.Now()})
@@ -132,6 +135,7 @@ func (c *Client) SemaWait(id int) {
 	n.noteHeardLocked(m.From, senderVC)
 	n.mu.Unlock()
 	c.clk.Advance(c.costs.Sema)
+	c.gcSyncHook(true)
 }
 
 // handleSemaSignal runs on the manager's protocol server.

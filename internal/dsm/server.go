@@ -27,23 +27,15 @@ func (n *Node) serve() {
 			// in wire order, before handing the fork to the application
 			// thread: a semaphore signal or flush right behind this fork
 			// in the FIFO may carry a delta that assumes the fork's
-			// intervals have already been seen.
+			// intervals have already been seen. The fork GC epoch itself
+			// runs on the APPLICATION thread (slaveLoop) before the
+			// region body: a validate-policy purge fetches diffs over
+			// the network, and a server blocked on replies while its
+			// peers' servers do the same would deadlock the protocol.
 			r := rbuf{b: m.Payload}
 			_ = r.str()   // region
 			_ = r.bytes() // args
-			senderVC := n.incorporateWire(&r, m.From)
-			if n.sys.gcOn {
-				// The fork is this node's side of the master's fork GC
-				// epoch; the master's clock in the message is the floor.
-				// Safe in server context: the application thread is
-				// parked awaiting this very fork. (Node 0 never takes
-				// this path, so the default client's clock is only ever
-				// touched for the flush-style page purge, not a
-				// validation fetch.)
-				n.mu.Lock()
-				n.gcEpochLocked(&n.c0, senderVC)
-				n.mu.Unlock()
-			}
+			n.incorporateWire(&r, m.From)
 			n.forkCh <- m // consumed by the slave's application thread
 		case msgJoin:
 			r := rbuf{b: m.Payload}
@@ -73,6 +65,8 @@ func (n *Node) serve() {
 			n.handleCondNotify(m, true)
 		case msgFlush:
 			n.handleFlush(m)
+		case msgGCSync:
+			n.handleGCSync(m)
 		default:
 			panic(fmt.Sprintf("dsm: node %d: unknown request type %d", n.id, m.Type))
 		}

@@ -32,6 +32,7 @@ const (
 	msgFork                     // master → slave: run a parallel region
 	msgJoin                     // slave → master: region finished + delta
 	msgExit                     // master → slave: shut down
+	msgGCSync                   // pressured node → quiet node: GC consensus push + delta (acqgc.go)
 )
 
 // RegionFunc is the body of a parallel region, registered under a name on
@@ -62,6 +63,20 @@ type Config struct {
 	// which are identical on every node, so the decision needs no extra
 	// coordination (see gcEpochLocked). 0 collects at every episode.
 	GCMinRetire int
+	// GCPressure triggers the lock-manager-led acquire-epoch collector
+	// (acqgc.go) for programs that synchronize without barriers: an
+	// acquire epoch is announced when the consensus floor — the min of
+	// the per-thread clocks carried in acquire/wait requests — would
+	// newly retire at least this many interval records. 0 uses the
+	// package default (DefaultGCPressure, overridable with
+	// SetGCPressureDefault); negative disables acquire epochs, leaving
+	// only the barrier/fork source.
+	GCPressure int
+	// GCPolicy selects the per-page validate-vs-flush purge policy
+	// applied by non-manager nodes at every collection epoch (both
+	// sources). The zero value defers to the package default (flush,
+	// overridable with SetGCPolicyDefault).
+	GCPolicy GCPolicy
 	// MultiClient lets several application threads share each node (the
 	// NOW-of-SMPs configuration: every node is an SMP island's protocol
 	// delegate). It starts a reply router per node so tagged grants and
@@ -78,6 +93,8 @@ type System struct {
 	nodes     []*Node
 	heapBytes int
 	gcOn      bool
+	gcPolicy  GCPolicy  // resolved purge policy (never GCPolicyDefault)
+	acq       *acqCoord // acquire-epoch coordinator; nil when disabled
 
 	regionsMu sync.Mutex
 	regions   map[string]RegionFunc
@@ -120,6 +137,17 @@ func New(cfg Config) *System {
 		done:      make(chan struct{}),
 		gcOn:      !cfg.DisableGC && gcDefault && cfg.Procs > 1,
 		gcFloors:  make(map[int64]*epochFloor),
+	}
+	s.gcPolicy = cfg.GCPolicy
+	if s.gcPolicy == GCPolicyDefault {
+		s.gcPolicy = gcDefaultPolicy
+	}
+	pressure := cfg.GCPressure
+	if pressure == 0 {
+		pressure = gcDefaultPressure
+	}
+	if s.gcOn && pressure > 0 {
+		s.acq = newAcqCoord(cfg.Procs, pressure)
 	}
 	npages := cfg.HeapBytes / PageSize
 	for i := 0; i < cfg.Procs; i++ {
@@ -331,6 +359,8 @@ func (s *System) TotalStats() NodeStats {
 		t.Interrupts += st.Interrupts
 		t.GCEpisodes += st.GCEpisodes
 		t.GCEpochs += st.GCEpochs
+		t.GCAcqEpochs += st.GCAcqEpochs
+		t.GCSyncPushes += st.GCSyncPushes
 		t.IntervalsRetired += st.IntervalsRetired
 		t.TwinsCollected += st.TwinsCollected
 		t.GCPagesValidated += st.GCPagesValidated
@@ -355,21 +385,40 @@ func (s *System) ProtoSummary() (retired, peakChain, peakBytes int64) {
 	return t.IntervalsRetired, t.PeakIntervalChain, t.PeakProtoBytes
 }
 
-// GCSummary reports the collector's trigger accounting: global
-// synchronization episodes examined and collection epochs actually run.
-// Every node walks the identical episode sequence and reaches identical
-// trigger decisions, so the counts are per-node maxima, not sums — they
-// count global events. With Config.GCMinRetire == 0 the two are equal;
-// an adaptive threshold makes epochs a fraction of episodes.
-func (s *System) GCSummary() (episodes, epochs int64) {
+// GCStats is the collector's trigger and purge accounting, for the
+// harness tables and ablations. Episodes and Epochs count GLOBAL events
+// (every node walks the identical episode sequence and reaches identical
+// trigger decisions, so they are per-node maxima, not sums); AcqEpochs
+// counts acquire epochs announced by the lock-manager consensus;
+// PagesValidated and PagesFlushed sum the per-node purge outcomes of the
+// validate-vs-flush policy.
+type GCStats struct {
+	Episodes       int64 // barrier/fork episodes the collector examined
+	Epochs         int64 // episodes that actually ran a collection
+	AcqEpochs      int64 // acquire epochs announced (acqgc.go)
+	PagesValidated int64 // stale copies brought current at collections
+	PagesFlushed   int64 // stale copies discarded at collections
+}
+
+// GCSummary reports the collector's accounting. With Config.GCMinRetire
+// == 0, Epochs equals Episodes; an adaptive threshold makes it a
+// fraction. AcqEpochs is nonzero only when lock/semaphore pressure
+// triggered the acquire source.
+func (s *System) GCSummary() GCStats {
+	var g GCStats
 	for _, n := range s.nodes {
 		st := n.Stats()
-		if st.GCEpisodes > episodes {
-			episodes = st.GCEpisodes
+		if st.GCEpisodes > g.Episodes {
+			g.Episodes = st.GCEpisodes
 		}
-		if st.GCEpochs > epochs {
-			epochs = st.GCEpochs
+		if st.GCEpochs > g.Epochs {
+			g.Epochs = st.GCEpochs
 		}
+		g.PagesValidated += st.GCPagesValidated
+		g.PagesFlushed += st.GCPagesFlushed
 	}
-	return episodes, epochs
+	if s.acq != nil {
+		g.AcqEpochs = s.acq.announcedCount()
+	}
+	return g
 }

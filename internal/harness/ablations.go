@@ -354,11 +354,11 @@ func AblationGCIteration(iters, procs int) ([]GCAblationRow, error) {
 		}
 		msgs, _ := sys.Switch().Stats().Snapshot()
 		retired, chain, bytes := sys.ProtoSummary()
-		episodes, epochs := sys.GCSummary()
+		g := sys.GCSummary()
 		rows = append(rows, GCAblationRow{
 			Workload: name, Mode: mode, Procs: procs,
 			Time: sys.MaxClock(), Msgs: msgs,
-			Episodes: episodes, Epochs: epochs,
+			Episodes: g.Episodes, Epochs: g.Epochs,
 			Retired: retired, PeakChain: chain, PeakBytes: bytes,
 		})
 	}
@@ -390,9 +390,184 @@ func AblationGCWater(steps, procs int) ([]GCAblationRow, error) {
 	return rows, nil
 }
 
-// PrintAblationGC runs and formats the metadata-accumulation ablation,
-// including the adaptive trigger counts (episodes examined vs epochs
-// run) that show the amortization.
+// ---------------------------------------------------------------------
+// The policy × trigger GC grid: acquire-epoch collection for programs
+// that never barrier, crossed with the per-page validate-vs-flush purge
+// policy. The trigger axis contrasts the barrier/fork-episode source
+// alone ("episode" — which cannot collect inside a lock-only region)
+// with acquire epochs at low pressure ("acquire"); the policy axis runs
+// dsm.Config.GCPolicy over flush / validate-hot / adaptive.
+// ---------------------------------------------------------------------
+
+// GCPolicies are the purge-policy arms of the grid.
+var GCPolicies = []string{"flush", "validate-hot", "adaptive"}
+
+// GCTriggers are the epoch-source arms of the grid.
+var GCTriggers = []string{"episode", "acquire"}
+
+// AcquireGCPressure is the grid's low acquire-epoch threshold for a
+// machine of `procs` nodes: a few rounds of per-node interval creation,
+// so lock-only regions collect many times per run.
+func AcquireGCPressure(procs int) int { return 4 * procs }
+
+// GCPolicyRow is one (workload, trigger, policy) measurement.
+type GCPolicyRow struct {
+	Workload  string
+	Trigger   string // "episode" or "acquire"
+	Policy    string
+	Procs     int
+	Time      sim.Time
+	Msgs      int64
+	Bytes     int64
+	AcqEpochs int64 // acquire epochs announced
+	Retired   int64
+	PeakChain int64
+	Validated int64 // stale copies brought current at collections
+	Flushed   int64 // stale copies discarded at collections
+}
+
+// gcTriggerPressure maps a trigger arm to the dsm pressure knob.
+func gcTriggerPressure(trigger string, procs int) int {
+	switch trigger {
+	case "episode":
+		return -1 // acquire source disabled: barrier/fork episodes only
+	case "acquire":
+		return AcquireGCPressure(procs)
+	}
+	panic(fmt.Sprintf("harness: unknown GC trigger %q", trigger))
+}
+
+// gcLockSparseWords is the per-page word count GCLockSparse touches per
+// round: diffs stay a few dozen bytes on a 4 KiB page, so validating a
+// stale page is ~100x cheaper in bytes than refetching it whole.
+const gcLockSparseWords = 4
+
+// gcLockSparseReadPeriod is the kernel's burst-read period: every peer
+// page is read every few rounds — recently enough to count as hot at
+// every collection, rarely enough that collections find it owing several
+// retired diffs (the situation where the policy choice matters).
+const gcLockSparseReadPeriod = 6
+
+// GCLockSparse runs the lock/semaphore kernel that motivates the acquire
+// source and the validate-hot policy: one parallel region with no
+// barriers. Each node owns one page of a shared array (single-writer
+// pages, so a round's diff is a few dozen bytes) and, per round, (a)
+// rewrites a few words of it and (b) bumps a lock-protected global
+// counter (the critical-section pattern of TSP/QSORT); every few rounds
+// it (c) burst-reads all of its peers' pages — synchronized by a
+// semaphore ring that hands each node its next-round token, bounding
+// skew and carrying the consistency deltas (the Sweep3D pipeline
+// pattern). Between bursts each peer page accumulates several rounds of
+// small notices, so a flush-policy collection discards copies the node
+// is about to read again — whole-page refetches that the validate-hot
+// policy replaces with tiny single-creator diff fetches. It returns the
+// finished system for counter inspection.
+func GCLockSparse(procs, rounds int, pressure int, policy string) (*dsm.System, error) {
+	sys := dsm.New(dsm.Config{
+		Procs:      procs,
+		GCPressure: pressure,
+		GCPolicy:   dsm.MustParseGCPolicy(policy),
+	})
+	arr := sys.MallocPage(procs * dsm.PageSize)
+	ctr := sys.MallocPage(8)
+	pageAddr := func(owner int) dsm.Addr { return arr + dsm.Addr(owner*dsm.PageSize) }
+	sys.Register("locksparse", func(n *dsm.Node, _ []byte) {
+		me := n.ID()
+		succ := (me + 1) % procs
+		for r := 0; r < rounds; r++ {
+			if r > 0 {
+				n.SemaWait(100 + me) // ring token: predecessor finished a round
+			}
+			for w := 0; w < gcLockSparseWords; w++ {
+				n.WriteI64(pageAddr(me)+dsm.Addr(8*w*61), int64(r+1))
+			}
+			n.Acquire(1)
+			n.WriteI64(ctr, n.ReadI64(ctr)+1)
+			n.Release(1)
+			// Burst-read every peer page once per period: the pages stay
+			// hot (faulted within the last couple of collections) yet owe
+			// the accumulated notices of the rounds since the last burst.
+			if r%gcLockSparseReadPeriod == gcLockSparseReadPeriod-1 {
+				var s int64
+				for peer := 0; peer < procs; peer++ {
+					if peer == me {
+						continue
+					}
+					for w := 0; w < gcLockSparseWords; w++ {
+						s += n.ReadI64(pageAddr(peer) + dsm.Addr(8*w*61))
+					}
+				}
+				n.Compute(float64(8 * gcLockSparseWords * (procs - 1)))
+				_ = s
+			}
+			n.SemaSignal(100 + succ)
+		}
+	})
+	err := sys.Run(func(n *dsm.Node) {
+		n.RunParallel("locksparse", nil)
+		if got := n.ReadI64(ctr); got != int64(rounds*procs) {
+			panic(fmt.Sprintf("locksparse: counter = %d, want %d", got, rounds*procs))
+		}
+		for o := 0; o < procs; o++ {
+			for w := 0; w < gcLockSparseWords; w++ {
+				if got := n.ReadI64(pageAddr(o) + dsm.Addr(8*w*61)); got != int64(rounds) {
+					panic(fmt.Sprintf("locksparse: page %d word %d = %d, want %d", o, w, got, rounds))
+				}
+			}
+		}
+	})
+	return sys, err
+}
+
+// AblationGCPolicy runs the policy × trigger grid on the lock-sparse
+// kernel and on real Water (whose epochs are barrier/fork-driven, so the
+// policy arm is what varies there).
+func AblationGCPolicy(rounds, steps, procs int) ([]GCPolicyRow, error) {
+	var rows []GCPolicyRow
+	name := fmt.Sprintf("locksparse x%d", rounds)
+	for _, trigger := range GCTriggers {
+		for _, policy := range GCPolicies {
+			sys, err := GCLockSparse(procs, rounds, gcTriggerPressure(trigger, procs), policy)
+			if err != nil {
+				return rows, err
+			}
+			msgs, bytes := sys.Switch().Stats().Snapshot()
+			retired, chain, _ := sys.ProtoSummary()
+			g := sys.GCSummary()
+			rows = append(rows, GCPolicyRow{
+				Workload: name, Trigger: trigger, Policy: policy, Procs: procs,
+				Time: sys.MaxClock(), Msgs: msgs, Bytes: bytes,
+				AcqEpochs: g.AcqEpochs, Retired: retired, PeakChain: chain,
+				Validated: g.PagesValidated, Flushed: g.PagesFlushed,
+			})
+		}
+	}
+	wname := fmt.Sprintf("water x%d steps", steps)
+	for _, trigger := range GCTriggers {
+		for _, policy := range GCPolicies {
+			p := water.Small()
+			p.Steps = steps
+			p.GCPressure = gcTriggerPressure(trigger, procs)
+			p.GCPolicy = policy
+			res, err := water.RunTmk(p, procs)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, GCPolicyRow{
+				Workload: wname, Trigger: trigger, Policy: policy, Procs: procs,
+				Time: res.Time, Msgs: res.Messages, Bytes: res.Bytes,
+				AcqEpochs: res.GCAcqEpochs, Retired: res.IntervalsRetired,
+				PeakChain: res.PeakIntervalChain,
+				Validated: res.GCPagesValidated, Flushed: res.GCPagesFlushed,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintAblationGC runs and formats the metadata-accumulation ablation:
+// the every/adaptive/off trigger comparison of the barrier/fork source,
+// then the acquire-source policy × trigger grid.
 func PrintAblationGC(w io.Writer) error {
 	iter, err := AblationGCIteration(32, 8)
 	if err != nil {
@@ -409,6 +584,22 @@ func PrintAblationGC(w io.Writer) error {
 	for _, r := range append(iter, wtr...) {
 		fprintf(w, "%-18s %-9s %12s %10d %9d %7d %8d %10d %8d\n",
 			r.Workload, r.Mode, r.Time, r.Msgs, r.Episodes, r.Epochs, r.Retired, r.PeakChain, r.PeakBytes/1024)
+	}
+
+	grid, err := AblationGCPolicy(64, 8, 8)
+	if err != nil {
+		return err
+	}
+	fprintf(w, "\nAcquire-epoch GC policy x trigger grid (8 processors): \"episode\"\n")
+	fprintf(w, "keeps only the barrier/fork source (lock-only regions never collect);\n")
+	fprintf(w, "\"acquire\" adds lock-manager epochs at pressure %d. The policy column\n", AcquireGCPressure(8))
+	fprintf(w, "is the per-page purge choice at every collection.\n\n")
+	fprintf(w, "%-18s %-8s %-13s %12s %9s %9s %6s %8s %10s %6s %7s\n",
+		"workload", "trigger", "policy", "time", "messages", "KB", "acqEp", "retired", "peakchain", "valid", "flushed")
+	for _, r := range grid {
+		fprintf(w, "%-18s %-8s %-13s %12s %9d %9d %6d %8d %10d %6d %7d\n",
+			r.Workload, r.Trigger, r.Policy, r.Time, r.Msgs, r.Bytes/1024,
+			r.AcqEpochs, r.Retired, r.PeakChain, r.Validated, r.Flushed)
 	}
 	return nil
 }

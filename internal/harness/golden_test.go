@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/apps"
@@ -77,12 +79,19 @@ func TestConcurrentGridOutputByteIdentical(t *testing.T) {
 		if err := Table2(&buf, Test, 8); err != nil {
 			t.Fatal(err)
 		}
+		if err := TableGC(&buf, Test, 8); err != nil {
+			t.Fatal(err)
+		}
 		if err := SpeedupSweep(&buf, Test, []int{1, 2, 4, 8}); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
 	}
 
+	// Workers == 1 is the strictly sequential scheduler; wider pools use
+	// the weighted scheduler (SMP/hybrid cells pack several to a worker
+	// slot), and the printed artifacts must not change by a byte either
+	// way.
 	sequential := render(1)
 	for _, w := range []int{2, 8, 32} {
 		if got := render(w); got != sequential {
@@ -100,6 +109,61 @@ func TestConcurrentGridOutputByteIdentical(t *testing.T) {
 		if !strings.Contains(sequential, implLabel(impl)) {
 			t.Errorf("rendered artifacts missing impl column %s", implLabel(impl))
 		}
+	}
+}
+
+// TestCellWeights pins the weighted scheduler's pricing: full-protocol
+// NOW cells cost a whole worker slot, hybrid cells half, and
+// protocol-free cells a quarter — and the weighted pool itself respects
+// its capacity under concurrent acquires.
+func TestCellWeights(t *testing.T) {
+	for impl, want := range map[Impl]int{
+		OMP: weightNOW, Tmk: weightNOW,
+		OMPHybrid: weightHybrid, HybridImpl(1): weightHybrid, HybridImpl(4): weightHybrid,
+		Seq: weightCheap, OMPSMP: weightCheap, MPI: weightCheap,
+	} {
+		if got := cellWeight(impl); got != want {
+			t.Errorf("cellWeight(%s) = %d, want %d", impl, got, want)
+		}
+	}
+	if weightNOW != cellUnitsPerWorker {
+		t.Errorf("a NOW cell (weight %d) should occupy exactly one worker slot (%d units)",
+			weightNOW, cellUnitsPerWorker)
+	}
+
+	const capacity = 8
+	pool := newWeightedPool(capacity)
+	var mu sync.Mutex
+	inUse, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		w := 1 + i%4
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool.acquire(w)
+			mu.Lock()
+			inUse += w
+			if inUse > peak {
+				peak = inUse
+			}
+			if inUse > capacity {
+				mu.Unlock()
+				t.Errorf("weighted pool over capacity: %d > %d", inUse, capacity)
+				pool.release(w)
+				return
+			}
+			mu.Unlock()
+			runtime.Gosched()
+			mu.Lock()
+			inUse -= w
+			mu.Unlock()
+			pool.release(w)
+		}(w)
+	}
+	wg.Wait()
+	if peak == 0 {
+		t.Error("pool admitted nothing")
 	}
 }
 

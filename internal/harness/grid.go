@@ -22,6 +22,64 @@ import (
 // runs `procs` goroutines of its own, so oversubscribing buys nothing).
 var Workers = runtime.NumCPU()
 
+// Cell weights. Cells are not equally expensive: a NOW cell simulates the
+// full TreadMarks protocol (pages, diffs, servers, GC) while an SMP cell
+// is pure compute over a flat heap and a hybrid cell sits in between
+// (protocol traffic only across islands). The scheduler charges each cell
+// a weight out of a capacity of cellUnitsPerWorker×Workers, so cheap
+// cells pack several to a worker slot while NOW cells keep the old
+// one-per-worker bound — shortening `nowbench -all` without
+// oversubscribing the protocol-heavy simulations.
+const (
+	cellUnitsPerWorker = 4
+	weightNOW          = 4 // omp, tmk: full TreadMarks protocol
+	weightHybrid       = 2 // omp-hybrid: inter-island protocol only
+	weightCheap        = 1 // seq, omp-smp, mpi: no DSM protocol at all
+)
+
+// cellWeight returns the scheduling weight of one grid cell.
+func cellWeight(impl Impl) int {
+	if _, ok := hybridBackendKind(impl); ok {
+		return weightHybrid
+	}
+	switch impl {
+	case OMP, Tmk:
+		return weightNOW
+	case Seq, OMPSMP, MPI:
+		return weightCheap
+	}
+	return weightNOW // unknown impls priced conservatively
+}
+
+// weightedPool is a counting semaphore with per-acquire weights.
+type weightedPool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	avail int
+}
+
+func newWeightedPool(capacity int) *weightedPool {
+	p := &weightedPool{avail: capacity}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *weightedPool) acquire(w int) {
+	p.mu.Lock()
+	for p.avail < w {
+		p.cond.Wait()
+	}
+	p.avail -= w
+	p.mu.Unlock()
+}
+
+func (p *weightedPool) release(w int) {
+	p.mu.Lock()
+	p.avail += w
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
 // cellKey identifies one grid cell. Impl == Seq means the sequential
 // reference run (Procs is ignored).
 type cellKey struct {
@@ -98,67 +156,73 @@ func (e *cellError) Error() string {
 
 func (e *cellError) Unwrap() error { return e.err }
 
-// computeCells evaluates every cell on the worker pool and returns the
-// complete result set. Sequential oracles are deduplicated behind
+// computeCells evaluates every cell on the weighted scheduler and returns
+// the complete result set. Sequential oracles are deduplicated behind
 // SeqCached's singleflight, so concurrent cells of one application fault
-// in the oracle exactly once.
+// in the oracle exactly once. Output never depends on scheduling: results
+// are collected into a map and printed in table order by the caller.
 func computeCells(s Scale, cells []cellKey) map[cellKey]cellResult {
-	w := Workers
-	if w < 1 {
-		w = 1
-	}
-	if w > len(cells) {
-		w = len(cells)
-	}
 	var (
 		mu       sync.Mutex
 		firstErr error
 		out      = make(map[cellKey]cellResult, len(cells))
-		wg       sync.WaitGroup
-		ch       = make(chan cellKey)
 	)
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range ch {
-				// Fail fast: once any cell has failed, remaining cells are
-				// not computed — they inherit the first error instead of
-				// burning minutes on cells whose table will never print.
-				// With one worker, dispatch order equals print order, so
-				// this reproduces the sequential harness's
-				// abort-at-first-error behaviour exactly; with a wider pool
-				// the inherited error may surface at an earlier table row,
-				// so it carries the failing cell's identity (cellError).
-				mu.Lock()
-				ferr := firstErr
-				mu.Unlock()
-				var r cellResult
-				if ferr != nil {
-					r.Err = ferr
-				} else {
-					if a, ok := FindApp(k.App); ok {
-						r.Res, r.Err = runCell(a, s, k.Impl, k.Procs)
-					} else {
-						r.Err = fmt.Errorf("harness: unknown app %q", k.App)
-					}
-					if r.Err != nil {
-						r.Err = &cellError{key: k, err: r.Err}
-					}
-				}
-				mu.Lock()
-				if r.Err != nil && firstErr == nil {
-					firstErr = r.Err
-				}
-				out[k] = r
-				mu.Unlock()
+	// Fail fast: once any cell has failed, remaining cells are not
+	// computed — they inherit the first error instead of burning minutes
+	// on cells whose table will never print. With Workers == 1, cells run
+	// strictly sequentially in dispatch order, reproducing the sequential
+	// harness's abort-at-first-error behaviour exactly; a wider pool may
+	// surface the inherited error at an earlier table row, so it carries
+	// the failing cell's identity (cellError).
+	oneCell := func(k cellKey) cellResult {
+		mu.Lock()
+		ferr := firstErr
+		mu.Unlock()
+		var r cellResult
+		if ferr != nil {
+			r.Err = ferr
+		} else {
+			if a, ok := FindApp(k.App); ok {
+				r.Res, r.Err = runCell(a, s, k.Impl, k.Procs)
+			} else {
+				r.Err = fmt.Errorf("harness: unknown app %q", k.App)
 			}
-		}()
+			if r.Err != nil {
+				r.Err = &cellError{key: k, err: r.Err}
+			}
+		}
+		mu.Lock()
+		if r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+		out[k] = r
+		mu.Unlock()
+		return r
 	}
+
+	if Workers <= 1 {
+		for _, k := range cells {
+			oneCell(k)
+		}
+		return out
+	}
+
+	// Weighted admission: every cell costs cellWeight(impl) units out of
+	// cellUnitsPerWorker×Workers, so protocol-heavy NOW cells keep the
+	// old one-per-worker concurrency while SMP/hybrid cells pack several
+	// to a slot.
+	pool := newWeightedPool(cellUnitsPerWorker * Workers)
+	var wg sync.WaitGroup
 	for _, k := range cells {
-		ch <- k
+		w := cellWeight(k.Impl)
+		pool.acquire(w)
+		wg.Add(1)
+		go func(k cellKey, w int) {
+			defer wg.Done()
+			defer pool.release(w)
+			oneCell(k)
+		}(k, w)
 	}
-	close(ch)
 	wg.Wait()
 	return out
 }

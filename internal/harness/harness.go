@@ -169,7 +169,7 @@ var Apps = []App{
 	},
 	{
 		Name:     "Water",
-		DataSize: "512 molecules, 2 steps",
+		DataSize: "512 molecules, 16 steps",
 		Parallel: "parallel do/region",
 		Synch:    "barrier",
 		RunSeq:   func(s Scale) apps.Result { return water.RunSeq(waterParams(s)) },
@@ -265,7 +265,7 @@ var Apps = []App{
 	},
 	{
 		Name:     "Barnes",
-		DataSize: "4096 bodies, 2 steps",
+		DataSize: "4096 bodies, 16 steps",
 		Parallel: "parallel region",
 		Synch:    "barrier",
 		RunSeq:   func(s Scale) apps.Result { return barnes.RunSeq(barnesParams(s)) },

@@ -141,12 +141,12 @@ func Table2(w io.Writer, s Scale, procs int) error {
 
 // TableGC prints the protocol-metadata accounting of the DSM-backed
 // implementations (OpenMP and TreadMarks; MPI holds no consistency
-// metadata): interval records retired by the barrier-epoch garbage
-// collector, the peak retained interval-chain length on any node, and
-// the peak protocol-metadata bytes (records + diffs + twins) on any
-// node. Lock- and semaphore-synchronized applications barrier rarely, so
-// low retirement there is expected — the open item for them is an
-// acquire-epoch collector.
+// metadata): interval records retired by the garbage collector, the peak
+// retained interval-chain length on any node, the peak protocol-metadata
+// bytes (records + diffs + twins) on any node, and the acquire epochs
+// announced by the lock-manager consensus. Lock- and semaphore-
+// synchronized applications (TSP, QSORT, Sweep3D) barrier rarely — the
+// acquire source (AcqEp) is what bounds their chains.
 func TableGC(w io.Writer, s Scale, procs int) error {
 	impls := []Impl{OMP, Tmk}
 	cells := make([]cellKey, 0, len(Apps)*len(impls))
@@ -158,13 +158,13 @@ func TableGC(w io.Writer, s Scale, procs int) error {
 	got := computeCells(s, cells)
 
 	fprintf(w, "Protocol-metadata GC: intervals retired, peak retained chain length,\n")
-	fprintf(w, "and peak metadata footprint per node (%d processors)\n\n", procs)
-	fprintf(w, "%-10s | %10s %10s %10s | %10s %10s %10s\n",
-		"", "OpenMP", "", "", "Tmk", "", "")
-	fprintf(w, "%-10s | %10s %10s %10s | %10s %10s %10s\n",
-		"App", "Retired", "PeakChain", "PeakKB", "Retired", "PeakChain", "PeakKB")
+	fprintf(w, "peak metadata footprint per node, and acquire epochs (%d processors)\n\n", procs)
+	fprintf(w, "%-10s | %10s %10s %10s %6s | %10s %10s %10s %6s\n",
+		"", "OpenMP", "", "", "", "Tmk", "", "", "")
+	fprintf(w, "%-10s | %10s %10s %10s %6s | %10s %10s %10s %6s\n",
+		"App", "Retired", "PeakChain", "PeakKB", "AcqEp", "Retired", "PeakChain", "PeakKB", "AcqEp")
 	for _, a := range Apps {
-		var ret, chain, kb [2]int64
+		var ret, chain, kb, acq [2]int64
 		for i, impl := range impls {
 			c := got[cellKey{App: a.Name, Impl: impl, Procs: procs}]
 			if c.Err != nil {
@@ -173,9 +173,10 @@ func TableGC(w io.Writer, s Scale, procs int) error {
 			ret[i] = c.Res.IntervalsRetired
 			chain[i] = c.Res.PeakIntervalChain
 			kb[i] = c.Res.PeakProtoBytes / 1024
+			acq[i] = c.Res.GCAcqEpochs
 		}
-		fprintf(w, "%-10s | %10d %10d %10d | %10d %10d %10d\n",
-			a.Name, ret[0], chain[0], kb[0], ret[1], chain[1], kb[1])
+		fprintf(w, "%-10s | %10d %10d %10d %6d | %10d %10d %10d %6d\n",
+			a.Name, ret[0], chain[0], kb[0], acq[0], ret[1], chain[1], kb[1], acq[1])
 	}
 	return nil
 }

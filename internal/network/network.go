@@ -132,10 +132,18 @@ func (e *Endpoint) Send(to, typ int, class Class, payload []byte) {
 // used by protocol servers, which act at a request's arrival time rather
 // than at the application thread's current time (interrupt semantics).
 func (e *Endpoint) SendAt(to, typ int, class Class, payload []byte, at sim.Time) {
+	m := e.build(to, typ, class, payload, at)
+	e.sw.inboxes[to][m.Class] <- m
+	e.count(payload)
+}
+
+// build assembles one stamped message (shared by the blocking and
+// non-blocking send paths).
+func (e *Endpoint) build(to, typ int, class Class, payload []byte, at sim.Time) *Message {
 	if to == e.id {
 		panic("network: node sent a message to itself")
 	}
-	m := &Message{
+	return &Message{
 		From:    e.id,
 		To:      to,
 		Type:    typ,
@@ -144,9 +152,31 @@ func (e *Endpoint) SendAt(to, typ int, class Class, payload []byte, at sim.Time)
 		Send:    at,
 		Arrive:  at + e.sw.profile.Latency(len(payload)),
 	}
+}
+
+// count records one delivered message in the traffic totals.
+func (e *Endpoint) count(payload []byte) {
 	e.sw.stats.Messages.Add(1)
 	e.sw.stats.Bytes.Add(int64(len(payload) + e.sw.profile.HeaderBytes))
-	e.sw.inboxes[to][m.Class] <- m
+}
+
+// TrySendAt is SendAt with non-blocking delivery: if the destination's
+// queue is full the message is dropped and false returned (nothing is
+// counted). Protocol SERVERS must use it for any request-class send —
+// the no-deadlock argument for the bounded queues is that requests are
+// always drained by a server that never blocks, and a server blocking on
+// a peer's full queue while that peer's server blocks on ours would be
+// exactly the forbidden cycle. Callers must therefore treat the message
+// as optional (an optimization retried by some higher-level pacing).
+func (e *Endpoint) TrySendAt(to, typ int, class Class, payload []byte, at sim.Time) bool {
+	m := e.build(to, typ, class, payload, at)
+	select {
+	case e.sw.inboxes[to][m.Class] <- m:
+		e.count(payload)
+		return true
+	default:
+		return false
+	}
 }
 
 // Recv blocks until a message of the given class arrives and advances the
