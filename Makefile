@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short test-race smp-race hybrid-race gc-race bench-smoke bench tables ci
+.PHONY: build vet fmt-check test test-short test-race smp-race hybrid-race gc-race scale-race bench-smoke bench tables ci
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,15 @@ gc-race:
 	$(GO) test -race -run 'TestAcquireGC|TestAcqCoord|TestGC' ./internal/dsm
 	$(GO) test -race -run 'TestAcquireGC|TestAblationGCPolicyGrid' ./internal/harness
 
+# >8-node smoke under the race detector: the wide-team (16/32-thread)
+# conformance scenario on every backend plus one real application at 16
+# processors on the NOW (3D-FFT: pure page traffic through the sharded
+# homes and a two-level tree barrier). This is where a race in the
+# combining barrier or the home table fails first.
+scale-race:
+	$(GO) test -race -run 'TestBackendConformanceWideTeams' ./internal/core
+	$(GO) test -race -run 'TestEquivalenceBeyondPaperScale/3D-FFT/omp/p16' ./internal/harness
+
 # One-iteration benchmark smoke: compiles and executes every benchmark
 # family (Table 1 / Figure 6 / Table 2 / micro / ablations) so they can
 # never silently rot.
@@ -68,4 +77,4 @@ bench:
 tables:
 	$(GO) run ./cmd/nowbench -all
 
-ci: build vet fmt-check test smp-race hybrid-race gc-race test-race bench-smoke
+ci: build vet fmt-check test smp-race hybrid-race gc-race scale-race test-race bench-smoke

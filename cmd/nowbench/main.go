@@ -21,7 +21,14 @@
 //	                               on Water)
 //	nowbench -ablation all         both of the above
 //	nowbench -sweep                speedup curves for P = 1,2,4,8
-//	nowbench -all                  everything above
+//	nowbench -scaling              the >8-node scaling-wall study: OpenMP
+//	                               speedup at P = 8..128 with per-size
+//	                               binding-cost attribution (page service
+//	                               vs synchronization vs GC consensus);
+//	                               NOT part of -all — its 64- and 128-node
+//	                               cells are an order of magnitude beyond
+//	                               the other artifacts
+//	nowbench -all                  everything above except -scaling
 //
 // Add -scale test for a fast run on reduced inputs, -procs N to change
 // the processor count of Figure 6 / Table 2, and -islands K to set the
@@ -52,6 +59,7 @@ func main() {
 		gcTable  = flag.Bool("gc", false, "print the protocol-metadata GC accounting table")
 		ablation = flag.String("ablation", "", "run ablations: section3 (the flush-vs-sema/condvar studies, also selected by the legacy names pipeline/taskqueue/flushcost), gc, or all")
 		sweep    = flag.Bool("sweep", false, "print speedup curves over processor counts")
+		scaling  = flag.Bool("scaling", false, "print the >8-node scaling-wall table (P = 8..128)")
 		all      = flag.Bool("all", false, "run every experiment")
 		procs    = flag.Int("procs", 8, "processor count for Figure 6 and Table 2")
 		islands  = flag.Int("islands", 0, "SMP island count for the omp-hybrid columns (0 = default 2)")
@@ -127,6 +135,11 @@ func main() {
 	if *all || *sweep {
 		ran = true
 		check(harness.SpeedupSweep(out, s, []int{1, 2, 4, 8}))
+		fmt.Fprintln(out)
+	}
+	if *scaling {
+		ran = true
+		check(harness.TableScaling(out, s, harness.ScalingProcs))
 	}
 	if !ran {
 		flag.Usage()

@@ -54,13 +54,23 @@ type Result struct {
 	GCAcqEpochs      int64
 	GCPagesValidated int64
 	GCPagesFlushed   int64
+	// Traffic split by protocol cost category (dsm.TrafficBreakdown):
+	// page service (page and diff fetches), synchronization (locks,
+	// barriers, semaphores, condition variables, fork/join, flush), and
+	// GC consensus pushes. The three pairs sum to Messages/Bytes on
+	// DSM-backed runs and are zero elsewhere; the scaling-wall table uses
+	// them to name the binding cost at each machine size.
+	PageMsgs, PageBytes int64
+	SyncMsgs, SyncBytes int64
+	GCMsgs, GCBytes     int64
 }
 
-// ProtoSource reports DSM protocol-metadata counters; dsm.System and
-// core.Program both implement it.
+// ProtoSource reports DSM protocol-metadata counters and the traffic
+// category split; dsm.System and core.Program both implement it.
 type ProtoSource interface {
 	ProtoSummary() (retired, peakChain, peakBytes int64)
 	GCSummary() dsm.GCStats
+	TrafficBreakdown() dsm.TrafficBreakdown
 }
 
 // DSMResult assembles the Result of a DSM-backed run (TreadMarks or
@@ -72,6 +82,10 @@ func DSMResult(checksum float64, t sim.Time, msgs, bytes int64, src ProtoSource)
 	g := src.GCSummary()
 	r.GCEpisodes, r.GCEpochs, r.GCAcqEpochs = g.Episodes, g.Epochs, g.AcqEpochs
 	r.GCPagesValidated, r.GCPagesFlushed = g.PagesValidated, g.PagesFlushed
+	tb := src.TrafficBreakdown()
+	r.PageMsgs, r.PageBytes = tb.PageMsgs, tb.PageBytes
+	r.SyncMsgs, r.SyncBytes = tb.SyncMsgs, tb.SyncBytes
+	r.GCMsgs, r.GCBytes = tb.GCMsgs, tb.GCBytes
 	return r
 }
 

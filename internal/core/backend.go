@@ -183,6 +183,9 @@ type Backend interface {
 	// Traffic returns interconnect messages and bytes so far (zero on
 	// hardware shared memory).
 	Traffic() (messages, bytes int64)
+	// TrafficBreakdown splits Traffic into page service, synchronization,
+	// and GC consensus (all zero on hardware shared memory).
+	TrafficBreakdown() dsm.TrafficBreakdown
 	// ResetTraffic zeroes the traffic counters.
 	ResetTraffic()
 	// ProtoSummary reports consistency-protocol metadata accounting

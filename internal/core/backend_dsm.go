@@ -34,6 +34,10 @@ func (b *dsmBackend) Traffic() (int64, int64) {
 	return b.sys.Switch().Stats().Snapshot()
 }
 
+func (b *dsmBackend) TrafficBreakdown() dsm.TrafficBreakdown {
+	return b.sys.TrafficBreakdown()
+}
+
 func (b *dsmBackend) ResetTraffic() { b.sys.Switch().ResetStats() }
 
 func (b *dsmBackend) ProtoSummary() (int64, int64, int64) {

@@ -282,6 +282,10 @@ func (b *hybridBackend) Traffic() (int64, int64) {
 	return b.sys.Switch().Stats().Snapshot()
 }
 
+func (b *hybridBackend) TrafficBreakdown() dsm.TrafficBreakdown {
+	return b.sys.TrafficBreakdown()
+}
+
 func (b *hybridBackend) ResetTraffic() { b.sys.Switch().ResetStats() }
 
 func (b *hybridBackend) ProtoSummary() (int64, int64, int64) {

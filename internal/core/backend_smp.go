@@ -264,7 +264,10 @@ func (b *smpBackend) MaxClock() sim.Time {
 
 // Traffic is identically zero: hardware shared memory has no interconnect
 // messages in this cost model.
-func (b *smpBackend) Traffic() (int64, int64)             { return 0, 0 }
+func (b *smpBackend) Traffic() (int64, int64) { return 0, 0 }
+func (b *smpBackend) TrafficBreakdown() dsm.TrafficBreakdown {
+	return dsm.TrafficBreakdown{}
+}
 func (b *smpBackend) ResetTraffic()                       {}
 func (b *smpBackend) ProtoSummary() (int64, int64, int64) { return 0, 0, 0 }
 func (b *smpBackend) GCSummary() dsm.GCStats              { return dsm.GCStats{} }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -420,4 +421,62 @@ func TestBackendConformanceAcquireGC(t *testing.T) {
 		dsm.SetGCPolicyDefault(prevPol)
 	})
 	runConformanceSuite(t)
+}
+
+// wideTeamScenario is a parameterized conformance kernel for team sizes
+// beyond what the fixed scenarios above use: per-thread writes made
+// visible by a barrier, a critical counter that must lose no updates,
+// and a post-barrier sum over every slot. Its observable result is
+// schedule-independent at any team size.
+func wideTeamScenario(t *testing.T, bk BackendKind, procs int) interface{} {
+	p := NewProgram(Config{Threads: procs, Backend: bk})
+	a := p.SharedPage(8 * procs)
+	sums := p.SharedPage(8 * procs)
+	ctr := p.SharedPage(8)
+	p.RegisterRegion("wide", func(tc *TC) {
+		me := tc.ThreadNum()
+		tc.WriteI64(a+Addr(8*me), int64(me*me+1))
+		tc.Critical("w", func() {
+			tc.WriteI64(ctr, tc.ReadI64(ctr)+1)
+		})
+		tc.Barrier()
+		var s int64
+		for i := 0; i < procs; i++ {
+			s += tc.ReadI64(a + Addr(8*i))
+		}
+		s += tc.ReadI64(ctr) // == procs: every increment precedes the barrier
+		tc.WriteI64(sums+Addr(8*me), s)
+	})
+	out := make([]int64, procs+1)
+	if err := p.Run(func(m *MC) {
+		m.Parallel("wide", NoArgs())
+		for i := 0; i < procs; i++ {
+			out[i] = m.ReadI64(sums + Addr(8*i))
+		}
+		out[procs] = m.ReadI64(ctr)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestBackendConformanceWideTeams is the >8-proc smoke of the
+// conformance suite: with homes sharded across nodes and the barrier a
+// combining tree, 16- and 32-thread teams must produce results identical
+// to hardware shared memory, on every backend.
+func TestBackendConformanceWideTeams(t *testing.T) {
+	for _, procs := range []int{16, 32} {
+		procs := procs
+		t.Run(fmt.Sprintf("p%d", procs), func(t *testing.T) {
+			t.Parallel()
+			ref := wideTeamScenario(t, BackendNOW, procs)
+			for _, bk := range backends[1:] {
+				got := wideTeamScenario(t, bk, procs)
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("backend %s diverges from %s at %d threads:\n got %v\nwant %v",
+						bk, backends[0], procs, got, ref)
+				}
+			}
+		})
+	}
 }

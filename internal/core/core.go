@@ -77,6 +77,14 @@ type Config struct {
 	GCMinRetire int
 	GCPressure  int
 	GCPolicy    string
+
+	// HomePolicy selects how initial page ownership is spread across the
+	// NOW ("", "default", "block-cyclic", "node0", "first-touch" — see
+	// dsm.ParseHomePolicy); BarrierFanin caps the combining-tree arity of
+	// the DSM barrier (0 = dsm.DefaultBarrierFanin). Both are no-ops on
+	// hardware shared memory.
+	HomePolicy   string
+	BarrierFanin int
 }
 
 // dsmConfig assembles the dsm.Config shared by the DSM-backed backends.
@@ -85,15 +93,21 @@ func dsmConfig(cfg Config, procs int, multiClient bool) dsm.Config {
 	if err != nil {
 		panic(err.Error())
 	}
+	homes, err := dsm.ParseHomePolicy(cfg.HomePolicy)
+	if err != nil {
+		panic(err.Error())
+	}
 	return dsm.Config{
-		Procs:       procs,
-		HeapBytes:   cfg.HeapBytes,
-		Platform:    cfg.Platform,
-		MultiClient: multiClient,
-		DisableGC:   cfg.DisableGC,
-		GCMinRetire: cfg.GCMinRetire,
-		GCPressure:  cfg.GCPressure,
-		GCPolicy:    policy,
+		Procs:        procs,
+		HeapBytes:    cfg.HeapBytes,
+		Platform:     cfg.Platform,
+		MultiClient:  multiClient,
+		DisableGC:    cfg.DisableGC,
+		GCMinRetire:  cfg.GCMinRetire,
+		GCPressure:   cfg.GCPressure,
+		GCPolicy:     policy,
+		HomePolicy:   homes,
+		BarrierFanin: cfg.BarrierFanin,
 	}
 }
 
@@ -177,6 +191,11 @@ func (p *Program) Elapsed() sim.Time { return p.be.MaxClock() }
 // Traffic returns total interconnect messages and bytes so far (zero on
 // the SMP backend).
 func (p *Program) Traffic() (messages, bytes int64) { return p.be.Traffic() }
+
+// TrafficBreakdown splits the traffic so far into page service,
+// synchronization, and GC consensus — the categories the scaling tables
+// attribute a wall to (all zero on hardware shared memory).
+func (p *Program) TrafficBreakdown() dsm.TrafficBreakdown { return p.be.TrafficBreakdown() }
 
 // ResetTraffic zeroes the traffic counters (to measure one phase).
 func (p *Program) ResetTraffic() { p.be.ResetTraffic() }

@@ -69,9 +69,9 @@ import (
 const DefaultGCPressure = 256
 
 // GCPolicy selects how a node purges page copies that owe retired diffs at
-// a collection epoch (barrier, fork, or acquire source alike). Node 0
-// always validates: it is the page server, and its copy is the base every
-// first fetch builds on.
+// a collection epoch (barrier, fork, or acquire source alike). A page's
+// home always validates it: the home is the page's first-copy server, and
+// its copy is the base every first fetch builds on (see home.go).
 type GCPolicy int
 
 const (
@@ -79,8 +79,9 @@ const (
 	// overridden by SetGCPolicyDefault for ablations and tests).
 	GCPolicyDefault GCPolicy = iota
 	// GCPolicyFlush discards every stale copy outright; the next access
-	// refetches the whole page from node 0's validated copy. This is the
-	// classic TreadMarks invalidate choice and the pre-policy behaviour.
+	// refetches the whole page from its home's validated copy. This is
+	// the classic TreadMarks invalidate choice and the pre-policy
+	// behaviour.
 	GCPolicyFlush
 	// GCPolicyValidateHot fetches and applies the retired diffs of pages
 	// faulted since the last collection (hot pages — the ones the node
@@ -204,10 +205,17 @@ type acqCoord struct {
 	pushStamp int64
 	pushGap   int64
 	pushProg  int64 // progressLocked() at the last push round
+
+	// gate ≥ 0 names a node that must purge every issued floor before any
+	// other node is handed it — the node-0-homes configuration, where one
+	// node's copy is the rebuild base of every flushed page. Sharded home
+	// policies pass -1: the per-page flush gate (the homePurged registry,
+	// see home.go) replaces the global ordering.
+	gate int
 }
 
-func newAcqCoord(procs int, pressure int) *acqCoord {
-	co := &acqCoord{pressure: int64(pressure), baseline: newVC(procs), pushGap: int64(procs)}
+func newAcqCoord(procs int, pressure int, gate int) *acqCoord {
+	co := &acqCoord{pressure: int64(pressure), baseline: newVC(procs), pushGap: int64(procs), gate: gate}
 	for i := 0; i < procs; i++ {
 		co.reported = append(co.reported, newVC(procs))
 		co.purged = append(co.purged, newVC(procs))
@@ -254,13 +262,17 @@ func (co *acqCoord) report(id int, vc VectorClock, wantPush bool) (floor VectorC
 	co.reports++
 	co.reported[id].merge(vc)
 	co.maybeAnnounceLocked()
-	// Node 0 processes every epoch FIRST: a non-manager purge may flush a
-	// copy and later rebuild it from node 0's, so node 0's copy must
-	// already reflect every write under the floor by then — the ordering
-	// a barrier provides structurally (the manager validates before any
-	// departure) and the acquire consensus must impose explicitly.
+	// Ordering gate. With a gate node (node-0 homes) that node processes
+	// every epoch FIRST: a non-gate purge may flush a copy and later
+	// rebuild it from the gate's, so the gate's copy must already reflect
+	// every write under the floor by then — the ordering a barrier
+	// provides structurally (the root validates before any departure) and
+	// the acquire consensus must impose explicitly. Sharded homes need no
+	// global order: every purge consults the per-page flush gate (the
+	// homePurged registry), which enforces home-validates-first page by
+	// page, so any node may be handed a pending floor immediately.
 	if !co.baseline.dominatedBy(co.purged[id]) &&
-		(id == 0 || co.baseline.dominatedBy(co.purged[0])) {
+		(co.gate < 0 || id == co.gate || co.baseline.dominatedBy(co.purged[co.gate])) {
 		floor = co.baseline.clone()
 		pending = true
 	}
@@ -495,9 +507,13 @@ func (c *Client) gcSyncOnce() {
 // if an issued epoch is pending here and no application fetch is in
 // flight — run it flush-only right now, so a node parked on a condition
 // variable or deep in a compute phase neither holds the consensus floor
-// nor gates the next announcement. Node 0 never collects in server
-// context: its purge must validate (fetch diffs), which a server cannot
-// block on; its application-thread hook runs the epoch instead.
+// nor gates the next announcement. The gate node (node-0 homes) never
+// collects in server context: its purge must validate (fetch diffs),
+// which a server cannot block on; its application-thread hook runs the
+// epoch instead. Under sharded homes the same deferral happens per page
+// through gcCanFlushAllLocked: a node homing covered-owing pages, or
+// holding pages whose home has not purged the floor, leaves the epoch to
+// its application thread.
 func (n *Node) handleGCSync(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	senderVC := r.vc()
@@ -536,7 +552,7 @@ func (n *Node) handleGCSync(m *network.Message) {
 		return
 	}
 	floor, pending, _ := co.report(n.id, vc, false)
-	if !pending || n.id == 0 {
+	if !pending || n.id == co.gate {
 		return
 	}
 	// The TryLock is load-bearing: if the application thread is mid-fetch
@@ -580,10 +596,11 @@ func (n *Node) acqEpoch(c *Client, floor VectorClock, serverSide bool) bool {
 	}
 	if serverSide {
 		if !n.gcCanFlushAllLocked(floor) {
-			// Some copy holds own writes above the floor: only a
-			// validating purge may keep it, and validation fetches diffs,
-			// which a server cannot block on. Leave the epoch to the
-			// application thread.
+			// Some covered-owing copy cannot be flushed — it holds own
+			// writes above the floor, is homed here (homes must validate),
+			// or its home has not purged the floor yet — and a validating
+			// purge fetches diffs, which a server cannot block on. Leave
+			// the epoch to the application thread.
 			return false
 		}
 		if !floor.dominatedBy(n.vc) {
@@ -601,7 +618,7 @@ func (n *Node) acqEpoch(c *Client, floor VectorClock, serverSide bool) bool {
 		// episodes this thread has already processed.
 		panic(fmt.Sprintf("dsm: node %d acquire-epoch floor %v above local clock %v", n.id, floor, n.vc))
 	}
-	purge := func() { n.gcPurgePagesLocked(c, floor, false) }
+	purge := func() { n.gcPurgePagesLocked(c, floor, floor, false) }
 	if serverSide {
 		// A node reached by a push is quiet — parked on a condition
 		// variable or deep in a compute phase — so its covered copies are

@@ -219,12 +219,17 @@ func TestAcquireGCRandomizedInterleavings(t *testing.T) {
 // time (so every node has incorporated everything under it), the issued
 // baseline is monotone, and a new epoch is never announced while any
 // node's purges lag the previously issued floors (the gate that makes
-// the one-epoch-delayed free sound).
+// the one-epoch-delayed free sound). Both gating modes are exercised:
+// gate 0 (node-0 homes) must hand a floor to a non-gate node only after
+// the gate node purged it; gate -1 (sharded homes, where the per-page
+// homePurged registry replaces the global order) must still only hand a
+// node floors dominated by its own reported clock.
 func TestAcqCoordProperties(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		procs := 2 + rng.Intn(6)
-		co := newAcqCoord(procs, 1+rng.Intn(8))
+		gate := rng.Intn(2) - 1 // -1 (sharded) or 0 (node-0 homes)
+		co := newAcqCoord(procs, 1+rng.Intn(8), gate)
 		clocks := make([]VectorClock, procs)
 		for i := range clocks {
 			clocks[i] = newVC(procs)
@@ -270,9 +275,17 @@ func TestAcqCoordProperties(t *testing.T) {
 			}
 			prevBaseline = co.baseline.clone()
 			if pending {
-				// The node purges what it was handed (node 0 first: a
-				// non-manager is only handed a floor node 0 has purged).
-				if id != 0 && !floor.dominatedBy(co.purged[0]) {
+				if gate >= 0 && id != gate && !floor.dominatedBy(co.purged[gate]) {
+					// Gate-first ordering: a non-gate node is only handed a
+					// floor the gate node has already purged (its copies are
+					// the rebuild base of every flushed page).
+					return false
+				}
+				// Home-aware soundness (both modes): a node is only ever
+				// handed a floor below its own reported clock — it holds
+				// every notice the purge will classify, and the per-page
+				// flush gate needs nothing more from the coordinator.
+				if !floor.dominatedBy(co.reported[id]) {
 					return false
 				}
 				co.notePurged(id, floor)

@@ -5,23 +5,95 @@ import (
 	"repro/internal/sim"
 )
 
-// Centralized-manager barriers, Section 4.2: "Barrier arrivals are modeled
-// as releases and barrier departures are acquires. At a barrier arrival
-// each thread sends a release message to the manager and waits for a
-// departure message. The manager broadcasts a barrier departure message to
-// all threads after all have arrived." Node 0 is the manager. Arrival
-// messages piggyback the arriver's new intervals; departures carry, for
-// each node, exactly the intervals it lacks.
+// Combining-tree barriers, generalizing Section 4.2's centralized manager:
+// "Barrier arrivals are modeled as releases and barrier departures are
+// acquires." Nodes form a BarrierFanin-ary heap rooted at node 0. Each
+// arrival message piggybacks the arriver's new intervals; an interior node
+// gathers its children's arrivals, merges them into its own clock, and
+// passes ONE combined arrival up. The root's departure wave flows back
+// down the tree, each hop carrying for its receiver exactly the intervals
+// it lacks, and every departure carries the root's merged clock — the GC
+// epoch floor (see gc.go), identical in every departure of an episode.
+//
+// With the default fan-in of 8 and at most 9 nodes, node 0's children are
+// all other nodes and no other node has children: the tree degenerates to
+// the paper's flat manager and reproduces its wire traffic byte for byte.
 
-// barrierMgr buffers arrival messages at node 0 between the protocol
-// server (which receives them) and the application thread (which consumes
-// P-1 of them per barrier episode).
+// DefaultBarrierFanin is the tree fan-in used when Config.BarrierFanin is
+// zero. Eight keeps every ≤8-processor run (the paper's full range) on the
+// flat centralized barrier.
+const DefaultBarrierFanin = 8
+
+// barrierChildren returns the ids gathering at node id in the fanin-ary
+// heap over [0, procs).
+func barrierChildren(id, procs, fanin int) []int {
+	first := id*fanin + 1
+	if first >= procs {
+		return nil
+	}
+	last := first + fanin
+	if last > procs {
+		last = procs
+	}
+	kids := make([]int, 0, last-first)
+	for c := first; c < last; c++ {
+		kids = append(kids, c)
+	}
+	return kids
+}
+
+// barrierParent returns the node id reports its arrival to.
+func barrierParent(id, fanin int) int { return (id - 1) / fanin }
+
+// barrierMgr buffers arrival messages at a node with tree children,
+// between the protocol server (which receives them) and the application
+// thread (which consumes one per child per barrier episode).
 type barrierMgr struct {
+	children int
 	arrivals chan *network.Message
 }
 
-func newBarrierMgr(procs int) *barrierMgr {
-	return &barrierMgr{arrivals: make(chan *network.Message, 4*procs)}
+// newBarrierMgr sizes the arrival buffer from the node's child count, not
+// the system size: a child has at most two arrivals logically outstanding
+// here (the current episode's, plus the next episode's sent after its
+// departure while we still forward to siblings), so 4k+4 holds at any
+// fan-in — including 128 nodes on a flat tree, where the old 4*procs
+// sizing happened to work only because procs bounded the children.
+func newBarrierMgr(children int) *barrierMgr {
+	return &barrierMgr{
+		children: children,
+		arrivals: make(chan *network.Message, 4*children+4),
+	}
+}
+
+// gatherArrivals consumes one arrival per child (the server queued them,
+// already incorporated in wire order) and returns each child's reported
+// clock — needed to compute its exact departure delta — plus the latest
+// arrival time.
+func (n *Node) gatherArrivals() (arrivals []struct {
+	from int
+	vc   VectorClock
+}, latest sim.Time) {
+	for len(arrivals) < n.barrier.children {
+		var m *network.Message
+		select {
+		case m = <-n.barrier.arrivals:
+		case <-n.sys.done:
+		}
+		if m == nil {
+			panic(abortError{cause: "switch shut down"})
+		}
+		if m.Arrive > latest {
+			latest = m.Arrive
+		}
+		r := rbuf{b: m.Payload}
+		senderVC := r.vc()
+		arrivals = append(arrivals, struct {
+			from int
+			vc   VectorClock
+		}{from: m.From, vc: senderVC})
+	}
+	return arrivals, latest
 }
 
 // Barrier synchronizes all processors (OpenMP barrier semantics: all
@@ -39,65 +111,79 @@ func (c *Client) Barrier() {
 		n.mu.Unlock()
 		return
 	}
-	if n.id != 0 {
+
+	if n.barrier == nil {
+		// Leaf: one arrival up, one departure down. Built and sent under
+		// the same mu hold as the interval close — an unlock window here
+		// would let the server incorporate records and change the delta.
+		parent := barrierParent(n.id, n.sys.fanin)
 		var w wbuf
 		w.vc(n.vc)
-		encodeRecords(&w, n.deltaForLocked(n.knownVC[0]))
-		n.noteSentLocked(0)
-		// Sent under mu: atomic with the estimate update.
-		n.ep.SendAt(0, msgBarrArrive, network.ClassRequest, w.b, c.clk.Now())
+		encodeRecords(&w, n.deltaForLocked(n.knownVC[parent]))
+		n.noteSentLocked(parent)
+		n.ep.SendAt(parent, msgBarrArrive, network.ClassRequest, w.b, c.clk.Now())
 		n.mu.Unlock()
 
 		m := c.recvReply(msgBarrDepart, 0)
 		r := rbuf{b: m.Payload}
-		mgrVC := r.vc()
+		depVC := r.vc()
 		recs := decodeRecords(&r)
 		n.mu.Lock()
-		n.incorporateLocked(recs, mgrVC)
-		n.noteHeardLocked(0, mgrVC)
+		n.incorporateLocked(recs, depVC)
+		n.noteHeardLocked(parent, depVC)
 		if n.sys.gcOn {
-			// The floor is the manager's clock as carried by the
-			// departure, NOT our own: the server may already have
-			// incorporated intervals a faster peer created after leaving
-			// this barrier, and those are not globally known yet.
-			n.gcEpochLocked(c, mgrVC)
+			// The floor is the root's clock as carried by the departure,
+			// NOT our own: the server may already have incorporated
+			// intervals a faster peer created after leaving this barrier,
+			// and those are not globally known yet.
+			n.gcEpochLocked(c, depVC)
 		}
 		n.mu.Unlock()
 		return
 	}
 	n.mu.Unlock()
 
-	// Manager: gather P-1 arrivals (the server queued them), then merge
-	// and broadcast departures. Virtual departure time is the latest
-	// arrival plus sequential per-arrival processing at the manager.
-	type arrival struct {
-		from int
-		vc   VectorClock
-	}
-	arrivals := make([]arrival, 0, procs-1)
-	var latest sim.Time
-	for len(arrivals) < procs-1 {
-		var m *network.Message
-		select {
-		case m = <-n.barrier.arrivals:
-		case <-n.sys.done:
-		}
-		if m == nil {
-			panic(abortError{cause: "switch shut down"})
-		}
-		if m.Arrive > latest {
-			latest = m.Arrive
-		}
-		// The write notices were already incorporated by the server in
-		// wire order; only the arriver's clock matters here, to compute
-		// its exact departure delta.
-		r := rbuf{b: m.Payload}
-		senderVC := r.vc()
-		arrivals = append(arrivals, arrival{from: m.From, vc: senderVC})
-	}
+	// Gather the subtree: one (combined) arrival per child. Virtual time
+	// advances to the latest arrival plus sequential per-arrival
+	// processing at this node.
+	arrivals, latest := n.gatherArrivals()
 	c.clk.AdvanceTo(latest)
-	c.clk.Advance(sim.Time(procs-1) * n.sys.plat.RequestService)
+	c.clk.Advance(sim.Time(len(arrivals)) * n.sys.plat.RequestService)
 
+	if n.id != 0 {
+		// Interior node: pass one combined arrival up (its clock now
+		// covers the whole subtree — the server incorporated every child's
+		// records), wait for the departure, forward it down, then run this
+		// node's own collection epoch.
+		parent := barrierParent(n.id, n.sys.fanin)
+		n.mu.Lock()
+		var w wbuf
+		w.vc(n.vc)
+		encodeRecords(&w, n.deltaForLocked(n.knownVC[parent]))
+		n.noteSentLocked(parent)
+		n.ep.SendAt(parent, msgBarrArrive, network.ClassRequest, w.b, c.clk.Now())
+		n.mu.Unlock()
+
+		m := c.recvReply(msgBarrDepart, 0)
+		r := rbuf{b: m.Payload}
+		depVC := r.vc()
+		recs := decodeRecords(&r)
+		n.mu.Lock()
+		n.incorporateLocked(recs, depVC)
+		n.noteHeardLocked(parent, depVC)
+		// Forward the wave before collecting: the children (and their
+		// subtrees) stay parked until these go out, and the covered diffs
+		// this node's purge may drop stay fetchable until the one-epoch-
+		// delayed free, so collection order does not affect them.
+		n.forwardDeparturesLocked(c, depVC, arrivals)
+		if n.sys.gcOn {
+			n.gcEpochLocked(c, depVC)
+		}
+		n.mu.Unlock()
+		return
+	}
+
+	// Root: merge is complete once every child subtree has arrived.
 	n.mu.Lock()
 	// Snapshot the departure clock ONCE, before the send loop's unlock
 	// windows: while departures go out, the server can already be
@@ -105,17 +191,29 @@ func (c *Client) Barrier() {
 	// fast departers, and a live n.vc read would hand later departures a
 	// larger clock than earlier ones. Pre-GC that was a harmless
 	// over-approximation; as the GC epoch floor it must be identical in
-	// every departure (see gc.go), and node 0 must not publish a floor
+	// every departure (see gc.go), and the root must not publish a floor
 	// covering intervals it did not just validate.
 	if n.sys.gcOn {
 		// Collect BEFORE any departure goes out: with every other
-		// application thread parked awaiting its departure, the manager's
+		// application thread parked awaiting its departure, the root's
 		// validation fetches race with nothing, and the departure arrival
 		// times then carry the (real, TreadMarks-style) GC pause. The
-		// manager's merged clock is the floor every departure carries.
+		// root's merged clock is the floor every departure carries.
 		n.gcEpochLocked(c, n.vc.clone())
 	}
 	depVC := n.vc.clone()
+	n.forwardDeparturesLocked(c, depVC, arrivals)
+	n.mu.Unlock()
+}
+
+// forwardDeparturesLocked sends one departure per gathered arrival,
+// carrying the episode's floor clock and, for each receiver, the exact
+// delta against its reported arrival clock. Called with n.mu held;
+// released around each send.
+func (n *Node) forwardDeparturesLocked(c *Client, depVC VectorClock, arrivals []struct {
+	from int
+	vc   VectorClock
+}) {
 	for _, a := range arrivals {
 		var w wbuf
 		w.vc(depVC)
@@ -129,5 +227,4 @@ func (c *Client) Barrier() {
 		n.ep.SendAt(a.from, msgBarrDepart, network.ClassReply, w.b, c.clk.Now())
 		n.mu.Lock()
 	}
-	n.mu.Unlock()
 }

@@ -496,7 +496,7 @@ func TestStatsAccounting(t *testing.T) {
 	a := sys.MallocPage(8)
 	sys.Register("touch", func(n *Node, arg []byte) {
 		if n.ID() == 1 {
-			_ = n.ReadI64(a) // must fetch the page from node 0
+			_ = n.ReadI64(a) // must fetch the page from its home
 		}
 		n.Barrier()
 	})

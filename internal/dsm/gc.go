@@ -3,6 +3,7 @@ package dsm
 import (
 	"fmt"
 
+	"repro/internal/network"
 	"repro/internal/sim"
 )
 
@@ -35,19 +36,35 @@ import (
 //     needed at all and is released without ever paying for diff
 //     creation.
 //
-//  2. PURGE page references covered by the new retire floor — node 0's
-//     merged vector clock at the episode, which covers every interval in
-//     existence there, all of them incorporated by every node by the
-//     time it processes its departure (or fork). Node 0 (the page
-//     server, whose copy must stay authoritative) VALIDATES: it fetches
-//     and applies every pending diff, bringing each of its copies
-//     current. Other nodes choose per page between FLUSHING the stale
-//     copy (refetch it whole on next access) and validating it — the
-//     classic validate-vs-invalidate choice of TreadMarks GC, now a
-//     per-page policy (Config.GCPolicy) keyed on whether the page was
-//     faulted since the last collection.
+//  2. PURGE page references covered by the new retire floor — the barrier
+//     root's merged vector clock at the episode, which covers every
+//     interval in existence there, all of them incorporated by every node
+//     by the time it processes its departure (or fork). A page's HOME
+//     (its allocator and first-copy server, see home.go) always VALIDATES
+//     its own pages: it fetches and applies every pending diff, keeping
+//     each authoritative copy current. Other nodes choose per page
+//     between FLUSHING the stale copy (refetch it whole from the home on
+//     next access) and validating it — the classic validate-vs-invalidate
+//     choice of TreadMarks GC, now a per-page policy (Config.GCPolicy)
+//     keyed on whether the page was faulted since the last collection.
+//     A flush may only drop notices the home's copy already reflects —
+//     otherwise the later whole-page refetch is lossy. Under sharded
+//     homes this episode source gets that guarantee deterministically by
+//     LAGGING the flush floor one collecting episode: every node finishes
+//     episode e-1's purge (validating its own homed pages to that floor)
+//     before sending its episode-e arrival, so when any node processes
+//     episode e, every home provably holds the e-1 floor. Foreign pages
+//     therefore flush only notices under the PREVIOUS floor (gcFreeVC)
+//     and keep the one-episode tail, which the next episode drops in turn
+//     (or an intervening fault applies over the home's base). Under
+//     node-0 homes the old single-floor flush is kept verbatim: the root
+//     purges before any departure leaves it, so the full floor is already
+//     safe — and ≤8-processor runs stay byte-identical to the
+//     pre-sharding protocol. The acquire source (acqgc.go) has no such
+//     happens-before wave and gates flushes per page on the homePurged
+//     registry instead, overriding to validate while a home lags.
 //
-//     The floor is always node 0's clock AS CARRIED IN THE EPISODE'S
+//     The floor is always the root's clock AS CARRIED IN THE EPISODE'S
 //     MESSAGE, never the local clock: a node's protocol server may
 //     already have incorporated intervals that a faster peer created
 //     AFTER leaving this same episode, and a floor read from the local
@@ -166,7 +183,17 @@ func (n *Node) gcEpochLocked(c *Client, retire VectorClock) {
 		n.sys.acq.noteIssued(retire)
 	}
 
-	n.gcCollectLocked(&n.gcFreeVC, retire, func() { n.gcPurgePagesLocked(c, retire, true) })
+	// Foreign-homed pages flush against the PREVIOUS collecting floor
+	// (captured before gcCollectLocked advances it): every home completed
+	// that episode's validation before this episode's floor could even be
+	// formed, so the lagged flush needs no registry check and stays
+	// deterministic. Node-0 homes keep the full floor — the root purges
+	// before any departure leaves it (see the file comment, step 2).
+	flushVC := retire
+	if n.sys.homes.policy != HomePolicyNode0 {
+		flushVC = n.gcFreeVC
+	}
+	n.gcCollectLocked(&n.gcFreeVC, retire, func() { n.gcPurgePagesLocked(c, retire, flushVC, true) })
 	n.stats.GCEpochs++
 	if n.sys.acq != nil {
 		n.sys.acq.notePurged(n.id, retire)
@@ -201,6 +228,10 @@ func (n *Node) gcCollectLocked(prev *VectorClock, floor VectorClock, purge func(
 		n.gcPurgeVC.merge(floor)
 	}
 	purge()
+	// Publish the completed purge in the home registry immediately (before
+	// the acquire coordinator hears of it): peers may flush pages homed
+	// here the moment our authoritative copies reflect the floor.
+	n.sys.purged.note(n.id, floor)
 	n.gcSeq++
 	n.pruneGCPagesLocked()
 }
@@ -274,11 +305,22 @@ func (n *Node) freeRetiredLocked(free VectorClock) {
 }
 
 // gcShouldValidateLocked applies the per-page validate-vs-flush policy to
-// one page owing `covered` retired notices. Node 0 always validates: it is
-// the allocator and page server, and its copy is the base every first
-// fetch builds on — flushing it would lose the only authoritative copy.
-func (n *Node) gcShouldValidateLocked(pg *page, covered int) bool {
-	if n.id == 0 {
+// one page owing `covered` retired notices under the given floor. A
+// page's home always validates: it is the allocator and first-copy server
+// of the page, and its copy is the base every first fetch builds on —
+// flushing it would lose the only authoritative copy. A gated caller (the
+// acquire source, which has no episode wave to order purges) additionally
+// allows a foreign flush only once the home has purged the floor (the
+// per-page registry gate, see home.go); until then the home's copy does
+// not yet reflect the notices a flush would drop, and the policy is
+// overridden to validate. The barrier/fork source runs ungated: its
+// lagged flush floor is covered by every home by construction.
+func (n *Node) gcShouldValidateLocked(pg *page, retire VectorClock, covered int, gated bool) bool {
+	home := n.homeOf(pg.id)
+	if home == n.id {
+		return true
+	}
+	if gated && !n.sys.purged.covers(home, retire) {
 		return true
 	}
 	if pg.data == nil {
@@ -301,41 +343,68 @@ func (n *Node) gcShouldValidateLocked(pg *page, covered int) bool {
 
 // gcCanFlushAllLocked reports whether a flush-only purge to the given
 // floor is safe on this node: no covered-owing page may hold own writes
-// above the floor (flushing would lose them; see page.lastOwnSeq). The
-// server-side purge checks this BEFORE touching any state and defers to
-// the application-thread hook (which can validate) when it fails.
+// above the floor (flushing would lose them; see page.lastOwnSeq), be
+// homed here (homes validate their own pages — the authoritative copy),
+// or be homed at a node that has not yet purged the floor (the per-page
+// flush gate, see home.go). The server-side purge checks this BEFORE
+// touching any state and defers to the application-thread hook (which can
+// validate) when it fails.
 func (n *Node) gcCanFlushAllLocked(retire VectorClock) bool {
 	for _, pg := range n.gcPages {
-		if len(pg.missing) == 0 || pg.lastOwnSeq < 0 || retire.covers(n.id, pg.lastOwnSeq) {
+		if len(pg.missing) == 0 {
 			continue
 		}
+		covered := false
 		for _, m := range pg.missing {
 			if retire.covers(m.creator, m.seq) {
-				return false
+				covered = true
+				break
 			}
+		}
+		if !covered {
+			continue
+		}
+		if pg.lastOwnSeq >= 0 && !retire.covers(n.id, pg.lastOwnSeq) {
+			return false
+		}
+		if home := n.homeOf(pg.id); home == n.id || !n.sys.purged.covers(home, retire) {
+			return false
 		}
 	}
 	return true
 }
 
-// gcFlushPageLocked discards one page's copy together with its covered
-// notices, preserving notices newer than the floor — the flush half of
+// gcFlushPageLocked discards one page's copy together with its notices
+// under the flush floor, preserving newer notices — the flush half of
 // the validate-vs-flush choice, shared by the per-page policy purge and
-// the consensus-push purge. Requires n.mu.
-func (n *Node) gcFlushPageLocked(pg *page, retire VectorClock) {
+// the consensus-push purge. The flush floor may lag the retire floor (the
+// barrier source under sharded homes) or be nil on the first collecting
+// episode, in which case only the copy is discarded and every notice
+// survives. Requires n.mu.
+func (n *Node) gcFlushPageLocked(pg *page, flushVC VectorClock) {
 	if pg.twin != nil || pg.inDirty {
 		panic(fmt.Sprintf("dsm: node %d GC flushing page %d with live twin", n.id, pg.id))
 	}
 	keep := pg.missing[:0]
 	for _, m := range pg.missing {
-		if !retire.covers(m.creator, m.seq) {
+		if flushVC == nil || !flushVC.covers(m.creator, m.seq) {
 			keep = append(keep, m)
 		}
 	}
+	dropped := len(pg.missing) - len(keep)
 	for i := len(keep); i < len(pg.missing); i++ {
 		pg.missing[i] = nil
 	}
 	pg.missing = keep
+	if dropped > 0 {
+		// The dropped notices survive only in the home's validated copy
+		// now: any rebuild of this page must start from a whole-page fetch
+		// (the next fault does exactly that), never from a zeros base.
+		pg.refetch = true
+	}
+	if pg.data == nil && dropped == 0 {
+		return // nothing to discard: copy already gone, every notice kept
+	}
 	pg.data = nil
 	pg.state = pageInvalid
 	n.stats.GCPagesFlushed++
@@ -368,10 +437,13 @@ func (n *Node) gcFlushCoveredLocked(retire VectorClock) {
 // gcPurgePagesLocked is the purge step shared by both epoch sources:
 // every work-list page owing notices covered by the retire floor is
 // either validated (its covered diffs fetched and applied in one parallel
-// wave, exactly as a fault would) or flushed (copy discarded, to be
-// refetched whole from node 0's validated copy on next access), per
-// gcShouldValidateLocked. Notices newer than the floor are preserved
-// either way.
+// wave, exactly as a fault would) or flushed (copy discarded up to
+// flushVC, to be refetched whole from its home's validated copy on next
+// access), per gcShouldValidateLocked. Notices newer than the relevant
+// floor are preserved either way. The quiescent flag distinguishes the
+// barrier/fork source (episode waves order purges, so flushes run
+// ungated against the lagged flushVC) from the acquire source (flushVC
+// equals the retire floor and the homePurged registry gates each flush).
 //
 // It requires n.mu and releases/reacquires it around the network section.
 // The whole purge holds fetchMu: page and diff replies route by message
@@ -380,7 +452,7 @@ func (n *Node) gcFlushCoveredLocked(retire VectorClock) {
 // the classification also guarantees no local fault snapshot straddles
 // the purge. At quiescent episodes (barrier/fork) the exclusivity is
 // vacuous; at acquire epochs it is load-bearing.
-func (n *Node) gcPurgePagesLocked(c *Client, retire VectorClock, quiescent bool) {
+func (n *Node) gcPurgePagesLocked(c *Client, retire, flushVC VectorClock, quiescent bool) {
 	n.mu.Unlock()
 	n.fetchMu.Lock()
 	defer n.fetchMu.Unlock()
@@ -389,8 +461,10 @@ func (n *Node) gcPurgePagesLocked(c *Client, retire VectorClock, quiescent bool)
 	type pageWork struct {
 		pg    *page
 		fetch []*interval
+		home  int // ≥ 0: whole-page refetch from the home precedes the diffs
 	}
 	var work []pageWork
+	refetches := 0
 	for _, pg := range n.gcPages {
 		if len(pg.missing) == 0 {
 			continue
@@ -409,8 +483,8 @@ func (n *Node) gcPurgePagesLocked(c *Client, retire VectorClock, quiescent bool)
 		}
 		if quiescent && n.id == 0 && uncovered > 0 {
 			// Impossible at a barrier/fork: no node is running application
-			// code that could create intervals beyond the manager's clock.
-			panic(fmt.Sprintf("dsm: manager GC found uncovered notice on page %d at a quiescent episode", pg.id))
+			// code that could create intervals beyond the root's clock.
+			panic(fmt.Sprintf("dsm: root GC found uncovered notice on page %d at a quiescent episode", pg.id))
 		}
 		// A page owing diffs cannot carry local modifications
 		// (invalidation encodes any pending diff and drops the twin).
@@ -420,31 +494,81 @@ func (n *Node) gcPurgePagesLocked(c *Client, retire VectorClock, quiescent bool)
 		// A copy holding own writes above the floor must be kept (see
 		// page.lastOwnSeq): validate it regardless of policy.
 		mustKeep := pg.lastOwnSeq >= 0 && !retire.covers(n.id, pg.lastOwnSeq) && pg.data != nil
-		if mustKeep || n.gcShouldValidateLocked(pg, len(covered)) {
+		if mustKeep || n.gcShouldValidateLocked(pg, retire, len(covered), !quiescent) {
+			w := pageWork{pg: pg, fetch: covered, home: -1}
 			if pg.data == nil {
-				// The allocator's copy materializes as zeros; the covered
-				// notice history is happens-before closed, so applying it
-				// brings the copy to exactly the covered prefix.
-				pg.data = make([]byte, PageSize)
+				if pg.refetch {
+					// An earlier flush dropped notices this node no longer
+					// holds; only the home's validated copy reflects them.
+					// Rebuild from a whole-page fetch, then apply the
+					// covered tail on top.
+					w.home = n.homeOf(pg.id)
+				} else {
+					// Never materialized here: the node still holds the
+					// page's complete notice history, so zeros (the
+					// allocation contents) plus the covered history applied
+					// in causal order is exactly the floor contents.
+					pg.data = make([]byte, PageSize)
+				}
 			}
-			work = append(work, pageWork{pg: pg, fetch: covered})
+			work = append(work, w)
+			if w.home >= 0 {
+				refetches++
+			}
 		} else {
-			n.gcFlushPageLocked(pg, retire)
+			n.gcFlushPageLocked(pg, flushVC)
 		}
 	}
 	if len(work) == 0 {
 		return
 	}
 
+	n.mu.Unlock() // --- network section: servers may run meanwhile ---
+
+	// Whole-page refetches first, as one parallel wave of their own: the
+	// reply queue routes by message type alone, so every page reply must
+	// drain before the first diff request goes out (cf. faultInLocked).
+	if refetches > 0 {
+		for _, w := range work {
+			if w.home < 0 {
+				continue
+			}
+			var req wbuf
+			req.u32(uint32(w.pg.id))
+			n.ep.SendAt(w.home, msgPageReq, network.ClassRequest, req.b, c.clk.Now())
+		}
+		contents := make(map[PageID][]byte, refetches)
+		for i := 0; i < refetches; i++ {
+			rep := c.recvReply(msgPageRep, 0)
+			r := rbuf{b: rep.Payload}
+			contents[PageID(r.u32())] = r.bytes()
+		}
+		n.mu.Lock()
+		for _, w := range work {
+			if w.home < 0 {
+				continue
+			}
+			data, ok := contents[w.pg.id]
+			if !ok {
+				panic(fmt.Sprintf("dsm: GC refetch missing page %d", w.pg.id))
+			}
+			w.pg.data = data
+			w.pg.refetch = false
+			n.stats.PageFetches++
+		}
+		n.mu.Unlock()
+	}
+
 	// Issue every batched diff request back to back, then collect all
 	// replies; virtual time advances to the latest arrival, modelling
 	// the parallel validation sweep.
+	n.mu.Lock()
 	requests := 0
 	for _, w := range work {
 		requests += c.sendDiffRequests(w.pg.id, w.fetch)
 	}
+	n.mu.Unlock()
 
-	n.mu.Unlock()                                    // --- network section: servers may run meanwhile ---
 	diffs := make(map[PageID]map[int]map[int][]byte) // page -> creator -> seq -> diff
 	for i := 0; i < requests; i++ {
 		pid, from, bySeq := c.recvDiffReply()

@@ -1,0 +1,135 @@
+package dsm
+
+import "testing"
+
+// homePinWorkload is a fully deterministic barrier/fault kernel used to
+// pin wire traffic byte-for-byte: every node writes its own pages each
+// round and reads every peer's page after the barrier, so each round
+// produces a fixed set of page fetches, diff fetches, and barrier
+// messages, and the barrier/fork collector purges on every episode. The
+// acquire source stays off (its push rounds depend on goroutine timing);
+// everything that remains is program-ordered and timing-independent.
+func homePinWorkload(t *testing.T, cfg Config) (msgs, bytes int64) {
+	t.Helper()
+	procs := cfg.Procs
+	const rounds = 6
+	sys := New(cfg)
+	arr := sys.MallocPage(procs * PageSize)
+	if err := sys.Run(func(n *Node) {
+		sys.Register("pin", func(n *Node, _ []byte) {
+			me := n.ID()
+			for r := 0; r < rounds; r++ {
+				n.WriteI64(arr+Addr(me*PageSize+8*(r%8)), int64(r*100+me))
+				n.Barrier()
+				for j := 0; j < procs; j++ {
+					if got := n.ReadI64(arr + Addr(j*PageSize+8*(r%8))); got != int64(r*100+j) {
+						t.Errorf("node %d round %d slot %d = %d", me, r, j, got)
+					}
+				}
+				n.Barrier()
+			}
+		})
+		n.RunParallel("pin", nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Switch().Stats().Snapshot()
+}
+
+// TestHomeNode0DegeneratePin asserts that HomePolicyNode0 reproduces the
+// pre-sharding protocol byte for byte: the traffic constants below were
+// captured on the revision where node 0 was hard-coded as the allocator,
+// sole page server, flat barrier manager, and GC validate-first node.
+// Any drift means the degenerate configuration is no longer the old
+// protocol and the sharding refactor changed ≤8-processor behaviour.
+func TestHomeNode0DegeneratePin(t *testing.T) {
+	for _, tt := range []struct {
+		policy GCPolicy
+		msgs   int64
+		bytes  int64
+	}{
+		{GCPolicyFlush, 875, 1294517},
+		{GCPolicyValidateHot, 875, 696521},
+	} {
+		msgs, bytes := homePinWorkload(t, Config{
+			Procs:      8,
+			GCPressure: -1,
+			GCPolicy:   tt.policy,
+			HomePolicy: HomePolicyNode0,
+		})
+		if msgs != tt.msgs || bytes != tt.bytes {
+			t.Errorf("policy %v: msgs=%d bytes=%d, want msgs=%d bytes=%d (degenerate node-0 homes drifted from the pre-sharding protocol)",
+				tt.policy, msgs, bytes, tt.msgs, tt.bytes)
+		}
+	}
+}
+
+// TestHomePoliciesAgree runs the pin workload under every home policy and
+// checks the program-visible outcome is identical (the workload asserts
+// every read internally); traffic may differ — sharded homes move first
+// copies and refetch bases — but correctness may not.
+func TestHomePoliciesAgree(t *testing.T) {
+	for _, hp := range []HomePolicy{HomePolicyBlockCyclic, HomePolicyNode0, HomePolicyFirstTouch} {
+		for _, pol := range []GCPolicy{GCPolicyFlush, GCPolicyValidateHot, GCPolicyAdaptive} {
+			homePinWorkload(t, Config{Procs: 8, GCPressure: -1, GCPolicy: pol, HomePolicy: hp})
+		}
+	}
+}
+
+// TestHomeOfPolicies pins the home-assignment arithmetic.
+func TestHomeOfPolicies(t *testing.T) {
+	bc := newHomeTable(HomePolicyBlockCyclic, 4, 64)
+	for pid := 0; pid < 64; pid++ {
+		want := (pid / HomeBlockPages) % 4
+		if got := bc.homeOf(PageID(pid)); got != want {
+			t.Fatalf("block-cyclic home of page %d = %d, want %d", pid, got, want)
+		}
+		if got := bc.claim(PageID(pid), 3); got != want {
+			t.Fatalf("block-cyclic claim is not a no-op: page %d -> %d, want %d", pid, got, want)
+		}
+	}
+	n0 := newHomeTable(HomePolicyNode0, 4, 64)
+	for pid := 0; pid < 64; pid += 7 {
+		if got := n0.homeOf(PageID(pid)); got != 0 {
+			t.Fatalf("node0 home of page %d = %d", pid, got)
+		}
+	}
+	ft := newHomeTable(HomePolicyFirstTouch, 4, 64)
+	if got := ft.homeOf(3); got != -1 {
+		t.Fatalf("unclaimed first-touch page has home %d, want -1", got)
+	}
+	if got := ft.claim(3, 2); got != 2 {
+		t.Fatalf("first claim of page 3 -> %d, want 2", got)
+	}
+	if got := ft.claim(3, 1); got != 2 {
+		t.Fatalf("second claim of page 3 -> %d, want winner 2", got)
+	}
+	if got := ft.homeOf(3); got != 2 {
+		t.Fatalf("claimed first-touch page has home %d, want 2", got)
+	}
+}
+
+// TestHomePolicyParse pins the knob spellings.
+func TestHomePolicyParse(t *testing.T) {
+	for _, tt := range []struct {
+		in   string
+		want HomePolicy
+		ok   bool
+	}{
+		{"", HomePolicyDefault, true},
+		{"default", HomePolicyDefault, true},
+		{"block-cyclic", HomePolicyBlockCyclic, true},
+		{"node0", HomePolicyNode0, true},
+		{"first-touch", HomePolicyFirstTouch, true},
+		{"node-0", HomePolicyDefault, false},
+		{"cyclic", HomePolicyDefault, false},
+	} {
+		got, err := ParseHomePolicy(tt.in)
+		if tt.ok != (err == nil) || got != tt.want {
+			t.Errorf("ParseHomePolicy(%q) = %v, %v; want %v, ok=%v", tt.in, got, err, tt.want, tt.ok)
+		}
+		if tt.ok && got.String() != tt.in && tt.in != "" {
+			t.Errorf("round trip %q -> %q", tt.in, got.String())
+		}
+	}
+}

@@ -58,7 +58,7 @@ type Node struct {
 	semas map[int]*semaState
 	conds map[int]*condQueue
 
-	barrier *barrierMgr // node 0 only
+	barrier *barrierMgr // nodes with combining-tree children only (see barrier.go)
 
 	forkCh chan *network.Message // slave: pending fork/exit commands
 	joinCh chan *network.Message // master: pending join notifications
@@ -182,9 +182,10 @@ func (n *Node) pageFor(pid PageID) *page {
 	pg := n.pages[pid]
 	if pg == nil {
 		pg = &page{id: pid, hotSeq: -1, lastOwnSeq: -1}
-		if n.id == 0 {
-			// Node 0 is the allocator and initial owner of every page:
-			// its copy materializes as zeros, matching Tmk_malloc.
+		if n.isHome(pid) {
+			// The page's home is its allocator and initial owner: its copy
+			// materializes as zeros, matching Tmk_malloc. (Under the first-
+			// touch policy this call claims the page.)
 			pg.data = make([]byte, PageSize)
 			pg.state = pageReadOnly
 		}
@@ -517,7 +518,7 @@ func sortCausal(ivls []*interval) {
 }
 
 // faultInLocked performs one round of the page-fault protocol: fetch the
-// initial copy from node 0 if the page was never materialized, fetch all
+// initial copy from the page's home if it was never materialized, fetch all
 // missing diffs from their creators in parallel, and apply them in a
 // topological order of the happens-before relation. n.mu is released
 // while requests are in flight; the loop in ensure*Locked re-checks state
@@ -542,7 +543,7 @@ func (c *Client) faultInLocked(pg *page) {
 		return // resolved while we waited for the fetch lock
 	}
 
-	if pg.data == nil && n.id == 0 {
+	if pg.data == nil && n.isHome(pg.id) {
 		pg.data = make([]byte, PageSize)
 		if pg.state == pageInvalid && len(pg.missing) == 0 {
 			pg.state = pageReadOnly
@@ -563,7 +564,10 @@ func (c *Client) faultInLocked(pg *page) {
 	// more than a page.
 	const squashMin = 4
 	squashEnabled := (needPage && debugSquash&1 != 0) || (!needPage && debugSquash&2 != 0)
-	pageSource := 0
+	// First copies come from the page's home (which materializes zeros on
+	// demand); a squash below may redirect the whole-page transfer to an
+	// interval creator whose copy subsumes the chain.
+	pageSource := n.homeOf(pg.id)
 	resolved := fetch // which notices this round settles
 	squashed := false
 	if squashEnabled && len(fetch) > 0 && (needPage || len(fetch) >= squashMin) {
@@ -633,8 +637,12 @@ func (c *Client) faultInLocked(pg *page) {
 
 	if needPage && (pg.data == nil || squashed) {
 		// A squashed fetch deliberately replaces stale local content: the
-		// source's copy reflects everything this node had observed.
+		// source's copy reflects everything this node had observed (squash
+		// precondition), as does the home's (the flush gate held when any
+		// covered notice was dropped) — either way the whole-page base
+		// repairs a flush-truncated notice history.
 		pg.data = pageContent
+		pg.refetch = false
 	}
 
 	// Apply in a linearization of happens-before.

@@ -36,8 +36,8 @@ type page struct {
 	state pageState
 
 	// data is the node's private copy; nil until first materialized
-	// (node 0, the allocator, materializes zero pages on demand; other
-	// nodes fetch their first copy from node 0).
+	// (the page's HOME — see home.go — materializes zero pages on
+	// demand; every other node fetches its first copy from the home).
 	data []byte
 
 	// twin is a snapshot of data taken at the first write of an interval,
@@ -87,6 +87,13 @@ type page struct {
 	// pages that may hold missing notices or twins, so a collection
 	// epoch walks only candidates instead of the whole page table.
 	inGCList bool
+
+	// refetch marks a copy whose notice history is incomplete: a GC flush
+	// dropped covered notices this node no longer holds, so the page can
+	// only be rebuilt from a whole-page fetch of the home's validated
+	// copy — never from a zeros base. Set by gcFlushPageLocked, cleared
+	// when a whole-page fetch lands (fault or GC refetch wave).
+	refetch bool
 }
 
 // makeDiff computes the word-granularity (4-byte) delta between data and

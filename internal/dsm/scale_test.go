@@ -1,0 +1,146 @@
+package dsm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestScale128AcquireGCPushes drives the lock/semaphore ring at 128 nodes
+// with the acquire collector under pressure: a GC consensus round here
+// pushes deltas to up to 127 quiet peers through TrySendAt, so the run
+// completing with correct contents (the fixture asserts them) is the
+// convergence claim — the drop-and-retry pacing must make progress against
+// the scaled queue bound rather than livelocking the consensus floor.
+func TestScale128AcquireGCPushes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-node ring is slow under -short")
+	}
+	sys := acqRingWorkload(t, Config{Procs: 128, GCPressure: 64}, 12)
+	st := sys.TotalStats()
+	if st.GCAcqEpochs == 0 {
+		t.Error("no acquire epochs processed at 128 nodes")
+	}
+	if st.GCSyncPushes == 0 {
+		t.Error("no consensus pushes at 128 nodes: the push path was not exercised")
+	}
+	if st.IntervalsRetired == 0 {
+		t.Error("acquire epochs retired nothing at 128 nodes")
+	}
+}
+
+// TestScaleTreeBarrierCorrectness runs a neighbor-exchange kernel across
+// node counts that force every tree shape the combining barrier can take —
+// flat (≤ fan-in+1), two levels, three levels at 128 — and with a narrow
+// fan-in that forces depth at small node counts. Every node writes its own
+// page each round and reads both ring neighbors after the barrier, so a
+// departure wave that misses an arrival's delta shows up as a stale read.
+func TestScaleTreeBarrierCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-team barrier sweep is slow under -short")
+	}
+	for _, tt := range []struct{ procs, fanin int }{
+		{16, 0},  // two levels at the default fan-in
+		{16, 2},  // binary tree, four levels
+		{32, 0},  // two levels, uneven leaf row
+		{64, 0},  // two full levels
+		{128, 0}, // three levels
+	} {
+		tt := tt
+		t.Run(fmt.Sprintf("p%d_f%d", tt.procs, tt.fanin), func(t *testing.T) {
+			t.Parallel()
+			const rounds = 4
+			sys := New(Config{Procs: tt.procs, BarrierFanin: tt.fanin})
+			arr := sys.MallocPage(tt.procs * PageSize)
+			sys.Register("ring", func(n *Node, _ []byte) {
+				me := n.ID()
+				for r := 0; r < rounds; r++ {
+					n.WriteI64(arr+Addr(me*PageSize), int64(r*1000+me))
+					n.Barrier()
+					for _, o := range []int{(me + 1) % tt.procs, (me + tt.procs - 1) % tt.procs} {
+						if got := n.ReadI64(arr + Addr(o*PageSize)); got != int64(r*1000+o) {
+							t.Errorf("node %d round %d read neighbor %d = %d, want %d",
+								me, r, o, got, r*1000+o)
+						}
+					}
+					n.Barrier()
+				}
+			})
+			if err := sys.Run(func(n *Node) { n.RunParallel("ring", nil) }); err != nil {
+				t.Fatal(err)
+			}
+			if got := sys.Node(0).Stats().Barriers; got != 2*rounds {
+				t.Errorf("node 0 ran %d barriers, want %d", got, 2*rounds)
+			}
+		})
+	}
+}
+
+// TestTrafficBreakdownSums checks the cost-attribution split on a run
+// that exercises all three categories: the per-category pairs must sum
+// back to the switch totals, and a lock/semaphore workload with the
+// acquire collector on must show traffic in every category.
+func TestTrafficBreakdownSums(t *testing.T) {
+	sys := acqRingWorkload(t, Config{Procs: 4, GCPressure: 16}, 48)
+	b := sys.TrafficBreakdown()
+	msgs, bytes := sys.Switch().Stats().Snapshot()
+	if tm, tb := b.Total(); tm != msgs || tb != bytes {
+		t.Errorf("breakdown total %d msgs / %d bytes, switch %d / %d", tm, tb, msgs, bytes)
+	}
+	if b.PageMsgs == 0 || b.SyncMsgs == 0 || b.GCMsgs == 0 {
+		t.Errorf("expected traffic in every category, got %+v", b)
+	}
+	if b.PageBytes == 0 || b.SyncBytes == 0 || b.GCBytes == 0 {
+		t.Errorf("expected bytes in every category, got %+v", b)
+	}
+}
+
+// TestBarrierTreeShape pins the combining-tree arithmetic: the heap
+// parent/child relations, the degenerate flat shape at fan-in ≥ procs-1,
+// and the arrival-buffer sizing that must hold up at 128 nodes (satellite
+// of the >8-node scaling work: the old flat manager buffered 4*procs
+// arrivals; the tree buffers per-child).
+func TestBarrierTreeShape(t *testing.T) {
+	if got := barrierChildren(0, 9, 8); len(got) != 8 {
+		t.Errorf("root of a 9-proc fan-in-8 tree has %d children, want 8 (flat degenerate)", len(got))
+	}
+	for i := 1; i < 9; i++ {
+		if k := barrierChildren(i, 9, 8); len(k) != 0 {
+			t.Errorf("node %d of the flat degenerate tree has children %v", i, k)
+		}
+		if p := barrierParent(i, 8); p != 0 {
+			t.Errorf("node %d of the flat degenerate tree has parent %d", i, p)
+		}
+	}
+	// 128 nodes at fan-in 8: root feeds 1..8, node 1 feeds 9..16, the last
+	// interior node is 15 (children 121..127).
+	if got := barrierChildren(1, 128, 8); len(got) != 8 || got[0] != 9 || got[7] != 16 {
+		t.Errorf("node 1 children = %v", got)
+	}
+	if got := barrierChildren(15, 128, 8); len(got) != 7 || got[0] != 121 || got[6] != 127 {
+		t.Errorf("node 15 children = %v", got)
+	}
+	if got := barrierChildren(16, 128, 8); len(got) != 0 {
+		t.Errorf("node 16 should be a leaf, has children %v", got)
+	}
+	if p := barrierParent(127, 8); p != 15 {
+		t.Errorf("parent of node 127 = %d, want 15", p)
+	}
+	// Every node except the root appears in exactly one child list.
+	seen := make(map[int]int)
+	for i := 0; i < 128; i++ {
+		for _, c := range barrierChildren(i, 128, 8) {
+			seen[c]++
+		}
+	}
+	if len(seen) != 127 {
+		t.Fatalf("child lists cover %d nodes, want 127", len(seen))
+	}
+	for c, k := range seen {
+		if k != 1 {
+			t.Errorf("node %d appears in %d child lists", c, k)
+		}
+		if barrierParent(c, 8)*8+1 > c || c > barrierParent(c, 8)*8+8 {
+			t.Errorf("node %d disagrees with its parent %d", c, barrierParent(c, 8))
+		}
+	}
+}

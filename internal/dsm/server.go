@@ -86,8 +86,8 @@ func (n *Node) incorporateWire(r *rbuf, from int) VectorClock {
 	return senderVC
 }
 
-// handlePageReq serves a first-copy request. Node 0 (the allocator) is the
-// initial owner of every page; its current content is a correct base for
+// handlePageReq serves a first-copy request. The page's home is its
+// allocator and initial owner; its current content is a correct base for
 // the requester, which then applies every diff named by its own missing
 // write notices (see DESIGN.md for the argument).
 func (n *Node) handlePageReq(m *network.Message) {
@@ -97,10 +97,10 @@ func (n *Node) handlePageReq(m *network.Message) {
 	n.chargeInterruptLocked()
 	pg := n.pageFor(pid)
 	if pg.data == nil {
-		if n.id != 0 {
-			// Only the allocator may materialize fresh zero pages;
+		if !n.isHome(pid) {
+			// Only the page's home may materialize fresh zero pages;
 			// squashed fetches always target a node that wrote the page.
-			panic(fmt.Sprintf("dsm: node %d asked for page %d it never held", n.id, pid))
+			panic(fmt.Sprintf("dsm: node %d asked for page %d it never held (home %d)", n.id, pid, n.homeOf(pid)))
 		}
 		pg.data = make([]byte, PageSize)
 		if pg.state == pageInvalid && len(pg.missing) == 0 {

@@ -23,8 +23,8 @@ const (
 	msgCondWaitAck              // manager → app: wait registered (see CondWait)
 	msgCondSignal               // app → lock manager: wake one waiter
 	msgCondBroadcast            // app → lock manager: wake all waiters
-	msgPageReq                  // app → node 0: first copy of a page
-	msgPageRep                  // node 0 → app: page contents
+	msgPageReq                  // app → page home: first copy of a page
+	msgPageRep                  // home → app: page contents
 	msgDiffReq                  // app → interval creator: batched diff request
 	msgDiffRep                  // creator → app: requested diffs
 	msgFlush                    // app → every node: pushed write notices (ablation)
@@ -77,6 +77,17 @@ type Config struct {
 	// sources). The zero value defers to the package default (flush,
 	// overridable with SetGCPolicyDefault).
 	GCPolicy GCPolicy
+	// HomePolicy selects how initial page ownership is sharded across
+	// nodes (see home.go). The zero value defers to the package default
+	// (block-cyclic); HomePolicyNode0 restores the pre-sharding layout
+	// byte for byte.
+	HomePolicy HomePolicy
+	// BarrierFanin is the fan-in of the combining-tree barrier: each
+	// interior node gathers this many children before passing the
+	// combined arrival up (see barrier.go). 0 uses DefaultBarrierFanin
+	// (8), which makes the tree exactly the old flat manager for runs of
+	// at most 9 nodes.
+	BarrierFanin int
 	// MultiClient lets several application threads share each node (the
 	// NOW-of-SMPs configuration: every node is an SMP island's protocol
 	// delegate). It starts a reply router per node so tagged grants and
@@ -93,8 +104,11 @@ type System struct {
 	nodes     []*Node
 	heapBytes int
 	gcOn      bool
-	gcPolicy  GCPolicy  // resolved purge policy (never GCPolicyDefault)
-	acq       *acqCoord // acquire-epoch coordinator; nil when disabled
+	gcPolicy  GCPolicy    // resolved purge policy (never GCPolicyDefault)
+	acq       *acqCoord   // acquire-epoch coordinator; nil when disabled
+	homes     *homeTable  // page → home resolution (see home.go)
+	purged    *homePurged // per-node purge-floor registry (flush gate)
+	fanin     int         // resolved barrier tree fan-in
 
 	regionsMu sync.Mutex
 	regions   map[string]RegionFunc
@@ -142,14 +156,32 @@ func New(cfg Config) *System {
 	if s.gcPolicy == GCPolicyDefault {
 		s.gcPolicy = gcDefaultPolicy
 	}
+	homePolicy := cfg.HomePolicy
+	if homePolicy == HomePolicyDefault {
+		homePolicy = HomePolicyBlockCyclic
+	}
+	npages := cfg.HeapBytes / PageSize
+	s.homes = newHomeTable(homePolicy, cfg.Procs, npages)
+	s.purged = newHomePurged(cfg.Procs)
+	s.fanin = cfg.BarrierFanin
+	if s.fanin <= 0 {
+		s.fanin = DefaultBarrierFanin
+	}
 	pressure := cfg.GCPressure
 	if pressure == 0 {
 		pressure = gcDefaultPressure
 	}
 	if s.gcOn && pressure > 0 {
-		s.acq = newAcqCoord(cfg.Procs, pressure)
+		// Under node-0 homes the coordinator keeps the historical node-0-
+		// first purge ordering (gate 0); sharded homes gate flushes per
+		// page through the purge registry instead, so any node may be
+		// handed a pending floor immediately.
+		gate := -1
+		if homePolicy == HomePolicyNode0 {
+			gate = 0
+		}
+		s.acq = newAcqCoord(cfg.Procs, pressure, gate)
 	}
-	npages := cfg.HeapBytes / PageSize
 	for i := 0; i < cfg.Procs; i++ {
 		n := &Node{
 			sys:       s,
@@ -181,7 +213,14 @@ func New(cfg Config) *System {
 		}
 		s.nodes = append(s.nodes, n)
 	}
-	s.nodes[0].barrier = newBarrierMgr(cfg.Procs)
+	// Combining-tree barrier: every node with children in the fan-in-ary
+	// heap gets an arrival buffer (at fan-in ≥ procs-1 only node 0 has
+	// children and the tree IS the old flat manager).
+	for _, n := range s.nodes {
+		if k := len(barrierChildren(n.id, cfg.Procs, s.fanin)); k > 0 {
+			n.barrier = newBarrierMgr(k)
+		}
+	}
 	for _, n := range s.nodes {
 		s.serverWG.Add(1)
 		go func(n *Node) {
@@ -205,6 +244,44 @@ func (s *System) Platform() *sim.Platform { return s.plat }
 
 // Switch exposes the interconnect (for statistics).
 func (s *System) Switch() *network.Switch { return s.sw }
+
+// TrafficBreakdown splits one run's interconnect traffic into the three
+// protocol cost categories the scaling study attributes walls to: page
+// service (whole-page fetches from homes plus diff requests to interval
+// creators), synchronization fan-in (locks, barriers, semaphores,
+// condition variables, fork/join, and the flush ablation), and the GC
+// consensus floor (acqgc.go's pushes to quiet nodes).
+type TrafficBreakdown struct {
+	PageMsgs, PageBytes int64
+	SyncMsgs, SyncBytes int64
+	GCMsgs, GCBytes     int64
+}
+
+// Total returns the breakdown summed back into run totals (equal to the
+// switch's Snapshot over the same window).
+func (t TrafficBreakdown) Total() (messages, bytes int64) {
+	return t.PageMsgs + t.SyncMsgs + t.GCMsgs,
+		t.PageBytes + t.SyncBytes + t.GCBytes
+}
+
+// TrafficBreakdown categorizes the switch's per-message-type counters.
+// Synchronization is the residue, so the three categories always sum to
+// the switch totals even if a new message type is added without updating
+// the category lists here.
+func (s *System) TrafficBreakdown() TrafficBreakdown {
+	var b TrafficBreakdown
+	st := s.sw.Stats()
+	for _, typ := range []int{msgPageReq, msgPageRep, msgDiffReq, msgDiffRep} {
+		m, by := st.ByType(typ)
+		b.PageMsgs += m
+		b.PageBytes += by
+	}
+	b.GCMsgs, b.GCBytes = st.ByType(msgGCSync)
+	msgs, bytes := st.Snapshot()
+	b.SyncMsgs = msgs - b.PageMsgs - b.GCMsgs
+	b.SyncBytes = bytes - b.PageBytes - b.GCBytes
+	return b
+}
 
 // Done is closed when the system aborts or shuts down; external worker
 // threads (a hybrid backend's island teams) select on it so they unwind

@@ -10,6 +10,14 @@ package harness
 // paper's full machine (8 workstations) and the powers of two below it.
 var EquivalenceProcs = []int{1, 2, 4, 8}
 
+// EquivalenceSmokeProcs extends the grid past the paper's machine for
+// the smoke rows of the scaling work: with homes sharded across nodes
+// and the barrier a combining tree, the core implementations must still
+// reproduce the sequential checksum at 16 and 32 workstations (at
+// reduced app scale — the full grid at these sizes would dominate the
+// suite's runtime).
+var EquivalenceSmokeProcs = []int{16, 32}
+
 // CheckEquivalence runs one implementation of one application at the
 // given processor count and verifies its checksum against the (memoized)
 // sequential oracle. It is the single helper behind the equivalence

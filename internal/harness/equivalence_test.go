@@ -26,6 +26,29 @@ func TestCrossImplementationEquivalence(t *testing.T) {
 	}
 }
 
+// TestEquivalenceBeyondPaperScale is the >8-node smoke of the
+// equivalence suite: every application's core implementations (the
+// OpenMP source on the NOW and SMP backends, and hand-coded TreadMarks)
+// must reproduce the sequential checksum at 16 and 32 workstations.
+// The three DSM-backed impls are the ones the sharded homes and tree
+// barrier touch; MPI and the hybrid island sweep stay on the 8-proc grid.
+func TestEquivalenceBeyondPaperScale(t *testing.T) {
+	for _, a := range Apps {
+		for _, impl := range []Impl{OMP, OMPSMP, Tmk} {
+			for _, procs := range EquivalenceSmokeProcs {
+				a, impl, procs := a, impl, procs
+				name := fmt.Sprintf("%s/%s/p%d", a.Name, impl, procs)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					if err := CheckEquivalence(a, Test, impl, procs); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestHybridEquivalenceAcrossIslands extends the suite along the hybrid
 // backend's island axis: every application must reproduce the sequential
 // checksum at procs ∈ EquivalenceProcs for islands ∈ {1, 2} (the plain

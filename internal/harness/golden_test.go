@@ -85,6 +85,9 @@ func TestConcurrentGridOutputByteIdentical(t *testing.T) {
 		if err := SpeedupSweep(&buf, Test, []int{1, 2, 4, 8}); err != nil {
 			t.Fatal(err)
 		}
+		if err := TableScaling(&buf, Test, []int{8, 16, 32}); err != nil {
+			t.Fatal(err)
+		}
 		return buf.String()
 	}
 

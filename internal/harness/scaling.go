@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"io"
+
+	"repro/internal/apps"
+)
+
+// The >8-node scaling study. The paper stops at its 8-workstation
+// testbed; with homes sharded across nodes and the tree barrier in place
+// the simulated NOW runs far past that, and the interesting question
+// becomes where each application's speedup stops and which protocol cost
+// is binding when it does. The per-category traffic split
+// (dsm.TrafficBreakdown, carried on apps.Result) is what lets the table
+// name the culprit instead of guessing.
+
+// ScalingProcs is the machine-size axis of the scaling study: the
+// paper's full 8-workstation NOW and the powers of two beyond it.
+var ScalingProcs = []int{8, 16, 32, 64, 128}
+
+// scalingShares computes each protocol cost category's share of a run's
+// interconnect bytes (in percent) and names the binding category — the
+// one paying the most bytes. Runs with no categorized traffic (hardware
+// shared memory, or synthetic test cells) report "-".
+func scalingShares(r apps.Result) (page, sync, gc float64, binding string) {
+	total := r.PageBytes + r.SyncBytes + r.GCBytes
+	if total == 0 {
+		return 0, 0, 0, "-"
+	}
+	page = 100 * float64(r.PageBytes) / float64(total)
+	sync = 100 * float64(r.SyncBytes) / float64(total)
+	gc = 100 * float64(r.GCBytes) / float64(total)
+	binding, max := "page", r.PageBytes
+	if r.SyncBytes > max {
+		binding, max = "sync", r.SyncBytes
+	}
+	if r.GCBytes > max {
+		binding = "gc"
+	}
+	return page, sync, gc, binding
+}
+
+// TableScaling prints the scaling-wall study: for every application, the
+// OpenMP/NOW speedup at each machine size in procsList, the byte share
+// of each protocol cost category (page service / synchronization fan-in
+// / GC consensus), and which category is binding there. The wall line
+// names the first size that no longer improves on the previous one —
+// the machine size past which adding workstations buys nothing.
+func TableScaling(w io.Writer, s Scale, procsList []int) error {
+	cells := make([]cellKey, 0, len(Apps)*(1+len(procsList)))
+	for _, a := range Apps {
+		cells = append(cells, cellKey{App: a.Name, Impl: Seq})
+		for _, p := range procsList {
+			cells = append(cells, cellKey{App: a.Name, Impl: OMP, Procs: p})
+		}
+	}
+	got := computeCells(s, cells)
+
+	fprintf(w, "Scaling wall: OpenMP on the NOW past the paper's 8 workstations.\n")
+	fprintf(w, "Per machine size: speedup over sequential, each protocol cost's\n")
+	fprintf(w, "share of interconnect bytes (page service / synchronization\n")
+	fprintf(w, "fan-in / GC consensus), and the binding cost; the wall is the\n")
+	fprintf(w, "first size that no longer improves on the previous one.\n\n")
+	fprintf(w, "%-10s %6s %8s %7s %7s %7s  %-8s\n",
+		"App", "procs", "speedup", "page%", "sync%", "gc%", "binding")
+	for _, a := range Apps {
+		seq := got[cellKey{App: a.Name, Impl: Seq}]
+		if seq.Err != nil {
+			return seq.Err
+		}
+		wall := 0
+		prev := 0.0
+		for i, p := range procsList {
+			c := got[cellKey{App: a.Name, Impl: OMP, Procs: p}]
+			if c.Err != nil {
+				return c.Err
+			}
+			sp := seq.Res.Time.Seconds() / c.Res.Time.Seconds()
+			page, sync, gc, binding := scalingShares(c.Res)
+			name := a.Name
+			if i > 0 {
+				name = ""
+			}
+			fprintf(w, "%-10s %6d %8.2f %7.1f %7.1f %7.1f  %-8s\n",
+				name, p, sp, page, sync, gc, binding)
+			if wall == 0 && i > 0 && sp <= prev {
+				wall = p
+			}
+			prev = sp
+		}
+		if wall > 0 {
+			fprintf(w, "%-10s %6s wall at %d procs\n", "", "", wall)
+		} else {
+			fprintf(w, "%-10s %6s no wall up to %d procs\n", "", "", procsList[len(procsList)-1])
+		}
+	}
+	return nil
+}

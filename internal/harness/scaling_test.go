@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScalingSmoke runs the scaling-wall study for real on every
+// application at reduced app scale and machine sizes 8 and 16: the first
+// >8-node coverage of the whole Table 1 set. Each 16-node run must
+// verify against the sequential oracle (TableScaling cells go through
+// Verified) and must attribute its interconnect bytes to a binding
+// protocol cost — the categorized split has to cover real traffic, not
+// just sum to zero.
+func TestScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-node runs of all seven apps are slow under -short")
+	}
+	var buf bytes.Buffer
+	if err := TableScaling(&buf, Test, []int{8, 16}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, a := range Apps {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("scaling table missing app %s", a.Name)
+		}
+	}
+	for _, a := range Apps {
+		for _, p := range []int{8, 16} {
+			res, err := cachedVerified(a, Test, OMP, p)
+			if err != nil {
+				t.Fatalf("%s at %d procs: %v", a.Name, p, err)
+			}
+			if res.PageBytes == 0 || res.SyncBytes == 0 {
+				t.Errorf("%s at %d procs: uncategorized traffic (page %d, sync %d bytes)",
+					a.Name, p, res.PageBytes, res.SyncBytes)
+			}
+			if gotM, gotB := res.PageMsgs+res.SyncMsgs+res.GCMsgs, res.PageBytes+res.SyncBytes+res.GCBytes; gotM != res.Messages || gotB != res.Bytes {
+				t.Errorf("%s at %d procs: categories sum to %d msgs / %d bytes, run counted %d / %d",
+					a.Name, p, gotM, gotB, res.Messages, res.Bytes)
+			}
+			_, _, _, binding := scalingShares(res)
+			if binding == "-" {
+				t.Errorf("%s at %d procs: no binding cost attributed", a.Name, p)
+			}
+		}
+	}
+}

@@ -45,16 +45,36 @@ type Message struct {
 	Arrive sim.Time // virtual time at which it reaches the receiver
 }
 
+// MaxType bounds the protocol message-type space the per-type counters
+// track. Types at or above it are still delivered and counted in the
+// totals; only their per-type attribution is folded into slot 0.
+const MaxType = 32
+
 // Stats accumulates traffic totals for one run. All fields are updated
 // atomically and may be read while the run is in flight.
 type Stats struct {
 	Messages atomic.Int64
 	Bytes    atomic.Int64
+
+	// Per-message-type counters, indexed by the protocol's type tag: the
+	// raw material for cost attribution (page service vs synchronization
+	// vs GC consensus) in the scaling tables. The network layer does not
+	// interpret the tags; the protocol maps them to categories.
+	typeMsgs  [MaxType]atomic.Int64
+	typeBytes [MaxType]atomic.Int64
 }
 
 // Snapshot returns the current totals.
 func (s *Stats) Snapshot() (messages, bytes int64) {
 	return s.Messages.Load(), s.Bytes.Load()
+}
+
+// ByType returns the totals recorded against one protocol message type.
+func (s *Stats) ByType(typ int) (messages, bytes int64) {
+	if typ < 0 || typ >= MaxType {
+		typ = 0
+	}
+	return s.typeMsgs[typ].Load(), s.typeBytes[typ].Load()
 }
 
 // Switch connects n endpoints with a shared wire profile.
@@ -68,16 +88,27 @@ type Switch struct {
 // queueDepth bounds in-flight messages per (node, class). It only provides
 // backpressure against runaway senders; the protocols in this repository
 // never deadlock on it because requests are always drained by a dedicated
-// server goroutine.
-const queueDepth = 4096
+// server goroutine. The bound must grow with the node count: a GC
+// consensus round can push one delta to every peer in a burst, and at 128
+// nodes several concurrent rounds aimed at one quiet node would otherwise
+// exhaust a fixed-depth queue and leave TrySendAt's drop-and-retry pacing
+// livelocked behind a never-draining floor (see TestSwitchScalesQueues).
+const minQueueDepth = 4096
+
+func queueDepth(n int) int {
+	if d := 32 * n; d > minQueueDepth {
+		return d
+	}
+	return minQueueDepth
+}
 
 // NewSwitch creates a switch for n endpoints using the given wire profile.
 func NewSwitch(n int, profile sim.WireProfile) *Switch {
 	sw := &Switch{n: n, profile: profile}
 	sw.inboxes = make([][2]chan *Message, n)
 	for i := range sw.inboxes {
-		sw.inboxes[i][0] = make(chan *Message, queueDepth)
-		sw.inboxes[i][1] = make(chan *Message, queueDepth)
+		sw.inboxes[i][0] = make(chan *Message, queueDepth(n))
+		sw.inboxes[i][1] = make(chan *Message, queueDepth(n))
 	}
 	return sw
 }
@@ -96,6 +127,10 @@ func (s *Switch) Stats() *Stats { return &s.stats }
 func (s *Switch) ResetStats() {
 	s.stats.Messages.Store(0)
 	s.stats.Bytes.Store(0)
+	for i := 0; i < MaxType; i++ {
+		s.stats.typeMsgs[i].Store(0)
+		s.stats.typeBytes[i].Store(0)
+	}
 }
 
 // Endpoint returns node id's attachment to the switch. The clock is the
@@ -134,7 +169,7 @@ func (e *Endpoint) Send(to, typ int, class Class, payload []byte) {
 func (e *Endpoint) SendAt(to, typ int, class Class, payload []byte, at sim.Time) {
 	m := e.build(to, typ, class, payload, at)
 	e.sw.inboxes[to][m.Class] <- m
-	e.count(payload)
+	e.count(typ, payload)
 }
 
 // build assembles one stamped message (shared by the blocking and
@@ -155,9 +190,15 @@ func (e *Endpoint) build(to, typ int, class Class, payload []byte, at sim.Time) 
 }
 
 // count records one delivered message in the traffic totals.
-func (e *Endpoint) count(payload []byte) {
+func (e *Endpoint) count(typ int, payload []byte) {
+	bytes := int64(len(payload) + e.sw.profile.HeaderBytes)
 	e.sw.stats.Messages.Add(1)
-	e.sw.stats.Bytes.Add(int64(len(payload) + e.sw.profile.HeaderBytes))
+	e.sw.stats.Bytes.Add(bytes)
+	if typ < 0 || typ >= MaxType {
+		typ = 0
+	}
+	e.sw.stats.typeMsgs[typ].Add(1)
+	e.sw.stats.typeBytes[typ].Add(bytes)
 }
 
 // TrySendAt is SendAt with non-blocking delivery: if the destination's
@@ -172,7 +213,7 @@ func (e *Endpoint) TrySendAt(to, typ int, class Class, payload []byte, at sim.Ti
 	m := e.build(to, typ, class, payload, at)
 	select {
 	case e.sw.inboxes[to][m.Class] <- m:
-		e.count(payload)
+		e.count(typ, payload)
 		return true
 	default:
 		return false

@@ -118,6 +118,83 @@ func TestShutdownUnblocksReceivers(t *testing.T) {
 	}
 }
 
+func TestSwitchScalesQueues(t *testing.T) {
+	for _, tt := range []struct{ n, want int }{
+		{2, minQueueDepth},
+		{8, minQueueDepth},
+		{128, minQueueDepth},
+		{129, 32 * 129},
+		{256, 32 * 256},
+	} {
+		if got := queueDepth(tt.n); got != tt.want {
+			t.Errorf("queueDepth(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+		sw := testSwitch(tt.n)
+		if got := cap(sw.inboxes[0][0]); got != tt.want {
+			t.Errorf("n=%d: inbox capacity %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestStatsByType(t *testing.T) {
+	sw := testSwitch(2)
+	var c0, c1 sim.Clock
+	e0 := sw.Endpoint(0, &c0)
+	sw.Endpoint(1, &c1)
+	e0.Send(1, 3, ClassRequest, make([]byte, 10))
+	e0.Send(1, 3, ClassRequest, make([]byte, 20))
+	e0.Send(1, 5, ClassReply, make([]byte, 7))
+	e0.SendAt(1, MaxType+2, ClassRequest, nil, 0) // out-of-range tag folds into slot 0
+	if m, b := sw.Stats().ByType(3); m != 2 || b != 10+36+20+36 {
+		t.Errorf("type 3: %d msgs / %d bytes", m, b)
+	}
+	if m, b := sw.Stats().ByType(5); m != 1 || b != 7+36 {
+		t.Errorf("type 5: %d msgs / %d bytes", m, b)
+	}
+	if m, _ := sw.Stats().ByType(MaxType + 2); m != 1 {
+		t.Errorf("out-of-range type not folded into slot 0: %d msgs", m)
+	}
+	var tm, tb int64
+	for typ := 0; typ < MaxType; typ++ {
+		m, b := sw.Stats().ByType(typ)
+		tm += m
+		tb += b
+	}
+	if m, b := sw.Stats().Snapshot(); tm != m || tb != b {
+		t.Errorf("per-type totals %d/%d do not add up to snapshot %d/%d", tm, tb, m, b)
+	}
+	sw.ResetStats()
+	if m, b := sw.Stats().ByType(3); m != 0 || b != 0 {
+		t.Errorf("reset left type 3 at %d/%d", m, b)
+	}
+}
+
+func TestTrySendAtDropsWhenFullAndRecovers(t *testing.T) {
+	sw := testSwitch(2)
+	var c0, c1 sim.Clock
+	e0 := sw.Endpoint(0, &c0)
+	e1 := sw.Endpoint(1, &c1)
+	depth := cap(sw.inboxes[1][int(ClassRequest)])
+	for i := 0; i < depth; i++ {
+		if !e0.TrySendAt(1, 1, ClassRequest, nil, 0) {
+			t.Fatalf("queue rejected message %d below capacity %d", i, depth)
+		}
+	}
+	if e0.TrySendAt(1, 1, ClassRequest, nil, 0) {
+		t.Fatal("full queue accepted a message")
+	}
+	msgs, _ := sw.Stats().Snapshot()
+	if msgs != int64(depth) {
+		t.Errorf("dropped message was counted: %d msgs, want %d", msgs, depth)
+	}
+	// Drain one slot: the retry must now succeed — the drop-and-retry
+	// pacing converges as soon as the receiver makes any progress.
+	e1.RecvRaw(ClassRequest)
+	if !e0.TrySendAt(1, 1, ClassRequest, nil, 0) {
+		t.Fatal("retry after drain failed")
+	}
+}
+
 func TestLatencyMonotonicInSizeProperty(t *testing.T) {
 	p := sim.WireProfile{OneWay: 63000, PerByteNS: 90}
 	f := func(a, b uint16) bool {
