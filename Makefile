@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test test-short test-race smp-race hybrid-race gc-race scale-race bench-smoke bench tables ci
+.PHONY: build vet fmt-check lint test test-short test-race smp-race hybrid-race gc-race scale-race bench-smoke bench tables ci
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,13 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Protocol invariant analyzers (servernoblock, clockcharge, detfree,
+# lockorder, tripwire — see README "Static analysis"). nowlint also
+# speaks go vet's unitchecker protocol, so the same suite runs as
+#   $(GO) build -o /tmp/nowlint ./cmd/nowlint && $(GO) vet -vettool=/tmp/nowlint ./...
+lint:
+	$(GO) run ./cmd/nowlint ./...
 
 test:
 	$(GO) test ./...
@@ -77,4 +84,4 @@ bench:
 tables:
 	$(GO) run ./cmd/nowbench -all
 
-ci: build vet fmt-check test smp-race hybrid-race gc-race scale-race test-race bench-smoke
+ci: build vet fmt-check lint test smp-race hybrid-race gc-race scale-race test-race bench-smoke

@@ -1,0 +1,71 @@
+// Package checker runs a set of analyzers over loaded packages and
+// formats their findings — the multichecker core shared by cmd/nowlint's
+// direct mode and its `go vet -vettool` unit mode.
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Finding is one formatted diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run applies every analyzer to every package, routes the raw
+// diagnostics through the //nowlint:allow waiver filter, and returns
+// the surviving findings sorted by position.
+func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range analysis.ApplyAllows(pkg.Fset, pkg.Files, a.Name, pass.Diagnostics()) {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Print writes findings one per line in the standard file:line:col
+// format.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+}

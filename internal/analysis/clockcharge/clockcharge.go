@@ -1,0 +1,191 @@
+// Package clockcharge enforces the multi-client clock seam: every
+// client-side protocol operation must charge — and stamp its sends at —
+// the CALLING client's virtual clock, never the shared node clock.
+//
+// On a multi-client (SMP-island) node several application threads share
+// one dsm.Node; each carries its own sim.Clock inside a client handle
+// (dsm.Client.clk). A send stamped from the node's clock (which only
+// protocol-server interrupt service advances) goes out at a stale
+// virtual time and silently corrupts the cost model: the paper's tables
+// are computed from exactly these timestamps. The same seam is what the
+// hybrid backend's degenerate-equivalence pins certify, so a single
+// mis-charged site shows up as a byte-identity diff long after the
+// change that introduced it.
+//
+// Mechanization, applied to every method of a "client-like" type (a
+// struct with a `clk *sim.Clock` field — dsm.Client and testdata
+// stubs):
+//
+//  1. Endpoint.Send is forbidden outright: it stamps at the endpoint's
+//     clock, which is the NODE's clock.
+//  2. Endpoint.SendAt/TrySendAt must take a send time derived from the
+//     receiver's own clock (syntactically: the time argument, or a
+//     local variable assigned from an expression, mentioning recv.clk
+//     or recv.Now()).
+//  3. Reading any OTHER sim.Clock-valued field (the node's clock, a
+//     peer's clock) from client-method context is flagged: whatever it
+//     feeds, it is not the calling client's time.
+package clockcharge
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "clockcharge",
+	Doc:  "client-side ops must charge and stamp the calling client's clock, not the shared node clock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if len(recv.Names) != 1 {
+				continue
+			}
+			recvObj := pass.TypesInfo.Defs[recv.Names[0]]
+			if recvObj == nil || !isClientLike(recvObj.Type()) {
+				continue
+			}
+			checkMethod(pass, fd, recvObj)
+		}
+	}
+	return nil
+}
+
+// isClientLike reports whether t (or *t) is a struct with a
+// `clk *sim.Clock` field — the shape of a per-thread client handle.
+func isClientLike(t types.Type) bool {
+	named := analysis.NamedOf(t)
+	if named == nil {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "clk" && isSimClock(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSimClock(t types.Type) bool {
+	n := analysis.NamedOf(t)
+	return n != nil && n.Obj().Name() == "Clock" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "sim"
+}
+
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, recvObj types.Object) {
+	// Collect local variables tainted by the receiver's clock: idents
+	// assigned (anywhere in the method) from an expression that mentions
+	// recv.clk or recv.Now(). One level of indirection covers the
+	// `t := c.clk.Now(); ...; send(..., t)` idiom without a full
+	// dataflow analysis.
+	tainted := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !mentionsRecvClock(pass, as.Rhs[i], recvObj, tainted) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeOf(pass.TypesInfo, n)
+			if analysis.IsMethodOn(fn, "network", "Endpoint", "Send") {
+				pass.Reportf(n.Pos(),
+					"Endpoint.Send stamps the message at the node's clock; a client-side op must send at the calling client's time (SendAt with %s.clk)",
+					recvObj.Name())
+				return true
+			}
+			if analysis.IsMethodOn(fn, "network", "Endpoint", "SendAt", "TrySendAt") && len(n.Args) > 0 {
+				at := n.Args[len(n.Args)-1]
+				if !mentionsRecvClock(pass, at, recvObj, tainted) {
+					pass.Reportf(at.Pos(),
+						"send time does not derive from the calling client's clock (%s.clk); sending at another clock's time corrupts the per-thread cost model",
+						recvObj.Name())
+				}
+			}
+		case *ast.SelectorExpr:
+			// Rule 3: a sim.Clock-valued FIELD that is not recv.clk.
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal && isSimClock(sel.Type()) {
+				if !isRecvClk(pass, n, recvObj) {
+					pass.Reportf(n.Pos(),
+						"client method reads a clock that is not its own (%s.clk): client-side ops charge the calling client, the node clock advances only under protocol-server interrupt service",
+						recvObj.Name())
+				}
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isRecvClk reports whether sel is exactly `<recv>.clk`.
+func isRecvClk(pass *analysis.Pass, sel *ast.SelectorExpr, recvObj types.Object) bool {
+	if sel.Sel.Name != "clk" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recvObj
+}
+
+// mentionsRecvClock reports whether expr mentions the receiver's clock:
+// recv.clk, recv.Now(), or a tainted local.
+func mentionsRecvClock(pass *analysis.Pass, expr ast.Expr, recvObj types.Object, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isRecvClk(pass, n, recvObj) {
+				found = true
+				return false
+			}
+			// recv.Now() — the client's own time accessor.
+			if n.Sel.Name == "Now" {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recvObj {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package clockcharge_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/clockcharge"
+)
+
+func TestClockCharge(t *testing.T) {
+	analysistest.Run(t, "testdata", clockcharge.Analyzer, "a")
+}

@@ -1,0 +1,50 @@
+package a
+
+import (
+	"network"
+	"sim"
+)
+
+type Node struct {
+	ep    *network.Endpoint
+	clock sim.Clock
+}
+
+// Client is a per-thread handle: client-like because of the clk field.
+type Client struct {
+	n   *Node
+	clk *sim.Clock
+}
+
+func (c *Client) Now() sim.Time { return c.clk.Now() }
+
+// good stamps its send at the calling client's clock.
+func (c *Client) good(to int) {
+	c.clk.Advance(10)
+	c.n.ep.SendAt(to, 1, network.ClassRequest, nil, c.clk.Now())
+}
+
+// goodIndirect derives the send time through a local.
+func (c *Client) goodIndirect(to int) {
+	at := c.Now() + 5
+	c.n.ep.SendAt(to, 1, network.ClassRequest, nil, at)
+}
+
+func (c *Client) badSend(to int) {
+	c.n.ep.Send(to, 1, network.ClassReply, nil) // want `Endpoint.Send stamps the message at the node's clock`
+}
+
+func (c *Client) badStamp(to int) {
+	c.n.ep.SendAt(to, 1, network.ClassRequest, nil, 0) // want `send time does not derive from the calling client's clock`
+}
+
+func (c *Client) badClock() sim.Time {
+	return c.n.clock.Now() // want `reads a clock that is not its own`
+}
+
+// Node methods are NOT client-like: interrupt service legitimately
+// stamps replies at arrival plus service time off the node clock.
+func (n *Node) handle(m network.Message) {
+	n.clock.Advance(3)
+	n.ep.SendAt(m.From, 2, network.ClassReply, nil, m.Arrive+3)
+}

@@ -1,0 +1,25 @@
+// Package network is a minimal stub of the real internal/network
+// surface with sim.Time send stamps.
+package network
+
+import "sim"
+
+type Class uint8
+
+const (
+	ClassRequest Class = iota
+	ClassReply
+)
+
+type Message struct {
+	From   int
+	Arrive sim.Time
+}
+
+type Endpoint struct{}
+
+func (e *Endpoint) Send(to, typ int, class Class, data []byte)                {}
+func (e *Endpoint) SendAt(to, typ int, class Class, data []byte, at sim.Time) {}
+func (e *Endpoint) TrySendAt(to, typ int, class Class, data []byte, at sim.Time) bool {
+	return true
+}

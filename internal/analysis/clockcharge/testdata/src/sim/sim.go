@@ -1,0 +1,9 @@
+// Package sim is a minimal stub of the real internal/sim clock surface.
+package sim
+
+type Time int64
+
+type Clock struct{ t Time }
+
+func (c *Clock) Now() Time      { return c.t }
+func (c *Clock) Advance(d Time) { c.t += d }

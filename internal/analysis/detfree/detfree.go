@@ -1,0 +1,122 @@
+// Package detfree enforces the repository's determinism contract: the
+// simulation's outputs are pinned by golden renderings and byte-identity
+// suites (pool-width identity, degenerate-equivalence pins, GC on/off
+// content equality), all of which assume a run is a pure function of its
+// inputs. Three classic leaks break that silently:
+//
+//  1. Wall-clock reads (time.Now/Since/Until). All time in this
+//     repository is VIRTUAL (sim.Time); a wall-clock read either leaks
+//     nondeterminism into results or smuggles real time into the cost
+//     model.
+//  2. The math/rand global functions (rand.Intn, rand.Shuffle, ...),
+//     which are auto-seeded per process. Deterministic draws come from
+//     an explicitly seeded source (sim's RNG, or rand.New with a fixed
+//     seed) owned by the run.
+//  3. Map iteration feeding an output or traffic sink. Go randomizes
+//     map order per iteration; a loop over a map that prints, writes,
+//     or sends produces a different byte stream every run. Only loops
+//     whose bodies reach a sink are flagged — order-insensitive folds
+//     (summing counters into a total) are sound and pass.
+package detfree
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detfree",
+	Doc:  "forbid wall-clock reads, global math/rand, and map-ordered output: the golden and byte-identity suites assume deterministic runs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeOf(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if analysis.IsPkgFunc(fn, "time", "Now", "Since", "Until") {
+		pass.Reportf(call.Pos(),
+			"wall-clock read (time.%s) in simulation code: all time here is virtual (sim.Time), and run results must be a pure function of inputs",
+			fn.Name())
+		return
+	}
+	if analysis.IsPkgFunc(fn, "rand") && fn.Name() != "New" && fn.Name() != "NewSource" && fn.Name() != "NewZipf" && fn.Name() != "NewPCG" && fn.Name() != "NewChaCha8" {
+		pass.Reportf(call.Pos(),
+			"global math/rand function (rand.%s) is auto-seeded and nondeterministic across processes: draw from an explicitly seeded source owned by the run",
+			fn.Name())
+	}
+}
+
+// checkRange flags `for ... range m` over a map whose body reaches an
+// output or traffic sink.
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var sink *ast.CallExpr
+	var sinkName string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeOf(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case analysis.IsPkgFunc(fn, "fmt", "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf"):
+			sink, sinkName = call, "fmt."+fn.Name()
+		case isWriterMethod(fn):
+			sink, sinkName = call, fn.Name()
+		case analysis.IsMethodOn(fn, "network", "Endpoint", "Send", "SendAt", "TrySendAt"):
+			sink, sinkName = call, "Endpoint."+fn.Name()
+		}
+		return sink == nil
+	})
+	if sink != nil {
+		pass.Reportf(rng.For,
+			"map iteration order is unspecified and this loop feeds %s: iterate a sorted key slice instead (golden/byte-identity suites assume deterministic output)",
+			sinkName)
+	}
+}
+
+// isWriterMethod matches the io.Writer-style emit methods used by the
+// table renderers (bytes.Buffer, strings.Builder, tabwriter, files).
+func isWriterMethod(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

@@ -1,0 +1,12 @@
+package detfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detfree"
+)
+
+func TestDetFree(t *testing.T) {
+	analysistest.Run(t, "testdata", detfree.Analyzer, "a")
+}

@@ -1,0 +1,53 @@
+package a
+
+import (
+	"fmt"
+	"network"
+	"rand"
+	"time"
+)
+
+type stats struct{ ep *network.Endpoint }
+
+func wallClock() {
+	t := time.Now() // want `wall-clock read`
+	_ = t
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand function`
+}
+
+// seededRand draws from an explicitly seeded source: sound.
+func seededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order is unspecified`
+		fmt.Println(k, v)
+	}
+}
+
+func mapSend(s *stats, m map[int]int64) {
+	for to, at := range m { // want `map iteration order is unspecified`
+		s.ep.SendAt(to, 1, network.ClassRequest, nil, at)
+	}
+}
+
+// mapFold is an order-insensitive reduction: sound.
+func mapFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedPrint iterates a pre-sorted key slice: sound.
+func sortedPrint(m map[string]int, keys []string) {
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}

@@ -1,0 +1,5 @@
+// Package fmt shadows the real stdlib package for the testdata.
+package fmt
+
+func Println(a ...any)               {}
+func Printf(format string, a ...any) {}

@@ -1,0 +1,17 @@
+// Package rand shadows math/rand for the testdata (detfree matches by
+// package base name).
+package rand
+
+type Source struct{}
+
+func NewSource(seed int64) *Source { return &Source{} }
+
+type Rand struct{}
+
+func New(src *Source) *Rand { return &Rand{} }
+
+func (r *Rand) Intn(n int) int { return 0 }
+
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Shuffle(n int, swap func(i, j int)) {}

@@ -1,0 +1,10 @@
+// Package time shadows the real stdlib package: detfree matches by
+// package base name, so the testdata avoids type-checking GOROOT's time
+// package from source.
+package time
+
+type Time int64
+
+func Now() Time         { return 0 }
+func Since(t Time) Time { return 0 }
+func Until(t Time) Time { return 0 }

@@ -1,0 +1,291 @@
+// Package load parses and type-checks packages for the nowlint
+// analyzers without any dependency outside the standard library.
+//
+// Packages inside the module (and inside an analysistest testdata/src
+// root) are type-checked from source with full syntax retained; their
+// imports resolve recursively through the same loader. Standard-library
+// imports are delegated to go/importer's source importer, which
+// type-checks GOROOT source directly — no export data, no network, no
+// `go list` subprocess — so the loader behaves identically under `make
+// lint`, in unit tests, and in offline CI.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one fully loaded source package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and caches packages. It implements types.Importer so
+// package type-checking can recurse through it.
+type Loader struct {
+	Fset *token.FileSet
+
+	moduleDir  string
+	modulePath string
+	srcRoots   []string // analysistest testdata roots, searched first
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader rooted at moduleDir (which must contain
+// go.mod; pass "" for a rootless loader that only resolves srcRoots and
+// the standard library). srcRoots are extra directories whose immediate
+// subdirectories are importable by relative path — the analysistest
+// testdata/src convention.
+func NewLoader(moduleDir string, srcRoots ...string) (*Loader, error) {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:     fset,
+		srcRoots: srcRoots,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*Package{},
+		loading:  map[string]bool{},
+	}
+	if moduleDir != "" {
+		abs, err := filepath.Abs(moduleDir)
+		if err != nil {
+			return nil, err
+		}
+		l.moduleDir = abs
+		mod, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		for _, line := range strings.Split(string(mod), "\n") {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+				l.modulePath = strings.TrimSpace(rest)
+				break
+			}
+		}
+		if l.modulePath == "" {
+			return nil, fmt.Errorf("load: no module line in %s/go.mod", abs)
+		}
+	}
+	return l, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		p, err := l.loadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor resolves an import path to a source directory owned by this
+// loader (srcRoots first, then the module), or ok=false for paths that
+// belong to the standard library importer.
+func (l *Loader) dirFor(path string) (string, bool) {
+	for _, root := range l.srcRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			return l.moduleDir, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			return filepath.Join(l.moduleDir, filepath.FromSlash(rest)), true
+		}
+	}
+	return "", false
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks the non-test files of one directory.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load %s: no Go files in %s", path, dir)
+	}
+
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("load %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Load resolves patterns to loaded packages. Supported patterns:
+//
+//	./...            every package under the module root
+//	./dir/...        every package under dir
+//	./dir            one directory
+//	example.com/x    a full import path resolvable by this loader
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dir := l.moduleDir
+			prefix := l.modulePath
+			if base != "." && base != "" {
+				rel := strings.TrimPrefix(base, "./")
+				dir = filepath.Join(l.moduleDir, filepath.FromSlash(rel))
+				prefix = l.modulePath + "/" + rel
+			}
+			sub, err := walkPackages(dir, prefix)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range sub {
+				add(p)
+			}
+		case strings.HasPrefix(pat, "./"), pat == ".":
+			rel := strings.TrimPrefix(pat, "./")
+			p := l.modulePath
+			if rel != "" && rel != "." {
+				p += "/" + filepath.ToSlash(rel)
+			}
+			add(p)
+		default:
+			add(pat)
+		}
+	}
+	var out []*Package
+	for _, p := range paths {
+		if _, err := l.Import(p); err != nil {
+			return nil, err
+		}
+		pkg, ok := l.pkgs[p]
+		if !ok {
+			return nil, fmt.Errorf("load: %s resolved outside the module", p)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// walkPackages lists the import paths of every package under dir.
+func walkPackages(dir, prefix string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		p := prefix
+		if rel != "." {
+			p = prefix + "/" + filepath.ToSlash(rel)
+		}
+		out = append(out, p)
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}

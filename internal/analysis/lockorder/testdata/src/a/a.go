@@ -1,0 +1,72 @@
+package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+type S struct {
+	a A
+	b B
+}
+
+// lockAB and lockBA together form the classic AB/BA cycle: both edges
+// are reported at their acquisition sites.
+func (s *S) lockAB() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock() // want `lock acquisition cycle`
+	s.b.mu.Unlock()
+}
+
+func (s *S) lockBA() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	s.a.mu.Lock() // want `lock acquisition cycle`
+	s.a.mu.Unlock()
+}
+
+// outer adds the same A→B edge through a callee: also on the cycle.
+func (s *S) outer() {
+	s.a.mu.Lock()
+	s.takeB() // want `lock acquisition cycle`
+	s.a.mu.Unlock()
+}
+
+func (s *S) takeB() {
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}
+
+// tryUnder never blocks on b while holding a: TryLock adds no in-edge.
+func (s *S) tryUnder() {
+	s.a.mu.Lock()
+	if s.b.mu.TryLock() {
+		s.b.mu.Unlock()
+	}
+	s.a.mu.Unlock()
+}
+
+// handoffLocked releases the caller-held a.mu before taking b.mu, so
+// handoffCaller creates no A→B edge (the ...Locked handoff convention).
+func (s *S) handoffLocked() {
+	s.a.mu.Unlock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}
+
+func (s *S) handoffCaller() {
+	s.a.mu.Lock()
+	s.handoffLocked()
+}
+
+// N.link takes another instance's mu while holding its own: a
+// same-class self-edge — two nodes doing this to each other deadlock.
+type N struct{ mu sync.Mutex }
+
+func (n *N) link(peer *N) {
+	n.mu.Lock()
+	peer.mu.Lock() // want `lock acquisition cycle`
+	peer.mu.Unlock()
+	n.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+package b
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+type S struct {
+	a A
+	b B
+}
+
+// Consistent order everywhere (a before b): acyclic, nothing reported.
+func (s *S) one() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+}
+
+func (s *S) two() {
+	s.a.mu.Lock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}

@@ -1,0 +1,96 @@
+// Package servernoblock enforces the bounded-queue no-deadlock argument
+// for protocol servers (network.TrySendAt's contract): a protocol-server
+// goroutine must never issue a BLOCKING request-class send.
+//
+// The argument: every endpoint's request queue is drained by a dedicated
+// server goroutine that never blocks, so bounded queues cannot deadlock.
+// A server that blocks on a peer's full request queue while that peer's
+// server blocks on ours is exactly the forbidden cycle — observed live
+// when the acquire-GC consensus reverse delta was sent blocking from
+// server context and two servers mutually filled each other's inboxes,
+// stalling every lock grant in the system.
+//
+// Mechanization: the analyzer roots "server context" at every function
+// that consumes request-class traffic (a call to Endpoint.RecvRaw,
+// TryRecvRaw, or Chan with network.ClassRequest), closes it over the
+// package-local call graph (goroutine launches start a NEW context and
+// are not followed), and flags every Endpoint.Send/SendAt with a
+// constant network.ClassRequest class argument inside that closure.
+// Reply-class sends and TrySendAt are sound and pass.
+//
+// A site with its own boundedness argument (e.g. lock-acquire forwards:
+// at most one outstanding acquire per node, so the forwards in flight
+// can never approach the queue depth) may carry a justified
+// //nowlint:allow servernoblock directive stating that argument.
+package servernoblock
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Class constant values mirrored from internal/network (and its
+// testdata stubs): ClassRequest is the zero class.
+const classRequest = 0
+
+var Analyzer = &analysis.Analyzer{
+	Name: "servernoblock",
+	Doc:  "protocol servers must never issue a blocking request-class send (bounded-queue no-deadlock argument)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+
+	// Roots: functions that consume request-class traffic.
+	var roots []*analysis.FuncNode
+	for _, node := range g.Nodes {
+		for _, call := range node.Calls {
+			fn := analysis.CalleeOf(pass.TypesInfo, call)
+			if !analysis.IsMethodOn(fn, "network", "Endpoint", "RecvRaw", "TryRecvRaw", "Chan") {
+				continue
+			}
+			if classOf(pass, call) == classRequest {
+				roots = append(roots, node)
+				break
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	for node := range g.Reachable(roots) {
+		for _, call := range node.Calls {
+			fn := analysis.CalleeOf(pass.TypesInfo, call)
+			if !analysis.IsMethodOn(fn, "network", "Endpoint", "Send", "SendAt") {
+				continue
+			}
+			if classOf(pass, call) != classRequest {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"blocking request-class %s reachable from protocol-server context: a server blocking on a peer's full request queue can deadlock the bounded-queue protocol; use TrySendAt (drop-and-retry) or a reply-class send",
+				fn.Name())
+		}
+	}
+	return nil
+}
+
+// classOf extracts the constant network.Class argument of an endpoint
+// call, or -1 when it is absent or not constant (conservatively treated
+// as not-request so wrappers that thread a variable class through are
+// not flagged at every call site; the wrapper's own sends are still
+// analyzed).
+func classOf(pass *analysis.Pass, call *ast.CallExpr) int64 {
+	arg := analysis.ArgOfNamedType(pass.TypesInfo, call, "network", "Class")
+	if arg == nil {
+		return -1
+	}
+	v, ok := analysis.IntConst(pass.TypesInfo, arg)
+	if !ok {
+		return -1
+	}
+	return v
+}

@@ -1,0 +1,12 @@
+package servernoblock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/servernoblock"
+)
+
+func TestServerNoBlock(t *testing.T) {
+	analysistest.Run(t, "testdata", servernoblock.Analyzer, "a")
+}

@@ -1,0 +1,66 @@
+package a
+
+import "network"
+
+type node struct {
+	ep *network.Endpoint
+}
+
+// serve drains the request queue: it and everything it calls run in
+// protocol-server context.
+func (n *node) serve() {
+	for {
+		m := n.ep.RecvRaw(network.ClassRequest)
+		switch m.Type {
+		case 1:
+			n.handleBad(m)
+		case 2:
+			n.handleReply(m)
+		case 3:
+			n.handleTry(m)
+		case 4:
+			n.handleForward(m)
+		case 5:
+			n.badWaiver(m)
+		}
+	}
+}
+
+func (n *node) handleBad(m network.Message) {
+	n.ep.SendAt(m.From, 9, network.ClassRequest, nil, m.Arrive) // want `blocking request-class SendAt`
+}
+
+func (n *node) handleReply(m network.Message) {
+	n.ep.SendAt(m.From, 9, network.ClassReply, nil, m.Arrive) // reply-class: sound
+}
+
+func (n *node) handleTry(m network.Message) {
+	for !n.ep.TrySendAt(m.From, 9, network.ClassRequest, nil, m.Arrive) { // non-blocking: sound
+	}
+}
+
+func (n *node) handleForward(m network.Message) {
+	//nowlint:allow servernoblock -- bounded: at most one forward in flight per node, far below queue depth
+	n.ep.SendAt(m.From, 9, network.ClassRequest, nil, m.Arrive)
+}
+
+func (n *node) badWaiver(m network.Message) {
+	//nowlint:allow servernoblock -- because
+	n.ep.SendAt(m.From, 9, network.ClassRequest, nil, m.Arrive) // want `needs a substantive justification`
+}
+
+// appSide never consumes request-class traffic: its blocking
+// request-class send is application context and sound.
+func (n *node) appSide() {
+	n.ep.Send(0, 1, network.ClassRequest, nil)
+	n.ep.Recv(network.ClassReply)
+}
+
+// A goroutine spawned from server context is a NEW goroutine: it can
+// block without stalling the drain loop, so no finding.
+func (n *node) spawnFromServer() {
+	_ = n.ep.RecvRaw(network.ClassRequest)
+	go func() {
+		n.ep.SendAt(0, 1, network.ClassRequest, nil, 0)
+	}()
+}

@@ -1,0 +1,30 @@
+// Package network is a minimal stub of the real internal/network
+// surface: the analyzers match methods by package base name, so this
+// stub stands in for the real Endpoint in analysistest packages.
+package network
+
+type Class uint8
+
+const (
+	ClassRequest Class = iota
+	ClassReply
+)
+
+type Message struct {
+	From   int
+	Type   int
+	Data   []byte
+	Arrive int64
+}
+
+type Endpoint struct{}
+
+func (e *Endpoint) Send(to, typ int, class Class, data []byte)             {}
+func (e *Endpoint) SendAt(to, typ int, class Class, data []byte, at int64) {}
+func (e *Endpoint) TrySendAt(to, typ int, class Class, data []byte, at int64) bool {
+	return true
+}
+func (e *Endpoint) Recv(class Class) Message               { return Message{} }
+func (e *Endpoint) RecvRaw(class Class) Message            { return Message{} }
+func (e *Endpoint) TryRecvRaw(class Class) (Message, bool) { return Message{}, false }
+func (e *Endpoint) Chan(class Class) <-chan Message        { return nil }

@@ -1,0 +1,59 @@
+package a
+
+import "network"
+
+type S struct {
+	ep  *network.Endpoint
+	err error
+}
+
+// recoverAbort is the repository's pattern: recover at the top of every
+// server goroutine and surface the panic as a Run error.
+func (s *S) recoverAbort() {
+	if r := recover(); r != nil {
+		s.err = nil
+	}
+}
+
+func (s *S) serve() {
+	for {
+		_ = s.ep.RecvRaw(network.ClassRequest)
+	}
+}
+
+func (s *S) startBadLit() {
+	go func() { // want `no top-level deferred recover`
+		_ = s.ep.RecvRaw(network.ClassRequest)
+	}()
+}
+
+func (s *S) startBadDecl() {
+	go s.serve() // want `no top-level deferred recover`
+}
+
+func (s *S) startGoodLit() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.err = nil
+			}
+		}()
+		_ = s.ep.RecvRaw(network.ClassRequest)
+	}()
+}
+
+func (s *S) startGoodHelper() {
+	go func() {
+		defer s.recoverAbort()
+		for {
+			_ = s.ep.RecvRaw(network.ClassRequest)
+		}
+	}()
+}
+
+// A goroutine that never touches an endpoint needs no tripwire.
+func (s *S) startCompute(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}

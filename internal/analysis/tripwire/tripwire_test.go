@@ -1,0 +1,12 @@
+package tripwire_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tripwire"
+)
+
+func TestTripwire(t *testing.T) {
+	analysistest.Run(t, "testdata", tripwire.Analyzer, "a")
+}

@@ -564,6 +564,7 @@ func (n *Node) handleGCSync(m *network.Message) {
 		return
 	}
 	n.mu.Lock()
+	//nowlint:allow lockorder -- acqEpoch with serverSide=true swaps the purge closure for the flush-only gcFlushCoveredLocked before running it, so the gcPurgePagesLocked path that re-takes fetchMu is unreachable under this TryLock; the analyzer cannot see past the value dependency
 	done := n.acqEpochServerLocked(floor)
 	n.mu.Unlock()
 	n.fetchMu.Unlock()

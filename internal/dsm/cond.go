@@ -182,6 +182,7 @@ func (n *Node) enqueueLockRequestLocked(lockID, requester int, tag uint32, reqVC
 	w.i32(requester)
 	w.u32(tag)
 	w.vc(reqVC)
+	//nowlint:allow servernoblock -- bounded traffic: reqOutstanding caps each node at one in-flight acquire, so at most Procs-1 msgAcqFwd can exist at once, far under the request queue depth; the forward cannot block (PR 5 no-deadlock argument)
 	n.ep.SendAt(prev, msgAcqFwd, network.ClassRequest, w.b, at)
 }
 

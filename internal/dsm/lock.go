@@ -334,6 +334,7 @@ func (n *Node) handleAcqReq(m *network.Message) {
 	w.i32(m.From)
 	w.u32(tag)
 	w.vc(reqVC)
+	//nowlint:allow servernoblock -- bounded traffic: reqOutstanding caps each node at one in-flight acquire, so at most Procs-1 msgAcqFwd can exist at once, far under the request queue depth; the forward cannot block (PR 5 no-deadlock argument)
 	n.ep.SendAt(prev, msgAcqFwd, network.ClassRequest, w.b, at)
 }
 

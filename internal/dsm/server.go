@@ -13,6 +13,12 @@ import (
 // with the node's application thread, acting at each request's virtual
 // arrival time (interrupt semantics) and charging the application thread
 // the platform's interrupt overhead.
+//
+// Everything reachable from here runs in protocol-server context: the
+// servernoblock analyzer forbids blocking request-class sends in this
+// closure, and the tripwire analyzer requires the goroutine that runs it
+// to carry a deferred recoverAbort (see cmd/nowlint and README "Static
+// analysis").
 func (n *Node) serve() {
 	for {
 		m := n.ep.RecvRaw(network.ClassRequest)

@@ -208,6 +208,11 @@ func New(cfg Config) *System {
 			s.serverWG.Add(1)
 			go func(n *Node) {
 				defer s.serverWG.Done()
+				// The pump parses reply payloads to route them; a
+				// malformed reply must abort the run like any other
+				// protocol panic, not kill the process with the drain
+				// loop (tripwire analyzer enforces this).
+				defer s.recoverAbort(n)
 				n.router.pump(n)
 			}(n)
 		}

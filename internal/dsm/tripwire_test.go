@@ -1,0 +1,32 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// TestPumpPanicBecomesRunError pins the reply-router tripwire: a
+// malformed reply-class message panics the router pump while it parses
+// the payload for routing, and that panic must surface as a Run error
+// through recoverAbort — not kill the process with the drain goroutine
+// (which is exactly what happened before the pump had the deferred
+// recover; the tripwire analyzer now enforces the pattern statically).
+func TestPumpPanicBecomesRunError(t *testing.T) {
+	sys := New(Config{Procs: 2, MultiClient: true})
+	err := sys.Run(func(n *Node) {
+		// A lock grant whose payload is too short for its [i32 id]
+		// [u32 tag] routing header: replyRouteKey panics in the pump.
+		n.selfReply <- &network.Message{Type: msgLockGrant, Payload: []byte{1}}
+		// The abort closes sys.done; block until it does so the master
+		// cannot win the race and end the run cleanly first.
+		<-n.sys.done
+	})
+	if err == nil {
+		t.Fatal("Run returned nil; pump panic was swallowed or the run ended cleanly")
+	}
+	if !strings.Contains(err.Error(), "short message") {
+		t.Fatalf("Run error %q does not carry the pump's panic", err)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/dsm"
@@ -35,14 +36,27 @@ func Micro() (MicroResults, error) {
 		var c0, c1 sim.Clock
 		e0, e1 := sw.Endpoint(0, &c0), sw.Endpoint(1, &c1)
 		done := make(chan struct{})
+		var echoErr error
 		go func() {
+			// An endpoint panic (switch torn down underneath the echo)
+			// must surface as a measurement error, not kill the process
+			// with this drain goroutine (tripwire analyzer enforces
+			// this).
+			defer func() {
+				if r := recover(); r != nil {
+					echoErr = fmt.Errorf("udp echo: %v", r)
+				}
+				close(done)
+			}()
 			m := e1.RecvRaw(network.ClassRequest)
 			e1.SendAt(m.From, 1, network.ClassReply, []byte{1}, m.Arrive)
-			close(done)
 		}()
 		e0.Send(1, 1, network.ClassRequest, []byte{1})
 		m := e0.Recv(network.ClassReply)
 		<-done
+		if echoErr != nil {
+			return out, echoErr
+		}
 		out.UDPRoundTrip = m.Arrive
 	}
 

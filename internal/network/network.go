@@ -209,6 +209,10 @@ func (e *Endpoint) count(typ int, payload []byte) {
 // a peer's full queue while that peer's server blocks on ours would be
 // exactly the forbidden cycle. Callers must therefore treat the message
 // as optional (an optimization retried by some higher-level pacing).
+// The servernoblock analyzer (cmd/nowlint) enforces this contract
+// statically: a blocking request-class SendAt/Send reachable from a
+// protocol-server receive loop is flagged unless a //nowlint:allow
+// records why its traffic is bounded.
 func (e *Endpoint) TrySendAt(to, typ int, class Class, payload []byte, at sim.Time) bool {
 	m := e.build(to, typ, class, payload, at)
 	select {
