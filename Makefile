@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check lint test test-short test-race smp-race hybrid-race gc-race scale-race bench-smoke bench tables ci
+.PHONY: build vet fmt-check lint test test-short test-race smp-race hybrid-race gc-race scale-race serve-race bench-smoke bench tables ci
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,17 @@ scale-race:
 	$(GO) test -race -run 'TestBackendConformanceWideTeams' ./internal/core
 	$(GO) test -race -run 'TestEquivalenceBeyondPaperScale/3D-FFT/omp/p16' ./internal/harness
 
+# Service-mode smoke under the race detector: a short mixed stream (NOW,
+# TreadMarks, and shared-memory classes) through the scheduler — the
+# dispatch loop, the weighted execution pool, fresh backend construction
+# and teardown per job, and the checkpoint census all cross goroutines,
+# so a lifecycle race fails here in seconds. The scheduler-level unit
+# tests (replay, width identity, checkpoints) ride along.
+serve-race:
+	$(GO) run -race ./cmd/nowbench -serve -scale test -jobs 60 -arrival 40 \
+		-mix 'TSP:omp:p4,QSORT:tmk:p4,Water:omp-smp:p4:w=2,3D-FFT:mpi:p4' >/dev/null
+	$(GO) test -race -short -run 'TestServe' ./internal/serve
+
 # One-iteration benchmark smoke: compiles and executes every benchmark
 # family (Table 1 / Figure 6 / Table 2 / micro / ablations) so they can
 # never silently rot.
@@ -84,4 +95,4 @@ bench:
 tables:
 	$(GO) run ./cmd/nowbench -all
 
-ci: build vet fmt-check lint test smp-race hybrid-race gc-race scale-race test-race bench-smoke
+ci: build vet fmt-check lint test smp-race hybrid-race gc-race scale-race serve-race test-race bench-smoke

@@ -29,6 +29,16 @@
 //	                               cells are an order of magnitude beyond
 //	                               the other artifacts
 //	nowbench -all                  everything above except -scaling
+//	nowbench -serve                service mode: run a seeded multi-tenant
+//	                               job stream over shared backend slots
+//	                               and print sustained throughput plus
+//	                               queue-wait/end-to-end latency quantiles
+//	                               per job class (in virtual time); shape
+//	                               it with -jobs, -mix, -arrival, -seed,
+//	                               and -serve-width, and see the serve
+//	                               package for the mix grammar
+//	                               (App:impl:pN[:w=K][:gc=P][:policy=X]);
+//	                               NOT part of -all
 //
 // Add -scale test for a fast run on reduced inputs, -procs N to change
 // the processor count of Figure 6 / Table 2, and -islands K to set the
@@ -49,7 +59,14 @@ import (
 
 	"repro/internal/dsm"
 	"repro/internal/harness"
+	"repro/internal/serve"
 )
+
+// defaultMix is the -serve job mix when -mix is not given: five classes
+// over four applications, spanning the full slot-weight range — TSP on
+// the NOW and QSORT on TreadMarks (full slot each), Water on hardware
+// shared memory, sequential Sweep3D, and MPI 3D-FFT (quarter slot each).
+const defaultMix = "TSP:omp:p4,QSORT:tmk:p4,Water:omp-smp:p4:w=3,Sweep3D:seq:p1:w=3,3D-FFT:mpi:p4:w=2"
 
 func main() {
 	var (
@@ -67,6 +84,13 @@ func main() {
 		workers  = flag.Int("workers", 0, "grid worker pool width (0 = one per CPU, 1 = sequential)")
 		gcPress  = flag.Int("gcpressure", 0, "default acquire-epoch GC trigger (0 = dsm default, negative disables)")
 		gcPolicy = flag.String("gcpolicy", "", "default GC purge policy: flush, validate-hot, or adaptive")
+
+		serveMode  = flag.Bool("serve", false, "service mode: run a multi-tenant job stream and print the latency report")
+		jobs       = flag.Int("jobs", 500, "service mode: number of jobs in the stream")
+		mix        = flag.String("mix", defaultMix, "service mode: job mix, comma-separated App:impl:pN[:w=K][:gc=P][:policy=X]")
+		arrival    = flag.Float64("arrival", 40, "service mode: mean arrival rate in jobs per virtual second")
+		seed       = flag.Uint64("seed", 1, "service mode: arrival-stream seed")
+		serveWidth = flag.Int("serve-width", 2, "service mode: backend slots of the simulated service")
 	)
 	flag.Parse()
 
@@ -140,6 +164,17 @@ func main() {
 	if *scaling {
 		ran = true
 		check(harness.TableScaling(out, s, harness.ScalingProcs))
+	}
+	if *serveMode {
+		ran = true
+		classes, err := serve.ParseMix(*mix)
+		check(err)
+		d, err := serve.NewDriver(serve.DriverConfig{Seed: *seed, Rate: *arrival, Mix: classes})
+		check(err)
+		sched := serve.NewScheduler(serve.Config{Scale: s, Width: *serveWidth, ExecWorkers: *workers})
+		rep, err := sched.Serve(d, *jobs)
+		check(err)
+		rep.Render(out)
 	}
 	if !ran {
 		flag.Usage()

@@ -20,6 +20,7 @@ func RunOMP(p Params, procs int) (apps.Result, error) {
 func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error) {
 	n := p.NBody
 	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform, Backend: backend})
+	defer prog.Close()
 	posA := prog.SharedPage(8 * 3 * n)
 	velA := prog.SharedPage(8 * 3 * n)
 	massA := prog.SharedPage(8 * n)

@@ -13,6 +13,7 @@ import (
 func RunTmk(p Params, procs int) (apps.Result, error) {
 	n := p.NBody
 	sys := dsm.New(dsm.Config{Procs: procs, Platform: p.Platform})
+	defer sys.Close()
 	posA := sys.MallocPage(8 * 3 * n)
 	velA := sys.MallocPage(8 * 3 * n)
 	massA := sys.MallocPage(8 * n)

@@ -29,6 +29,7 @@ func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error
 		Platform:  p.Platform,
 		Backend:   backend,
 	})
+	defer prog.Close()
 	u := prog.SharedPage(cBytes * pts)  // spatial, [z][y][x]
 	w := prog.SharedPage(cBytes * pts)  // frequency, [kx][ky][kz]
 	vw := prog.SharedPage(cBytes * pts) // evolved frequency copy

@@ -20,6 +20,7 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		HeapBytes: heapFor(pts) + blocksBytesNeeded(procs, maxBlock),
 		Platform:  p.Platform,
 	})
+	defer sys.Close()
 	u := sys.MallocPage(cBytes * pts)
 	w := sys.MallocPage(cBytes * pts)
 	vw := sys.MallocPage(cBytes * pts)

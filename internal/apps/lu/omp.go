@@ -23,6 +23,7 @@ func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error
 	n := p.N
 	rb := rowBytes(n)
 	prog := core.NewProgram(core.Config{Threads: procs, Platform: p.Platform, HeapBytes: heapFor(n), Backend: backend})
+	defer prog.Close()
 	mat := prog.SharedPage(rb * n)
 	pivA := prog.SharedPage(core.PageSize) // min |pivot|, lock-protected
 	digestRed := prog.NewReduction(core.OpSum)

@@ -20,6 +20,7 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 	n := p.N
 	rb := rowBytes(n)
 	sys := dsm.New(dsm.Config{Procs: procs, Platform: p.Platform, HeapBytes: heapFor(n)})
+	defer sys.Close()
 	mat := sys.MallocPage(rb * n)
 	pivA := sys.MallocPage(dsm.PageSize)
 	digPart := sys.MallocPage(dsm.PageSize * procs)

@@ -25,6 +25,7 @@ func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error
 		GCPressure: p.GCPressure,
 		GCPolicy:   p.GCPolicy,
 	})
+	defer prog.Close()
 	s := newSharedQS(p, prog)
 	lockID := core.CriticalLockID("qs")
 

@@ -20,6 +20,7 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		GCPressure: p.GCPressure,
 		GCPolicy:   dsm.MustParseGCPolicy(p.GCPolicy),
 	})
+	defer sys.Close()
 	s := newSharedQS(p, sys)
 
 	sys.Register("qsort", func(nd *dsm.Node, _ []byte) {

@@ -33,6 +33,7 @@ func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error
 		GCPressure: p.GCPressure,
 		GCPolicy:   p.GCPolicy,
 	})
+	defer prog.Close()
 	slots := prog.SharedPage(procs * nxb * nab * slotBytes)
 	redS := prog.NewReduction(core.OpSum)
 	redS2 := prog.NewReduction(core.OpSum)

@@ -25,6 +25,7 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		GCPressure: p.GCPressure,
 		GCPolicy:   dsm.MustParseGCPolicy(p.GCPolicy),
 	})
+	defer sys.Close()
 	slots := sys.MallocPage(procs * nxb * nab * slotBytes)
 	partials := sys.MallocPage(dsm.PageSize * procs)
 	out := sys.MallocPage(16)

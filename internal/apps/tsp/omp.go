@@ -22,6 +22,7 @@ func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error
 		Threads: procs, Platform: p.Platform, Backend: backend,
 		DisableGC: p.DisableGC, GCPressure: p.GCPressure, GCPolicy: p.GCPolicy,
 	})
+	defer prog.Close()
 	s := newSharedTSP(p, prog)
 	d := Cities(p)
 	minInc := minIncident(d)

@@ -17,6 +17,7 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		DisableGC: p.DisableGC, GCPressure: p.GCPressure,
 		GCPolicy: dsm.MustParseGCPolicy(p.GCPolicy),
 	})
+	defer sys.Close()
 	s := newSharedTSP(p, sys)
 	d := Cities(p)
 	minInc := minIncident(d)

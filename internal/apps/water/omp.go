@@ -26,6 +26,7 @@ func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error
 		DisableGC: p.DisableGC, GCMinRetire: p.GCMinRetire,
 		GCPressure: p.GCPressure, GCPolicy: p.GCPolicy,
 	})
+	defer prog.Close()
 	posA := prog.SharedPage(bytesArr)
 	velA := prog.SharedPage(bytesArr)
 	forceA := prog.SharedPage(bytesArr)

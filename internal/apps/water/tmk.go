@@ -18,6 +18,7 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		DisableGC: p.DisableGC, GCMinRetire: p.GCMinRetire,
 		GCPressure: p.GCPressure, GCPolicy: dsm.MustParseGCPolicy(p.GCPolicy),
 	})
+	defer sys.Close()
 	posA := sys.MallocPage(bytesArr)
 	velA := sys.MallocPage(bytesArr)
 	forceA := sys.MallocPage(bytesArr)

@@ -196,6 +196,13 @@ type Backend interface {
 	// and validate-vs-flush purge outcomes (zero on backends without a
 	// collector).
 	GCSummary() dsm.GCStats
+	// Close releases every resource the backend holds — DSM nodes, island
+	// delegates, network endpoints, protocol servers, and reply routers —
+	// and waits for their goroutines to exit. It is idempotent, must be
+	// called once the backend is quiescent (after Run has returned, or on
+	// a backend that was never Run), and returns the run's first error.
+	// Statistics (Traffic, ProtoSummary, ...) remain readable after Close.
+	Close() error
 }
 
 // The NOW worker is the DSM node itself.

@@ -45,3 +45,8 @@ func (b *dsmBackend) ProtoSummary() (int64, int64, int64) {
 }
 
 func (b *dsmBackend) GCSummary() dsm.GCStats { return b.sys.GCSummary() }
+
+// Close shuts the DSM system down: without it, the P protocol servers
+// (and, multi-client, P reply routers) started at construction outlive
+// the backend — on a never-Run backend they outlive it forever.
+func (b *dsmBackend) Close() error { return b.sys.Shutdown() }

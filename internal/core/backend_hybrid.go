@@ -294,6 +294,16 @@ func (b *hybridBackend) ProtoSummary() (int64, int64, int64) {
 
 func (b *hybridBackend) GCSummary() dsm.GCStats { return b.sys.GCSummary() }
 
+// Close shuts the island DSM down and waits for any worker goroutines.
+// The workers only exist inside Run (which already reaps them), but the
+// island delegates' protocol servers and reply routers are started at
+// construction and would outlive a never-Run backend.
+func (b *hybridBackend) Close() error {
+	err := b.sys.Shutdown()
+	b.wg.Wait()
+	return err
+}
+
 // ---------------------------------------------------------------------
 // Worker: identity, clock, fork.
 // ---------------------------------------------------------------------

@@ -92,9 +92,10 @@ type smpBackend struct {
 	barC    *sync.Cond
 	aborted bool
 
-	errOnce sync.Once
-	err     error
-	done    chan struct{}
+	errOnce  sync.Once
+	err      error
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
 // smpWorker is one goroutine of the team; it implements Worker.
@@ -208,7 +209,7 @@ func (b *smpBackend) abort(err error) {
 		}
 		b.barC.Broadcast()
 		b.mu.Unlock()
-		close(b.done)
+		b.doneOnce.Do(func() { close(b.done) })
 	})
 }
 
@@ -271,6 +272,15 @@ func (b *smpBackend) TrafficBreakdown() dsm.TrafficBreakdown {
 func (b *smpBackend) ResetTraffic()                       {}
 func (b *smpBackend) ProtoSummary() (int64, int64, int64) { return 0, 0, 0 }
 func (b *smpBackend) GCSummary() dsm.GCStats              { return dsm.GCStats{} }
+
+// Close marks the backend shut down. The worker goroutines live only
+// inside Run (which reaps them before returning), so there is nothing to
+// wait for; closing done keeps the contract that a closed backend's done
+// channel is closed whether or not the run aborted.
+func (b *smpBackend) Close() error {
+	b.doneOnce.Do(func() { close(b.done) })
+	return b.err
+}
 
 // ---------------------------------------------------------------------
 // Worker: identity, clock, fork/join.

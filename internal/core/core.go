@@ -213,6 +213,12 @@ func (p *Program) ProtoSummary() (retired, peakChain, peakBytes int64) {
 // purge outcomes (all zero on the SMP backend).
 func (p *Program) GCSummary() dsm.GCStats { return p.be.GCSummary() }
 
+// Close releases the backend's resources (see Backend.Close): protocol
+// servers and reply routers on the DSM-backed backends, which otherwise
+// outlive the program — forever, if it was constructed but never Run.
+// Idempotent; results and statistics remain readable afterwards.
+func (p *Program) Close() error { return p.be.Close() }
+
 // criticalLock maps a critical-section name to a lock id. Named critical
 // sections with the same name share one lock program-wide, per the
 // standard; the id space is partitioned away from user semaphore ids.

@@ -119,9 +119,10 @@ type System struct {
 	gcMu     sync.Mutex
 	gcFloors map[int64]*epochFloor // per-epoch floor agreement (see checkEpochFloor)
 
-	errOnce sync.Once
-	err     error
-	done    chan struct{} // closed on abort to unblock channel waits
+	errOnce  sync.Once
+	err      error
+	done     chan struct{} // closed on abort or shutdown to unblock channel waits
+	doneOnce sync.Once
 
 	serverWG sync.WaitGroup
 }
@@ -358,10 +359,31 @@ func (s *System) mallocLocked(size int) Addr {
 func (s *System) abort(err error) {
 	s.errOnce.Do(func() {
 		s.err = err
-		close(s.done)
+		s.doneOnce.Do(func() { close(s.done) })
 		s.sw.Shutdown()
 	})
 }
+
+// Shutdown releases every resource the system holds: it closes the done
+// channel, shuts the switch down (idempotently — an abort may already have
+// done both), and waits for the protocol servers and reply routers started
+// by New to exit. It returns the run's first error, if any.
+//
+// Shutdown is idempotent and must be called once the system is quiescent:
+// after Run has returned, or on a system that was never Run (a scheduler
+// tearing down a constructed-but-unused backend — without this, the P
+// server goroutines and router pumps started by New outlive the System).
+// It must not be called while a Run is in flight.
+func (s *System) Shutdown() error {
+	s.doneOnce.Do(func() { close(s.done) })
+	s.sw.Shutdown()
+	s.serverWG.Wait()
+	return s.err
+}
+
+// Close is Shutdown under the io.Closer-shaped name used by run-scoped
+// `defer sys.Close()` teardown in the applications.
+func (s *System) Close() error { return s.Shutdown() }
 
 // Run executes master on node 0 while nodes 1..P-1 wait for forked
 // regions. It returns when master returns (after shutting the slaves
@@ -388,7 +410,10 @@ func (s *System) Run(master func(n *Node)) error {
 		}
 	}()
 	appWG.Wait()
-	s.errOnce.Do(func() { s.sw.Shutdown() })
+	// Servers exit via the switch's down signal; router pumps select on
+	// done (Shutdown no longer closes the inbox channels).
+	s.doneOnce.Do(func() { close(s.done) })
+	s.sw.Shutdown()
 	s.serverWG.Wait()
 	return s.err
 }

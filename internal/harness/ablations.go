@@ -35,6 +35,7 @@ func AblationPipeline(rounds, procs int) (AblationResult, error) {
 	// every update, busy-waiting consumers.
 	{
 		sys := dsm.New(dsm.Config{Procs: procs})
+		defer sys.Close()
 		data := sys.MallocPage(8)
 		avail := sys.MallocPage(8)
 		done := sys.MallocPage(8)
@@ -73,6 +74,7 @@ func AblationPipeline(rounds, procs int) (AblationResult, error) {
 	// Figure 3: two semaphores, no busy-waiting, no third parties.
 	{
 		sys := dsm.New(dsm.Config{Procs: procs})
+		defer sys.Close()
 		data := sys.MallocPage(8)
 		const semAvail, semDone = 2, 3
 		sys.Register("sema-pipe", func(n *dsm.Node, _ []byte) {
@@ -123,6 +125,7 @@ func AblationTaskQueue(tasks, procs int) (AblationResult, error) {
 
 	build := func(useCond bool) (*dsm.System, error) {
 		sys := dsm.New(dsm.Config{Procs: procs})
+		defer sys.Close()
 		head := sys.MallocPage(8)
 		tail := sys.Malloc(8)
 		nwait := sys.Malloc(8)
@@ -242,6 +245,7 @@ func AblationFlushCost(procsList []int) ([]FlushCostRow, error) {
 	var rows []FlushCostRow
 	for _, procs := range procsList {
 		sys := dsm.New(dsm.Config{Procs: procs})
+		defer sys.Close()
 		a := sys.MallocPage(8)
 		var flushMsgs, semaMsgs int64
 		sys.Register("noop", func(n *dsm.Node, _ []byte) {})
@@ -332,6 +336,7 @@ func AblationGCIteration(iters, procs int) ([]GCAblationRow, error) {
 	for _, mode := range GCModes {
 		disable, minRetire := gcModeConfig(mode, name, procs)
 		sys := dsm.New(dsm.Config{Procs: procs, DisableGC: disable, GCMinRetire: minRetire})
+		defer sys.Close()
 		base := sys.MallocPage(8 * words)
 		sys.Register("gc-iter", func(n *dsm.Node, _ []byte) {
 			me := n.ID()
@@ -468,6 +473,7 @@ func GCLockSparse(procs, rounds int, pressure int, policy string) (*dsm.System, 
 		GCPressure: pressure,
 		GCPolicy:   dsm.MustParseGCPolicy(policy),
 	})
+	defer sys.Close()
 	arr := sys.MallocPage(procs * dsm.PageSize)
 	ctr := sys.MallocPage(8)
 	pageAddr := func(owner int) dsm.Addr { return arr + dsm.Addr(owner*dsm.PageSize) }

@@ -63,9 +63,9 @@ func fakeCell(a App, s Scale, impl Impl, procs int) (apps.Result, error) {
 // fake cells, and requires byte-identical output: the concurrent grid
 // must not reorder, interleave, or drop rows.
 func TestConcurrentGridOutputByteIdentical(t *testing.T) {
-	origRun, origWorkers := runCell, Workers
-	defer func() { runCell, Workers = origRun, origWorkers }()
-	runCell = fakeCell
+	origWorkers := Workers
+	restore := swapRunCell(fakeCell)
+	defer func() { restore(); Workers = origWorkers }()
 
 	render := func(workers int) string {
 		Workers = workers
@@ -125,17 +125,17 @@ func TestCellWeights(t *testing.T) {
 		OMPHybrid: weightHybrid, HybridImpl(1): weightHybrid, HybridImpl(4): weightHybrid,
 		Seq: weightCheap, OMPSMP: weightCheap, MPI: weightCheap,
 	} {
-		if got := cellWeight(impl); got != want {
-			t.Errorf("cellWeight(%s) = %d, want %d", impl, got, want)
+		if got := CellWeight(impl); got != want {
+			t.Errorf("CellWeight(%s) = %d, want %d", impl, got, want)
 		}
 	}
-	if weightNOW != cellUnitsPerWorker {
+	if weightNOW != CellUnitsPerWorker {
 		t.Errorf("a NOW cell (weight %d) should occupy exactly one worker slot (%d units)",
-			weightNOW, cellUnitsPerWorker)
+			weightNOW, CellUnitsPerWorker)
 	}
 
 	const capacity = 8
-	pool := newWeightedPool(capacity)
+	pool := NewWeightedPool(capacity)
 	var mu sync.Mutex
 	inUse, peak := 0, 0
 	var wg sync.WaitGroup
@@ -144,7 +144,7 @@ func TestCellWeights(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			pool.acquire(w)
+			pool.Acquire(w)
 			mu.Lock()
 			inUse += w
 			if inUse > peak {
@@ -153,7 +153,7 @@ func TestCellWeights(t *testing.T) {
 			if inUse > capacity {
 				mu.Unlock()
 				t.Errorf("weighted pool over capacity: %d > %d", inUse, capacity)
-				pool.release(w)
+				pool.Release(w)
 				return
 			}
 			mu.Unlock()
@@ -161,7 +161,7 @@ func TestCellWeights(t *testing.T) {
 			mu.Lock()
 			inUse -= w
 			mu.Unlock()
-			pool.release(w)
+			pool.Release(w)
 		}(w)
 	}
 	wg.Wait()
@@ -174,16 +174,16 @@ func TestCellWeights(t *testing.T) {
 // table row an inherited error surfaces at, the message must name the
 // cell that actually failed, at every pool width.
 func TestGridErrorNamesFailingCell(t *testing.T) {
-	origRun, origWorkers := runCell, Workers
-	defer func() { runCell, Workers = origRun, origWorkers }()
+	origWorkers := Workers
 	failImpl, failProcs := Tmk, 8
 	failApp := Apps[len(Apps)-1].Name // a late table row, so wide pools inherit early
-	runCell = func(a App, s Scale, impl Impl, procs int) (apps.Result, error) {
+	restore := swapRunCell(func(a App, s Scale, impl Impl, procs int) (apps.Result, error) {
 		if a.Name == failApp && impl == failImpl && procs == failProcs {
 			return apps.Result{}, fmt.Errorf("synthetic cell failure")
 		}
 		return fakeCell(a, s, impl, procs)
-	}
+	})
+	defer func() { restore(); Workers = origWorkers }()
 	want := fmt.Sprintf("cell %s/%s/p%d failed", failApp, failImpl, failProcs)
 	for _, w := range []int{1, 4, 32} {
 		Workers = w

@@ -26,19 +26,25 @@ var Workers = runtime.NumCPU()
 // full TreadMarks protocol (pages, diffs, servers, GC) while an SMP cell
 // is pure compute over a flat heap and a hybrid cell sits in between
 // (protocol traffic only across islands). The scheduler charges each cell
-// a weight out of a capacity of cellUnitsPerWorker×Workers, so cheap
+// a weight out of a capacity of CellUnitsPerWorker×Workers, so cheap
 // cells pack several to a worker slot while NOW cells keep the old
 // one-per-worker bound — shortening `nowbench -all` without
-// oversubscribing the protocol-heavy simulations.
+// oversubscribing the protocol-heavy simulations. The serve scheduler
+// (internal/serve) prices its backend slots with the same weights, which
+// is why they are exported.
 const (
-	cellUnitsPerWorker = 4
-	weightNOW          = 4 // omp, tmk: full TreadMarks protocol
-	weightHybrid       = 2 // omp-hybrid: inter-island protocol only
-	weightCheap        = 1 // seq, omp-smp, mpi: no DSM protocol at all
+	// CellUnitsPerWorker is the capacity of one worker slot in weight
+	// units: one full-protocol NOW cell, or CellUnitsPerWorker cheap ones.
+	CellUnitsPerWorker = 4
+
+	weightNOW    = 4 // omp, tmk: full TreadMarks protocol
+	weightHybrid = 2 // omp-hybrid: inter-island protocol only
+	weightCheap  = 1 // seq, omp-smp, mpi: no DSM protocol at all
 )
 
-// cellWeight returns the scheduling weight of one grid cell.
-func cellWeight(impl Impl) int {
+// CellWeight returns the scheduling weight of one grid cell (or one
+// served job) of the given implementation.
+func CellWeight(impl Impl) int {
 	if _, ok := hybridBackendKind(impl); ok {
 		return weightHybrid
 	}
@@ -51,20 +57,28 @@ func cellWeight(impl Impl) int {
 	return weightNOW // unknown impls priced conservatively
 }
 
-// weightedPool is a counting semaphore with per-acquire weights.
-type weightedPool struct {
+// WeightedPool is a counting semaphore with per-acquire weights: the
+// admission structure behind the grid's weighted worker pool, exported so
+// the serve scheduler bounds its live backends with the same discipline.
+type WeightedPool struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	avail int
 }
 
-func newWeightedPool(capacity int) *weightedPool {
-	p := &weightedPool{avail: capacity}
+// NewWeightedPool returns a pool with the given capacity in weight units.
+func NewWeightedPool(capacity int) *WeightedPool {
+	p := &WeightedPool{avail: capacity}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
-func (p *weightedPool) acquire(w int) {
+// Acquire blocks until w units are available and takes them. Fairness
+// across mixed weights is the caller's concern: a heavy acquire can
+// starve behind a stream of light ones if several goroutines race to
+// acquire, so the grid and the serve scheduler both acquire from a
+// single dispatch goroutine in a fixed admission order.
+func (p *WeightedPool) Acquire(w int) {
 	p.mu.Lock()
 	for p.avail < w {
 		p.cond.Wait()
@@ -73,7 +87,8 @@ func (p *weightedPool) acquire(w int) {
 	p.mu.Unlock()
 }
 
-func (p *weightedPool) release(w int) {
+// Release returns w units to the pool.
+func (p *WeightedPool) Release(w int) {
 	p.mu.Lock()
 	p.avail += w
 	p.mu.Unlock()
@@ -94,10 +109,38 @@ type cellResult struct {
 	Err error
 }
 
-// runCell computes one grid cell. Tests swap it to probe the pool's
-// ordering behaviour with deterministic results; the default memoizes,
-// and swapping bypasses the cache entirely.
-var runCell = cachedVerified
+// runCell computes one grid cell. Tests swap it (via swapRunCell) to
+// probe the pool's ordering behaviour with deterministic results; the
+// default memoizes, and swapping bypasses the cache entirely. The guard
+// exists because computeCells may run concurrently with itself (nowbench
+// artifacts share the grid) and, since the serve scheduler arrived, with
+// a serve.Scheduler in the same process: a bare package var would make
+// the test-only swap a data race against those readers.
+var (
+	runCellMu sync.RWMutex
+	runCell   = cachedVerified
+)
+
+func currentRunCell() func(App, Scale, Impl, int) (apps.Result, error) {
+	runCellMu.RLock()
+	defer runCellMu.RUnlock()
+	return runCell
+}
+
+// swapRunCell installs a replacement cell runner and returns a restore
+// function. Test-only; callers must restore before the test ends and must
+// not leave cells in flight across the swap.
+func swapRunCell(f func(App, Scale, Impl, int) (apps.Result, error)) (restore func()) {
+	runCellMu.Lock()
+	old := runCell
+	runCell = f
+	runCellMu.Unlock()
+	return func() {
+		runCellMu.Lock()
+		runCell = old
+		runCellMu.Unlock()
+	}
+}
 
 // cellCache memoizes full grid cells across artifacts: nowbench -all
 // asks for the same (app, impl, procs) cell from Figure 6, Table 2, the
@@ -183,7 +226,7 @@ func computeCells(s Scale, cells []cellKey) map[cellKey]cellResult {
 			r.Err = ferr
 		} else {
 			if a, ok := FindApp(k.App); ok {
-				r.Res, r.Err = runCell(a, s, k.Impl, k.Procs)
+				r.Res, r.Err = currentRunCell()(a, s, k.Impl, k.Procs)
 			} else {
 				r.Err = fmt.Errorf("harness: unknown app %q", k.App)
 			}
@@ -211,15 +254,15 @@ func computeCells(s Scale, cells []cellKey) map[cellKey]cellResult {
 	// cellUnitsPerWorker×Workers, so protocol-heavy NOW cells keep the
 	// old one-per-worker concurrency while SMP/hybrid cells pack several
 	// to a slot.
-	pool := newWeightedPool(cellUnitsPerWorker * Workers)
+	pool := NewWeightedPool(CellUnitsPerWorker * Workers)
 	var wg sync.WaitGroup
 	for _, k := range cells {
-		w := cellWeight(k.Impl)
-		pool.acquire(w)
+		w := CellWeight(k.Impl)
+		pool.Acquire(w)
 		wg.Add(1)
 		go func(k cellKey, w int) {
 			defer wg.Done()
-			defer pool.release(w)
+			defer pool.Release(w)
 			oneCell(k)
 		}(k, w)
 	}

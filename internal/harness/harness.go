@@ -102,6 +102,16 @@ const (
 	Test Scale = "test"
 )
 
+// GCKnobs are per-run DSM metadata-GC overrides: the acquire-epoch
+// trigger pressure and the validate-vs-flush purge policy (see
+// dsm.Config.GCPressure / GCPolicy). A served job (serve.Job) may carry
+// them; the zero value applies no override and runs identically to the
+// plain grid cell.
+type GCKnobs struct {
+	Pressure int
+	Policy   string
+}
+
 // App is one of the seven registered applications, wired to its
 // implementations.
 type App struct {
@@ -115,6 +125,10 @@ type App struct {
 
 	RunSeq func(Scale) apps.Result
 	Run    func(s Scale, impl Impl, procs int) (apps.Result, error)
+	// RunGC is Run with GCKnobs applied to the DSM-backed backends. Nil
+	// for the applications whose Params do not plumb the knobs (3D-FFT,
+	// LU, Barnes); VerifiedGC rejects non-zero knobs for those.
+	RunGC func(s Scale, impl Impl, procs int, gc GCKnobs) (apps.Result, error)
 }
 
 // Apps lists the applications in the paper's Table 1 order.
@@ -126,22 +140,9 @@ var Apps = []App{
 		Synch:    "semaphore",
 		RunSeq:   func(s Scale) apps.Result { return sweep3d.RunSeq(sweepParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
-			p := sweepParams(s)
-			if bk, ok := hybridBackendKind(impl); ok {
-				return sweep3d.RunOMPOn(p, procs, bk)
-			}
-			switch impl {
-			case OMP:
-				return sweep3d.RunOMP(p, procs)
-			case OMPSMP:
-				return sweep3d.RunOMPOn(p, procs, core.BackendSMP)
-			case Tmk:
-				return sweep3d.RunTmk(p, procs)
-			case MPI:
-				return sweep3d.RunMPI(p, procs)
-			}
-			return sweep3d.RunSeq(p), nil
+			return runSweep3D(s, impl, procs, GCKnobs{})
 		},
+		RunGC: runSweep3D,
 	},
 	{
 		Name:     "3D-FFT",
@@ -174,22 +175,9 @@ var Apps = []App{
 		Synch:    "barrier",
 		RunSeq:   func(s Scale) apps.Result { return water.RunSeq(waterParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
-			p := waterParams(s)
-			if bk, ok := hybridBackendKind(impl); ok {
-				return water.RunOMPOn(p, procs, bk)
-			}
-			switch impl {
-			case OMP:
-				return water.RunOMP(p, procs)
-			case OMPSMP:
-				return water.RunOMPOn(p, procs, core.BackendSMP)
-			case Tmk:
-				return water.RunTmk(p, procs)
-			case MPI:
-				return water.RunMPI(p, procs)
-			}
-			return water.RunSeq(p), nil
+			return runWater(s, impl, procs, GCKnobs{})
 		},
+		RunGC: runWater,
 	},
 	{
 		Name:     "TSP",
@@ -198,22 +186,9 @@ var Apps = []App{
 		Synch:    "critical",
 		RunSeq:   func(s Scale) apps.Result { return tsp.RunSeq(tspParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
-			p := tspParams(s)
-			if bk, ok := hybridBackendKind(impl); ok {
-				return tsp.RunOMPOn(p, procs, bk)
-			}
-			switch impl {
-			case OMP:
-				return tsp.RunOMP(p, procs)
-			case OMPSMP:
-				return tsp.RunOMPOn(p, procs, core.BackendSMP)
-			case Tmk:
-				return tsp.RunTmk(p, procs)
-			case MPI:
-				return tsp.RunMPI(p, procs)
-			}
-			return tsp.RunSeq(p), nil
+			return runTSP(s, impl, procs, GCKnobs{})
 		},
+		RunGC: runTSP,
 	},
 	{
 		Name:     "QSORT",
@@ -222,22 +197,9 @@ var Apps = []App{
 		Synch:    "critical, condition variables",
 		RunSeq:   func(s Scale) apps.Result { return qsort.RunSeq(qsortParams(s)) },
 		Run: func(s Scale, impl Impl, procs int) (apps.Result, error) {
-			p := qsortParams(s)
-			if bk, ok := hybridBackendKind(impl); ok {
-				return qsort.RunOMPOn(p, procs, bk)
-			}
-			switch impl {
-			case OMP:
-				return qsort.RunOMP(p, procs)
-			case OMPSMP:
-				return qsort.RunOMPOn(p, procs, core.BackendSMP)
-			case Tmk:
-				return qsort.RunTmk(p, procs)
-			case MPI:
-				return qsort.RunMPI(p, procs)
-			}
-			return qsort.RunSeq(p), nil
+			return runQSort(s, impl, procs, GCKnobs{})
 		},
+		RunGC: runQSort,
 	},
 	{
 		Name:     "LU",
@@ -287,6 +249,87 @@ var Apps = []App{
 			return barnes.RunSeq(p), nil
 		},
 	},
+}
+
+// The per-app dispatchers below are the Run/RunGC bodies of the four
+// applications whose Params plumb the DSM GC knobs. Zero GCKnobs assign
+// the params' zero values, so Run(s, impl, procs) stays byte-identical to
+// the pre-knob closures.
+
+func runSweep3D(s Scale, impl Impl, procs int, gc GCKnobs) (apps.Result, error) {
+	p := sweepParams(s)
+	p.GCPressure, p.GCPolicy = gc.Pressure, gc.Policy
+	if bk, ok := hybridBackendKind(impl); ok {
+		return sweep3d.RunOMPOn(p, procs, bk)
+	}
+	switch impl {
+	case OMP:
+		return sweep3d.RunOMP(p, procs)
+	case OMPSMP:
+		return sweep3d.RunOMPOn(p, procs, core.BackendSMP)
+	case Tmk:
+		return sweep3d.RunTmk(p, procs)
+	case MPI:
+		return sweep3d.RunMPI(p, procs)
+	}
+	return sweep3d.RunSeq(p), nil
+}
+
+func runWater(s Scale, impl Impl, procs int, gc GCKnobs) (apps.Result, error) {
+	p := waterParams(s)
+	p.GCPressure, p.GCPolicy = gc.Pressure, gc.Policy
+	if bk, ok := hybridBackendKind(impl); ok {
+		return water.RunOMPOn(p, procs, bk)
+	}
+	switch impl {
+	case OMP:
+		return water.RunOMP(p, procs)
+	case OMPSMP:
+		return water.RunOMPOn(p, procs, core.BackendSMP)
+	case Tmk:
+		return water.RunTmk(p, procs)
+	case MPI:
+		return water.RunMPI(p, procs)
+	}
+	return water.RunSeq(p), nil
+}
+
+func runTSP(s Scale, impl Impl, procs int, gc GCKnobs) (apps.Result, error) {
+	p := tspParams(s)
+	p.GCPressure, p.GCPolicy = gc.Pressure, gc.Policy
+	if bk, ok := hybridBackendKind(impl); ok {
+		return tsp.RunOMPOn(p, procs, bk)
+	}
+	switch impl {
+	case OMP:
+		return tsp.RunOMP(p, procs)
+	case OMPSMP:
+		return tsp.RunOMPOn(p, procs, core.BackendSMP)
+	case Tmk:
+		return tsp.RunTmk(p, procs)
+	case MPI:
+		return tsp.RunMPI(p, procs)
+	}
+	return tsp.RunSeq(p), nil
+}
+
+func runQSort(s Scale, impl Impl, procs int, gc GCKnobs) (apps.Result, error) {
+	p := qsortParams(s)
+	p.GCPressure, p.GCPolicy = gc.Pressure, gc.Policy
+	if bk, ok := hybridBackendKind(impl); ok {
+		return qsort.RunOMPOn(p, procs, bk)
+	}
+	switch impl {
+	case OMP:
+		return qsort.RunOMP(p, procs)
+	case OMPSMP:
+		return qsort.RunOMPOn(p, procs, core.BackendSMP)
+	case Tmk:
+		return qsort.RunTmk(p, procs)
+	case MPI:
+		return qsort.RunMPI(p, procs)
+	}
+	return qsort.RunSeq(p), nil
 }
 
 func sweepParams(s Scale) sweep3d.Params {
@@ -396,6 +439,32 @@ func Verified(a App, s Scale, impl Impl, procs int) (apps.Result, error) {
 		return want, nil
 	}
 	got, err := a.Run(s, impl, procs)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	if err := apps.CheckClose(a.Name+"/"+string(impl), got.Checksum, want.Checksum, 1e-8); err != nil {
+		return apps.Result{}, err
+	}
+	return got, nil
+}
+
+// VerifiedGC is Verified with per-run GC-knob overrides (served jobs
+// carry them). Zero knobs dispatch through Verified on every app —
+// including the three whose Params don't plumb the knobs — and non-zero
+// knobs require App.RunGC. Unlike the cached grid cells, the run is
+// always fresh.
+func VerifiedGC(a App, s Scale, impl Impl, procs int, gc GCKnobs) (apps.Result, error) {
+	if gc == (GCKnobs{}) {
+		return Verified(a, s, impl, procs)
+	}
+	if a.RunGC == nil {
+		return apps.Result{}, fmt.Errorf("harness: app %s does not support GC knobs", a.Name)
+	}
+	want := SeqCached(a, s)
+	if impl == Seq {
+		return want, nil
+	}
+	got, err := a.RunGC(s, impl, procs, gc)
 	if err != nil {
 		return apps.Result{}, err
 	}

@@ -43,9 +43,8 @@ func TestHybridImplParsing(t *testing.T) {
 // Table 2 print the OMP/Hyb column (on deterministic fake cells, so the
 // test stays fast and schedule-independent).
 func TestTablesIncludeHybridColumn(t *testing.T) {
-	origRun := runCell
-	defer func() { runCell = origRun }()
-	runCell = fakeCell
+	restore := swapRunCell(fakeCell)
+	defer restore()
 
 	var buf bytes.Buffer
 	if err := Figure6(&buf, Test, 8); err != nil {

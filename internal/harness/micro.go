@@ -64,6 +64,7 @@ func Micro() (MicroResults, error) {
 	// (3-hop through a third node, with a dirty page to diff).
 	{
 		sys := dsm.New(dsm.Config{Procs: 3})
+		defer sys.Close()
 		a := sys.MallocPage(8)
 		var low, high sim.Time
 		sys.Register("lock-micro", func(n *dsm.Node, _ []byte) {
@@ -96,6 +97,7 @@ func Micro() (MicroResults, error) {
 	// a slave (arrival to departure).
 	{
 		sys := dsm.New(dsm.Config{Procs: 8})
+		defer sys.Close()
 		var cost sim.Time
 		sys.Register("barrier-micro", func(n *dsm.Node, _ []byte) {
 			n.Barrier() // warm: everyone running
@@ -119,6 +121,7 @@ func Micro() (MicroResults, error) {
 		// variants into identical whole-page refetches. This micro pins
 		// the cost of the raw diff-fetch primitive itself.
 		sys := dsm.New(dsm.Config{Procs: 2, DisableGC: true})
+		defer sys.Close()
 		a := sys.MallocPage(dsm.PageSize)
 		var cold, fetch sim.Time
 		isFull := full

@@ -122,7 +122,10 @@ func (w *World) Run(fn func(r *Rank)) error {
 		}(r)
 	}
 	wg.Wait()
-	w.errOnce.Do(func() { w.sw.Shutdown() })
+	w.errOnce.Do(func() {
+		close(w.done)
+		w.sw.Shutdown()
+	})
 	return w.err
 }
 

@@ -15,6 +15,7 @@ package network
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/sim"
@@ -79,10 +80,12 @@ func (s *Stats) ByType(typ int) (messages, bytes int64) {
 
 // Switch connects n endpoints with a shared wire profile.
 type Switch struct {
-	n       int
-	profile sim.WireProfile
-	stats   Stats
-	inboxes [][2]chan *Message // [node][class]
+	n        int
+	profile  sim.WireProfile
+	stats    Stats
+	inboxes  [][2]chan *Message // [node][class]
+	down     chan struct{}      // closed by Shutdown; inboxes are never closed
+	downOnce sync.Once
 }
 
 // queueDepth bounds in-flight messages per (node, class). It only provides
@@ -104,7 +107,7 @@ func queueDepth(n int) int {
 
 // NewSwitch creates a switch for n endpoints using the given wire profile.
 func NewSwitch(n int, profile sim.WireProfile) *Switch {
-	sw := &Switch{n: n, profile: profile}
+	sw := &Switch{n: n, profile: profile, down: make(chan struct{})}
 	sw.inboxes = make([][2]chan *Message, n)
 	for i := range sw.inboxes {
 		sw.inboxes[i][0] = make(chan *Message, queueDepth(n))
@@ -168,8 +171,21 @@ func (e *Endpoint) Send(to, typ int, class Class, payload []byte) {
 // than at the application thread's current time (interrupt semantics).
 func (e *Endpoint) SendAt(to, typ int, class Class, payload []byte, at sim.Time) {
 	m := e.build(to, typ, class, payload, at)
-	e.sw.inboxes[to][m.Class] <- m
-	e.count(typ, payload)
+	select {
+	case <-e.sw.down:
+		panic("network: switch is down")
+	default:
+	}
+	// The down case below keeps a sender from blocking forever on a full
+	// queue whose drainer exited at shutdown. An abort can close `down`
+	// while a send is committing; the message then sits in the queue
+	// unreceived, and the sender unwinds at its next receive instead.
+	select {
+	case e.sw.inboxes[to][m.Class] <- m:
+		e.count(typ, payload)
+	case <-e.sw.down:
+		panic("network: switch is down")
+	}
 }
 
 // build assembles one stamped message (shared by the blocking and
@@ -216,6 +232,11 @@ func (e *Endpoint) count(typ int, payload []byte) {
 func (e *Endpoint) TrySendAt(to, typ int, class Class, payload []byte, at sim.Time) bool {
 	m := e.build(to, typ, class, payload, at)
 	select {
+	case <-e.sw.down:
+		panic("network: switch is down")
+	default:
+	}
+	select {
 	case e.sw.inboxes[to][m.Class] <- m:
 		e.count(typ, payload)
 		return true
@@ -228,7 +249,7 @@ func (e *Endpoint) TrySendAt(to, typ int, class Class, payload []byte, at sim.Ti
 // endpoint's clock to its arrival time. It returns nil if the switch has
 // been shut down.
 func (e *Endpoint) Recv(class Class) *Message {
-	m := <-e.sw.inboxes[e.id][class]
+	m := e.recv(class)
 	if m != nil {
 		e.clock.AdvanceTo(m.Arrive)
 	}
@@ -240,17 +261,42 @@ func (e *Endpoint) Recv(class Class) *Message {
 // own arrival time, not at the application thread's time. It returns nil
 // if the switch has been shut down.
 func (e *Endpoint) RecvRaw(class Class) *Message {
-	return <-e.sw.inboxes[e.id][class]
+	return e.recv(class)
 }
 
-// Shutdown closes every inbox, releasing any goroutine blocked in Recv or
-// RecvRaw with a nil message. It must be called only after all application
-// threads have finished sending.
-func (s *Switch) Shutdown() {
-	for i := range s.inboxes {
-		close(s.inboxes[i][0])
-		close(s.inboxes[i][1])
+// recv is the shared blocking receive: a message if one is queued or
+// arrives, nil once the switch is down and the queue has drained.
+func (e *Endpoint) recv(class Class) *Message {
+	in := e.sw.inboxes[e.id][class]
+	select {
+	case m := <-in:
+		return m
+	case <-e.sw.down:
+		// Drain semantics: messages queued before shutdown remain
+		// receivable until the queue empties, then receivers see nil.
+		select {
+		case m := <-in:
+			return m
+		default:
+			return nil
+		}
 	}
+}
+
+// Shutdown marks the switch down, releasing any goroutine blocked in Recv
+// or RecvRaw with a nil message and making subsequent sends panic (the
+// abort cascade's unwind signal). The inbox channels themselves are never
+// closed — an abort shuts the switch down while application threads may
+// still be mid-send, and closing a channel under a concurrent sender is a
+// data race even when the resulting panic is the desired outcome. Drain
+// semantics: messages already queued remain receivable until their queue
+// empties, after which receivers see nil. Shutdown is idempotent — a run
+// abort and a later lifecycle Close (dsm.System.Shutdown) may both reach
+// it. Goroutines that select on Chan directly are not released by
+// Shutdown; they must pair the receive with their owner's done channel
+// (the dsm reply routers and mpi ranks both do).
+func (s *Switch) Shutdown() {
+	s.downOnce.Do(func() { close(s.down) })
 }
 
 // Chan exposes the delivery channel of one class so callers can select on

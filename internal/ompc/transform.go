@@ -52,6 +52,9 @@ type Compiled struct {
 	bodies   map[string]Body
 }
 
+// Close releases the compiled program's backend (see core.Program.Close).
+func (c *Compiled) Close() error { return c.Prog.Close() }
+
 // AnalysisErrors joins the analysis findings into one error, or nil.
 func joinErrors(errs []error) error {
 	if len(errs) == 0 {

@@ -1,0 +1,66 @@
+package serve
+
+import "repro/internal/sim"
+
+// Virtual-time admission. The latency the report charges a job is NOT
+// when the host's execution pool happened to schedule it — that depends
+// on pool width and host load — but when a NOW with `width` shared
+// backend slots would have admitted it under FIFO weighted admission.
+// Simulating the queueing discipline in virtual time is what makes the
+// report byte-identical across execution pool widths and host machines.
+
+// slot is one job's occupancy: weight units held until finish.
+type slot struct {
+	finish sim.Time
+	weight int
+}
+
+// admit assigns each job its virtual Start and End under FIFO admission
+// onto capacity weight units (width slots × harness.CellUnitsPerWorker).
+// Jobs must be in arrival order with Service already measured. The
+// discipline is strict FIFO: job i+1 never starts before job i, so a
+// heavy NOW job is never starved by a stream of quarter-slot sequential
+// jobs arriving behind it — the property the admission test pins.
+func admit(jobs []*Job, capacity int) {
+	var (
+		active []slot
+		avail  = capacity
+		prev   sim.Time // previous job's start: the FIFO floor
+	)
+	for _, j := range jobs {
+		w := j.Class.SlotWeight()
+		if w > capacity {
+			w = capacity // a job wider than the machine still runs, alone
+		}
+		t := sim.Max(j.Arrival, prev)
+		// Release everything finished by t, then walk forward through
+		// finish events until w units are free. active is small (at most
+		// capacity jobs), so a linear min-scan beats a heap here.
+		for {
+			for i := 0; i < len(active); {
+				if active[i].finish <= t {
+					avail += active[i].weight
+					active[i] = active[len(active)-1]
+					active = active[:len(active)-1]
+				} else {
+					i++
+				}
+			}
+			if avail >= w {
+				break
+			}
+			next := active[0].finish
+			for _, s := range active[1:] {
+				if s.finish < next {
+					next = s.finish
+				}
+			}
+			t = next
+		}
+		avail -= w
+		j.Start = t
+		j.End = t + j.Service
+		active = append(active, slot{finish: j.End, weight: w})
+		prev = t
+	}
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// makeJobs builds a seeded random stream of bare jobs (arrival order,
+// measured service already attached) for admission-model testing.
+func makeJobs(seed uint64, n int) []*Job {
+	rng := sim.NewRNG(seed)
+	impls := []harness.Impl{harness.OMP, harness.Tmk, harness.OMPHybrid, harness.OMPSMP, harness.MPI, harness.Seq}
+	jobs := make([]*Job, n)
+	var at sim.Time
+	for i := range jobs {
+		at += sim.Time(1+rng.Intn(5)) * sim.Millisecond
+		jobs[i] = &Job{
+			ID:      i,
+			Class:   JobClass{App: "Water", Impl: impls[rng.Intn(len(impls))], Procs: 4},
+			Arrival: at,
+			Service: sim.Time(1+rng.Intn(50)) * sim.Millisecond,
+		}
+	}
+	return jobs
+}
+
+// TestAdmissionProperties is the admission property test: across seeded
+// random streams, the virtual-time FIFO model never oversubscribes the
+// weighted capacity, never reorders starts (so heavy NOW jobs cannot
+// starve behind lighter traffic), and admits immediately when the
+// machine is idle.
+func TestAdmissionProperties(t *testing.T) {
+	const capacity = 2 * harness.CellUnitsPerWorker // two slots
+	for seed := uint64(1); seed <= 20; seed++ {
+		jobs := makeJobs(seed, 200)
+		admit(jobs, capacity)
+
+		var prevStart sim.Time
+		for i, j := range jobs {
+			if j.Start < j.Arrival {
+				t.Fatalf("seed %d: job %d started %s before its arrival %s", seed, i, j.Start, j.Arrival)
+			}
+			if j.End != j.Start+j.Service {
+				t.Fatalf("seed %d: job %d end %s != start %s + service %s", seed, i, j.End, j.Start, j.Service)
+			}
+			// FIFO: starts never reorder relative to arrival order. This
+			// is the no-starvation property — a weight-4 NOW job is never
+			// leapfrogged by quarter-slot jobs queued behind it.
+			if j.Start < prevStart {
+				t.Fatalf("seed %d: job %d started %s before its predecessor's %s", seed, i, j.Start, prevStart)
+			}
+			prevStart = j.Start
+
+			// Capacity: at job i's start instant, the active weights
+			// (started, not yet finished) must fit.
+			used := 0
+			for _, k := range jobs[:i+1] {
+				if k.Start <= j.Start && k.End > j.Start {
+					used += k.Class.SlotWeight()
+				}
+			}
+			if used > capacity {
+				t.Fatalf("seed %d: %d weight units in flight at %s, capacity %d", seed, used, j.Start, capacity)
+			}
+
+			// Idle machine admits immediately: nothing in flight at
+			// arrival and no FIFO predecessor still queued.
+			idle := true
+			for _, k := range jobs[:i] {
+				if k.End > j.Arrival || k.Start > j.Arrival {
+					idle = false
+					break
+				}
+			}
+			if idle && j.Start != j.Arrival {
+				t.Fatalf("seed %d: job %d queued %s on an idle machine", seed, i, j.Wait())
+			}
+		}
+	}
+}
+
+// TestAdmissionHeavyNotStarved pins the scenario the FIFO floor exists
+// for: one full-slot NOW job arrives into a dense stream of quarter-slot
+// sequential jobs. Without the floor, single-unit jobs would keep
+// slipping into the partial capacity and the NOW job would wait for a
+// simultaneous 4-unit hole that never opens.
+func TestAdmissionHeavyNotStarved(t *testing.T) {
+	const capacity = harness.CellUnitsPerWorker // one slot
+	var jobs []*Job
+	at := sim.Time(0)
+	for i := 0; i < 40; i++ {
+		at += sim.Millisecond
+		jobs = append(jobs, &Job{
+			ID: i, Arrival: at, Service: 10 * sim.Millisecond,
+			Class: JobClass{App: "Water", Impl: harness.Seq, Procs: 1},
+		})
+	}
+	heavy := &Job{
+		ID: 40, Arrival: at + sim.Millisecond, Service: 10 * sim.Millisecond,
+		Class: JobClass{App: "TSP", Impl: harness.OMP, Procs: 4},
+	}
+	jobs = append(jobs, heavy)
+	for i := 0; i < 40; i++ {
+		at += sim.Millisecond
+		jobs = append(jobs, &Job{
+			ID: 41 + i, Arrival: at + 2*sim.Millisecond, Service: 10 * sim.Millisecond,
+			Class: JobClass{App: "Water", Impl: harness.Seq, Procs: 1},
+		})
+	}
+	admit(jobs, capacity)
+
+	for _, j := range jobs[41:] {
+		if j.Start < heavy.Start {
+			t.Fatalf("light job %d (start %s) leapfrogged the heavy NOW job (start %s)", j.ID, j.Start, heavy.Start)
+		}
+	}
+	// The heavy job's wait is bounded by draining the 40 jobs already
+	// queued ahead of it, not by the 40 that arrived after.
+	maxAhead := sim.Time(40) * 10 * sim.Millisecond
+	if heavy.Wait() > maxAhead {
+		t.Fatalf("heavy job waited %s, more than the whole queue ahead of it (%s): starved", heavy.Wait(), maxAhead)
+	}
+}
+
+// TestAdmissionWiderThanMachine: a job heavier than total capacity still
+// runs (alone), rather than deadlocking the stream.
+func TestAdmissionWiderThanMachine(t *testing.T) {
+	jobs := []*Job{
+		{ID: 0, Arrival: sim.Millisecond, Service: sim.Millisecond,
+			Class: JobClass{Impl: harness.OMP}},
+		{ID: 1, Arrival: sim.Millisecond, Service: sim.Millisecond,
+			Class: JobClass{Impl: harness.Seq}},
+	}
+	admit(jobs, 2) // capacity below the NOW job's weight of 4
+	if jobs[0].Start != sim.Millisecond {
+		t.Fatalf("over-wide job should start at arrival on the empty machine, started %s", jobs[0].Start)
+	}
+	if jobs[1].Start < jobs[0].End {
+		t.Fatalf("the over-wide job must run alone: job 1 started %s during [%s, %s)", jobs[1].Start, jobs[0].Start, jobs[0].End)
+	}
+}

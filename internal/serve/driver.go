@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// DriverConfig parameterizes the synthetic submission stream.
+type DriverConfig struct {
+	// Seed seeds the arrival process; the same seed, rate, and mix
+	// reproduce the same stream bit-for-bit.
+	Seed uint64
+	// Rate is the mean arrival rate in jobs per virtual second
+	// (exponential inter-arrival times: a Poisson submission stream).
+	Rate float64
+	// Mix is the class population, drawn with probability proportional
+	// to each class's MixWeight.
+	Mix []JobClass
+}
+
+// Driver generates the deterministic job stream: seeded exponential
+// inter-arrival times over simulated time and a weighted class draw.
+// Everything is derived from sim.RNG — no wall clock anywhere — so a
+// (seed, rate, mix) triple IS the workload, replayable exactly.
+type Driver struct {
+	cfg    DriverConfig
+	rng    *sim.RNG
+	now    sim.Time
+	weight int // sum of mix weights
+}
+
+// NewDriver validates the configuration and positions the stream at
+// virtual time zero.
+func NewDriver(cfg DriverConfig) (*Driver, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("serve: arrival rate must be positive, got %g", cfg.Rate)
+	}
+	if len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("serve: empty job mix")
+	}
+	total := 0
+	for _, c := range cfg.Mix {
+		w := c.MixWeight
+		if w <= 0 {
+			return nil, fmt.Errorf("serve: class %s: mix weight must be positive, got %d", c.Label(), w)
+		}
+		total += w
+	}
+	return &Driver{cfg: cfg, rng: sim.NewRNG(cfg.Seed), weight: total}, nil
+}
+
+// Next draws the next submission: the job's class and its virtual
+// arrival time. Inter-arrival times are exponential with mean 1/Rate
+// seconds, rounded up to whole nanoseconds so arrivals strictly advance.
+func (d *Driver) Next() (JobClass, sim.Time) {
+	// Inverse-CDF draw; 1-u is in (0, 1], so Log is finite and the gap
+	// non-negative.
+	u := d.rng.Float64()
+	gapSec := -math.Log(1-u) / d.cfg.Rate
+	gap := sim.Time(math.Ceil(gapSec * float64(sim.Second)))
+	if gap < 1 {
+		gap = 1
+	}
+	d.now += gap
+
+	pick := d.rng.Intn(d.weight)
+	for _, c := range d.cfg.Mix {
+		pick -= c.MixWeight
+		if pick < 0 {
+			return c, d.now
+		}
+	}
+	// Unreachable: Intn(weight) < sum of weights.
+	return d.cfg.Mix[len(d.cfg.Mix)-1], d.now
+}
+
+// Draw materializes the next n submissions as Jobs with IDs 0..n-1 in
+// arrival order.
+func (d *Driver) Draw(n int) []*Job {
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		c, at := d.Next()
+		jobs[i] = &Job{ID: i, Class: c, Arrival: at}
+	}
+	return jobs
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenLatency is the exact latency report for (seed 11, rate 1000,
+// detMix, 24 jobs, width 2) at test scale. Byte-for-byte: the stream is
+// seeded, the job classes are bit-deterministic (omp-smp/mpi — no DSM
+// protocol jitter), service times are virtual, and the queueing model
+// runs in virtual time, so nothing about the host — CPU count, load,
+// execution pool width — can move a single byte. If this test fails,
+// either the arrival process, a deterministic backend's cost model, the
+// admission discipline, the histogram bounds, or the renderer changed;
+// all are report-breaking changes that should be deliberate.
+const goldenLatency = `Service mode: 24 jobs, 2 backend slots, scale test, seed 11, arrival 1000 jobs/s (virtual)
+Horizon 40.021ms virtual, sustained 599.69 jobs/s
+
+class                     jobs    wait p50   wait p95     e2e p50    e2e p95    e2e p99
+3D-FFT/mpi/p4                4         0ns        0ns    15.849ms   15.849ms   15.849ms
+3D-FFT/omp-smp/p4            5         0ns        0ns    10.000ms   10.000ms   10.000ms
+Barnes/omp-smp/p2            3         0ns        0ns     6.310ms    6.310ms    6.310ms
+Water/omp-smp/p4            12         0ns    1.585ms    10.000ms   10.000ms   10.000ms
+`
+
+func TestServeGoldenLatencyTable(t *testing.T) {
+	mix, err := ParseMix(detMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(DriverConfig{Seed: 11, Rate: 1000, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewScheduler(Config{Width: 2}).Serve(d, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	rep.RenderLatency(&b)
+	if got := b.String(); got != goldenLatency {
+		t.Fatalf("latency report drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, goldenLatency)
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// LatencyHist is a fixed-bucket log-spaced latency histogram: five
+// buckets per decade from 1µs across nine decades (1µs .. 1000s of
+// virtual time), plus an explicit zero bucket below and an overflow
+// bucket above. Fixed bounds make quantiles deterministic: Quantile
+// returns a bucket's upper bound, so the same multiset of observations
+// always renders the same table, independent of insertion order — the
+// property the golden and replay tests rely on.
+const (
+	histBucketsPerDecade = 5
+	histDecades          = 9
+	histBuckets          = histBucketsPerDecade * histDecades
+	histBase             = sim.Microsecond
+)
+
+// histBounds[i] is the inclusive upper bound of bucket i+1 (bucket 0 is
+// the zero/sub-µs bucket), in virtual nanoseconds.
+var histBounds = func() [histBuckets]sim.Time {
+	var b [histBuckets]sim.Time
+	for i := range b {
+		b[i] = sim.Time(math.Ceil(float64(histBase) * math.Pow(10, float64(i)/histBucketsPerDecade)))
+	}
+	return b
+}()
+
+// LatencyHist accumulates virtual-time latency observations.
+type LatencyHist struct {
+	counts [histBuckets + 2]int64 // [0]: <=0 or sub-bucket-0; [histBuckets+1]: overflow
+	n      int64
+	sum    sim.Time
+	max    sim.Time
+}
+
+// bucketFor maps a latency to its bucket index.
+func bucketFor(d sim.Time) int {
+	if d < histBase {
+		return 0
+	}
+	// Binary search over the fixed bounds (45 entries).
+	lo, hi := 0, histBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if histBounds[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if histBounds[lo] < d {
+		return histBuckets + 1 // overflow
+	}
+	return lo + 1
+}
+
+// Observe records one latency.
+func (h *LatencyHist) Observe(d sim.Time) {
+	h.counts[bucketFor(d)]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() int64 { return h.n }
+
+// Mean returns the exact arithmetic mean of the observations (sums are
+// exact in integer nanoseconds, so this too is deterministic).
+func (h *LatencyHist) Mean() sim.Time {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.n)
+}
+
+// Max returns the largest observation.
+func (h *LatencyHist) Max() sim.Time { return h.max }
+
+// Quantile returns the latency bound below which at least p of the
+// observations fall: the upper bound of the bucket holding the
+// ceil(p·n)-th observation (the max for the overflow bucket, 0 for the
+// zero bucket). p is clamped to [0, 1].
+func (h *LatencyHist) Quantile(p float64) sim.Time {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			switch {
+			case i == 0:
+				return 0
+			case i == histBuckets+1:
+				return h.max
+			default:
+				return histBounds[i-1]
+			}
+		}
+	}
+	return h.max
+}

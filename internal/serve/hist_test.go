@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHistQuantileDeterministic(t *testing.T) {
+	// Order independence: the same multiset in two insertion orders
+	// yields identical quantiles.
+	vals := []sim.Time{0, 500, sim.Microsecond, 3 * sim.Microsecond,
+		90 * sim.Microsecond, 2 * sim.Millisecond, 2 * sim.Millisecond,
+		40 * sim.Millisecond, sim.Second, 90 * sim.Second}
+	var a, b LatencyHist
+	for _, v := range vals {
+		a.Observe(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Observe(vals[i])
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		if a.Quantile(p) != b.Quantile(p) {
+			t.Fatalf("p%.2f: %s vs %s under reversed insertion", p, a.Quantile(p), b.Quantile(p))
+		}
+	}
+	if a.Count() != int64(len(vals)) || a.Mean() != b.Mean() || a.Max() != b.Max() {
+		t.Fatalf("summary stats diverge under reversed insertion")
+	}
+}
+
+func TestHistQuantileBounds(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	h.Observe(7 * sim.Microsecond)
+	// A single observation lands in one bucket; every quantile reports
+	// that bucket's upper bound, which must not be below the value.
+	q := h.Quantile(0.5)
+	if q < 7*sim.Microsecond {
+		t.Fatalf("quantile %s below the only observation", q)
+	}
+	if h.Quantile(0.01) != h.Quantile(0.99) {
+		t.Fatal("single observation: all quantiles must agree")
+	}
+
+	// Zero and overflow buckets.
+	var z LatencyHist
+	z.Observe(0)
+	if z.Quantile(0.5) != 0 {
+		t.Fatal("zero-latency observation must quantile to 0")
+	}
+	var o LatencyHist
+	huge := sim.Time(1) << 62
+	o.Observe(huge)
+	if o.Quantile(0.5) != huge {
+		t.Fatalf("overflow bucket must report the max, got %d", o.Quantile(0.5))
+	}
+}
+
+func TestHistBucketMonotone(t *testing.T) {
+	// Bounds strictly increase and bucketFor is consistent with them:
+	// every bound maps into the bucket it bounds.
+	for i := 1; i < histBuckets; i++ {
+		if histBounds[i] <= histBounds[i-1] {
+			t.Fatalf("bucket bounds not strictly increasing at %d: %d <= %d", i, histBounds[i], histBounds[i-1])
+		}
+	}
+	for i, b := range histBounds {
+		if got := bucketFor(b); got != i+1 {
+			t.Fatalf("bound %d (%s) mapped to bucket %d, want %d", i, b, got, i+1)
+		}
+		if got := bucketFor(b + 1); got != i+2 {
+			t.Fatalf("bound %d +1ns mapped to bucket %d, want %d", i, got, i+2)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// ClassStats aggregates the latency record of one job class.
+type ClassStats struct {
+	Label   string
+	Jobs    int
+	Wait    LatencyHist // queue wait: admission - arrival
+	Service LatencyHist // virtual execution time
+	E2E     LatencyHist // completion - arrival
+}
+
+// Checkpoint is one steady-state sample, taken after a window of jobs
+// has fully drained: the largest protocol-metadata footprint any job in
+// the window reported, and the process goroutine census after drain.
+// Bounded window peaks (rather than a monotonically growing series) and
+// a flat census are the service's leak evidence.
+type Checkpoint struct {
+	AfterJobs      int
+	PeakProtoBytes int64
+	Goroutines     int
+}
+
+// Report is the outcome of one served stream.
+type Report struct {
+	Scale harness.Scale
+	Seed  uint64
+	Rate  float64
+	Width int // backend slots of the simulated service
+	Jobs  int
+
+	// Horizon is the virtual completion time of the last job; sustained
+	// throughput is Jobs over this span.
+	Horizon sim.Time
+
+	Classes     []*ClassStats
+	Checkpoints []Checkpoint
+	// BaselineGoroutines is the census before the stream started, the
+	// reference the checkpoints are judged against.
+	BaselineGoroutines int
+}
+
+// Throughput returns the sustained service rate in jobs per virtual
+// second over the stream's horizon.
+func (r *Report) Throughput() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return float64(r.Jobs) / r.Horizon.Seconds()
+}
+
+// buildClasses folds completed jobs into per-class latency stats,
+// ordered by class label — table order never depends on execution order.
+func buildClasses(jobs []*Job) []*ClassStats {
+	byLabel := map[string]*ClassStats{}
+	for _, j := range jobs {
+		l := j.Class.Label()
+		cs, ok := byLabel[l]
+		if !ok {
+			cs = &ClassStats{Label: l}
+			byLabel[l] = cs
+		}
+		cs.Jobs++
+		cs.Wait.Observe(j.Wait())
+		cs.Service.Observe(j.Service)
+		cs.E2E.Observe(j.E2E())
+	}
+	out := make([]*ClassStats, 0, len(byLabel))
+	for _, cs := range byLabel {
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Label < out[k].Label })
+	return out
+}
+
+// RenderLatency prints the deterministic part of the report: the
+// throughput line and the per-class latency quantile table. For a mix of
+// deterministic job classes the output is byte-identical across runs,
+// execution pool widths, and hosts — the golden test pins it.
+func (r *Report) RenderLatency(w io.Writer) {
+	fmt.Fprintf(w, "Service mode: %d jobs, %d backend slots, scale %s, seed %d, arrival %g jobs/s (virtual)\n",
+		r.Jobs, r.Width, r.Scale, r.Seed, r.Rate)
+	fmt.Fprintf(w, "Horizon %s virtual, sustained %.2f jobs/s\n\n", r.Horizon, r.Throughput())
+	fmt.Fprintf(w, "%-24s %5s  %10s %10s  %10s %10s %10s\n",
+		"class", "jobs", "wait p50", "wait p95", "e2e p50", "e2e p95", "e2e p99")
+	for _, c := range r.Classes {
+		fmt.Fprintf(w, "%-24s %5d  %10s %10s  %10s %10s %10s\n",
+			c.Label, c.Jobs,
+			c.Wait.Quantile(0.50), c.Wait.Quantile(0.95),
+			c.E2E.Quantile(0.50), c.E2E.Quantile(0.95), c.E2E.Quantile(0.99))
+	}
+}
+
+// RenderSteadyState prints the measured (host-dependent, therefore not
+// golden-pinned) part: the per-window protocol-footprint peaks and
+// goroutine census at each checkpoint.
+func (r *Report) RenderSteadyState(w io.Writer) {
+	if len(r.Checkpoints) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Steady state (baseline %d goroutines):\n", r.BaselineGoroutines)
+	fmt.Fprintf(w, "%-12s %16s %12s\n", "after jobs", "peak proto B", "goroutines")
+	for _, cp := range r.Checkpoints {
+		fmt.Fprintf(w, "%-12d %16d %12d\n", cp.AfterJobs, cp.PeakProtoBytes, cp.Goroutines)
+	}
+}
+
+// Render prints the full report: the golden-testable latency table
+// followed by the measured steady-state table.
+func (r *Report) Render(w io.Writer) {
+	r.RenderLatency(w)
+	fmt.Fprintln(w)
+	r.RenderSteadyState(w)
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeSoak500 is the acceptance soak: 500 jobs across five classes
+// (four app types, including full-protocol NOW and TreadMarks jobs),
+// every one on a freshly constructed backend. NOW-class service times
+// jitter run to run, so unlike the golden test this asserts structure,
+// not bytes:
+//
+//   - the stream completes with every checksum verified;
+//   - steady-state PeakProtoBytes stays bounded — window peaks do not
+//     grow monotonically, and the late-stream peaks are no worse than
+//     double the early-stream ones (a leaking protocol-metadata pool
+//     would climb without bound across 500 fresh systems);
+//   - the goroutine census returns to baseline after every window
+//     (Serve itself fails the stream otherwise — the drain check uses
+//     the load-measured-bounds discipline: generous real-time budget,
+//     eventual quiescence, no speed assertion, so a loaded CI host can
+//     delay but never fail it).
+func TestServeSoak500(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: ~500 full backend constructions")
+	}
+	mix, err := ParseMix("TSP:omp:p4,QSORT:tmk:p4,Water:omp-smp:p4:w=3,Sweep3D:seq:p1:w=3,3D-FFT:mpi:p4:w=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(DriverConfig{Seed: 42, Rate: 500, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewScheduler(Config{Width: 2, CheckpointEvery: 50}).Serve(d, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Jobs != 500 {
+		t.Fatalf("report covers %d jobs, want 500", rep.Jobs)
+	}
+	total, appTypes := 0, map[string]bool{}
+	for _, c := range rep.Classes {
+		total += c.Jobs
+		app, _, _ := strings.Cut(c.Label, "/")
+		appTypes[app] = true
+		if c.E2E.Count() != int64(c.Jobs) || c.Wait.Count() != int64(c.Jobs) {
+			t.Fatalf("class %s: histogram counts diverge from job count", c.Label)
+		}
+	}
+	if total != 500 {
+		t.Fatalf("classes account for %d jobs, want 500", total)
+	}
+	if len(rep.Classes) < 3 || len(appTypes) < 3 {
+		t.Fatalf("served %d classes over %d app types, want the full mix (>=3 apps)", len(rep.Classes), len(appTypes))
+	}
+	if rep.Throughput() <= 0 {
+		t.Fatalf("non-positive sustained throughput %g", rep.Throughput())
+	}
+
+	if len(rep.Checkpoints) != 10 {
+		t.Fatalf("got %d checkpoints, want 10", len(rep.Checkpoints))
+	}
+	var earlyPeak, latePeak int64
+	monotone := true
+	for i, cp := range rep.Checkpoints {
+		if cp.Goroutines > rep.BaselineGoroutines+3 {
+			t.Fatalf("checkpoint after %d jobs: %d goroutines, baseline %d — backend leak",
+				cp.AfterJobs, cp.Goroutines, rep.BaselineGoroutines)
+		}
+		if i < 5 && cp.PeakProtoBytes > earlyPeak {
+			earlyPeak = cp.PeakProtoBytes
+		}
+		if i >= 5 && cp.PeakProtoBytes > latePeak {
+			latePeak = cp.PeakProtoBytes
+		}
+		if i > 0 && cp.PeakProtoBytes <= rep.Checkpoints[i-1].PeakProtoBytes {
+			monotone = false
+		}
+	}
+	if earlyPeak == 0 {
+		t.Fatal("no NOW/tmk job reported protocol metadata: the mix did not exercise the DSM")
+	}
+	if monotone {
+		t.Fatal("window protocol-footprint peaks grew strictly monotonically: metadata accumulating across jobs")
+	}
+	if latePeak > 2*earlyPeak {
+		t.Fatalf("late-stream protocol peak %d more than doubles early-stream peak %d: unbounded growth", latePeak, earlyPeak)
+	}
+}
