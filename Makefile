@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check lint test test-short test-race smp-race hybrid-race gc-race scale-race serve-race bench-smoke bench tables ci
+.PHONY: build vet fmt-check lint test test-short test-race smp-race hybrid-race gc-race scale-race serve-race fuzz-wire bench-smoke bench bench-wire tables ci
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,15 @@ serve-race:
 		-mix 'TSP:omp:p4,QSORT:tmk:p4,Water:omp-smp:p4:w=2,3D-FFT:mpi:p4' >/dev/null
 	$(GO) test -race -short -run 'TestServe' ./internal/serve
 
+# Short coverage-guided fuzz pass over the wire decoders (trailer,
+# vector clock, and frame envelope): the seeds replay instantly, then a
+# few seconds of mutation hunt for panics that escape the wireError
+# bound. The corpus-less smoke keeps ci deterministic-ish and fast; run
+#   $(GO) test -fuzz FuzzWireDecode ./internal/dsm
+# open-endedly when touching the codec.
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 5s ./internal/dsm
+
 # One-iteration benchmark smoke: compiles and executes every benchmark
 # family (Table 1 / Figure 6 / Table 2 / micro / ablations) so they can
 # never silently rot.
@@ -91,8 +100,16 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem
 
+# Wire-format before/after: total bytes, datagrams, and bytes per
+# synchronization episode for Water and QSORT at 8 and 32 processors
+# under the v1 (one datagram per message) and v2 (coalesced +
+# delta-compressed) formats. Add SCALE=test for a fast run.
+SCALE ?= full
+bench-wire:
+	$(GO) run ./cmd/nowbench -wire -scale $(SCALE)
+
 # Regenerate every paper artifact at full scale.
 tables:
 	$(GO) run ./cmd/nowbench -all
 
-ci: build vet fmt-check lint test smp-race hybrid-race gc-race scale-race serve-race test-race bench-smoke
+ci: build vet fmt-check lint test smp-race hybrid-race gc-race scale-race serve-race test-race fuzz-wire bench-smoke

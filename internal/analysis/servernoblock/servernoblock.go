@@ -16,7 +16,11 @@
 // package-local call graph (goroutine launches start a NEW context and
 // are not followed), and flags every Endpoint.Send/SendAt with a
 // constant network.ClassRequest class argument inside that closure.
-// Reply-class sends and TrySendAt are sound and pass.
+// SendFrameAt (the blocking coalesced-frame send) is flagged the same
+// way; reply-class sends, TrySendAt, and TrySendFrameAt are sound and
+// pass. The batch demux path (dispatch fanning a msgBatch envelope's
+// sub-messages back through the per-type handlers) stays inside server
+// context, so handlers reached only via the demux are still covered.
 //
 // A site with its own boundedness argument (e.g. lock-acquire forwards:
 // at most one outstanding acquire per node, so the forwards in flight
@@ -64,7 +68,7 @@ func run(pass *analysis.Pass) error {
 	for node := range g.Reachable(roots) {
 		for _, call := range node.Calls {
 			fn := analysis.CalleeOf(pass.TypesInfo, call)
-			if !analysis.IsMethodOn(fn, "network", "Endpoint", "Send", "SendAt") {
+			if !analysis.IsMethodOn(fn, "network", "Endpoint", "Send", "SendAt", "SendFrameAt") {
 				continue
 			}
 			if classOf(pass, call) != classRequest {

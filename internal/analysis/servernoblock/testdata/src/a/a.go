@@ -22,7 +22,48 @@ func (n *node) serve() {
 			n.handleForward(m)
 		case 5:
 			n.badWaiver(m)
+		case 6:
+			n.dispatchBatch(m)
+		case 7:
+			n.handleFrameBad(m)
+		case 8:
+			n.handleFrameTry(m)
 		}
+	}
+}
+
+// dispatchBatch demuxes a coalesced frame's sub-messages back through
+// the per-type handlers: the fan-out stays in server context, so a
+// blocking request-class send inside a handler reached only through the
+// demux is still flagged.
+func (n *node) dispatchBatch(m network.Message) {
+	for i := 0; i < len(m.Data); i++ {
+		sub := network.Message{From: m.From, Type: int(m.Data[i]), Arrive: m.Arrive}
+		switch sub.Type {
+		case 1:
+			n.handleBatchedBad(sub)
+		case 2:
+			n.handleBatchedReply(sub)
+		}
+	}
+}
+
+func (n *node) handleBatchedBad(m network.Message) {
+	n.ep.SendAt(m.From, 9, network.ClassRequest, nil, m.Arrive) // want `blocking request-class SendAt`
+}
+
+func (n *node) handleBatchedReply(m network.Message) {
+	n.ep.SendAt(m.From, 9, network.ClassReply, nil, m.Arrive) // reply-class: sound
+}
+
+// SendFrameAt is the blocking coalesced-frame send: request-class from
+// server context is the same forbidden cycle as SendAt.
+func (n *node) handleFrameBad(m network.Message) {
+	n.ep.SendFrameAt(m.From, 25, network.ClassRequest, nil, nil, m.Arrive) // want `blocking request-class SendFrameAt`
+}
+
+func (n *node) handleFrameTry(m network.Message) {
+	for !n.ep.TrySendFrameAt(m.From, 25, network.ClassRequest, nil, nil, m.Arrive) { // non-blocking: sound
 	}
 }
 

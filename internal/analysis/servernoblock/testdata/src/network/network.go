@@ -17,11 +17,21 @@ type Message struct {
 	Arrive int64
 }
 
+type FramePart struct {
+	Type  int
+	Bytes int
+}
+
 type Endpoint struct{}
 
 func (e *Endpoint) Send(to, typ int, class Class, data []byte)             {}
 func (e *Endpoint) SendAt(to, typ int, class Class, data []byte, at int64) {}
 func (e *Endpoint) TrySendAt(to, typ int, class Class, data []byte, at int64) bool {
+	return true
+}
+func (e *Endpoint) SendFrameAt(to, typ int, class Class, data []byte, parts []FramePart, at int64) {
+}
+func (e *Endpoint) TrySendFrameAt(to, typ int, class Class, data []byte, parts []FramePart, at int64) bool {
 	return true
 }
 func (e *Endpoint) Recv(class Class) Message               { return Message{} }

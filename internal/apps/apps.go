@@ -63,6 +63,11 @@ type Result struct {
 	PageMsgs, PageBytes int64
 	SyncMsgs, SyncBytes int64
 	GCMsgs, GCBytes     int64
+	// Frames counts the datagrams that actually crossed the wire: with v2
+	// frame coalescing several logical messages share one datagram, so
+	// Messages - Frames is the number of per-message network headers the
+	// coalescing saved (Frames == Messages under Config.WireV1).
+	Frames int64
 }
 
 // ProtoSource reports DSM protocol-metadata counters and the traffic
@@ -71,6 +76,7 @@ type ProtoSource interface {
 	ProtoSummary() (retired, peakChain, peakBytes int64)
 	GCSummary() dsm.GCStats
 	TrafficBreakdown() dsm.TrafficBreakdown
+	Frames() int64
 }
 
 // DSMResult assembles the Result of a DSM-backed run (TreadMarks or
@@ -86,6 +92,7 @@ func DSMResult(checksum float64, t sim.Time, msgs, bytes int64, src ProtoSource)
 	r.PageMsgs, r.PageBytes = tb.PageMsgs, tb.PageBytes
 	r.SyncMsgs, r.SyncBytes = tb.SyncMsgs, tb.SyncBytes
 	r.GCMsgs, r.GCBytes = tb.GCMsgs, tb.GCBytes
+	r.Frames = src.Frames()
 	return r
 }
 

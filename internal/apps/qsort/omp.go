@@ -24,6 +24,7 @@ func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error
 		DisableGC:  p.DisableGC,
 		GCPressure: p.GCPressure,
 		GCPolicy:   p.GCPolicy,
+		WireV1:     p.WireV1,
 	})
 	defer prog.Close()
 	s := newSharedQS(p, prog)

@@ -35,6 +35,9 @@ type Params struct {
 	DisableGC  bool
 	GCPressure int
 	GCPolicy   string
+	// WireV1 selects the pre-batching DSM wire protocol (see
+	// dsm.Config.WireV1); the bench-wire comparison's control arm.
+	WireV1 bool
 }
 
 // Default returns the paper-scale configuration (256K keys, bubble

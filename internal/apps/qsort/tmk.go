@@ -19,6 +19,7 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		DisableGC:  p.DisableGC,
 		GCPressure: p.GCPressure,
 		GCPolicy:   dsm.MustParseGCPolicy(p.GCPolicy),
+		WireV1:     p.WireV1,
 	})
 	defer sys.Close()
 	s := newSharedQS(p, sys)

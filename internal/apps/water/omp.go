@@ -25,6 +25,7 @@ func RunOMPOn(p Params, procs int, backend core.BackendKind) (apps.Result, error
 		Threads: procs, Platform: p.Platform, Backend: backend,
 		DisableGC: p.DisableGC, GCMinRetire: p.GCMinRetire,
 		GCPressure: p.GCPressure, GCPolicy: p.GCPolicy,
+		WireV1: p.WireV1,
 	})
 	defer prog.Close()
 	posA := prog.SharedPage(bytesArr)

@@ -17,6 +17,7 @@ func RunTmk(p Params, procs int) (apps.Result, error) {
 		Procs: procs, Platform: p.Platform,
 		DisableGC: p.DisableGC, GCMinRetire: p.GCMinRetire,
 		GCPressure: p.GCPressure, GCPolicy: dsm.MustParseGCPolicy(p.GCPolicy),
+		WireV1: p.WireV1,
 	})
 	defer sys.Close()
 	posA := sys.MallocPage(bytesArr)

@@ -51,6 +51,9 @@ type Params struct {
 	// GCPolicy selects the per-page validate-vs-flush purge policy
 	// ("", "flush", "validate-hot", "adaptive").
 	GCPolicy string
+	// WireV1 selects the pre-batching DSM wire protocol (see
+	// dsm.Config.WireV1); the bench-wire comparison's control arm.
+	WireV1 bool
 }
 
 // Default returns the paper-scale configuration: 512 molecules at 8x the

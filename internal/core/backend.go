@@ -186,6 +186,10 @@ type Backend interface {
 	// TrafficBreakdown splits Traffic into page service, synchronization,
 	// and GC consensus (all zero on hardware shared memory).
 	TrafficBreakdown() dsm.TrafficBreakdown
+	// Frames returns the datagram count so far: Traffic's message count
+	// stays logical under v2 frame coalescing, Frames counts what crossed
+	// the wire (zero on hardware shared memory).
+	Frames() int64
 	// ResetTraffic zeroes the traffic counters.
 	ResetTraffic()
 	// ProtoSummary reports consistency-protocol metadata accounting

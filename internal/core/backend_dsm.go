@@ -38,6 +38,8 @@ func (b *dsmBackend) TrafficBreakdown() dsm.TrafficBreakdown {
 	return b.sys.TrafficBreakdown()
 }
 
+func (b *dsmBackend) Frames() int64 { return b.sys.Frames() }
+
 func (b *dsmBackend) ResetTraffic() { b.sys.Switch().ResetStats() }
 
 func (b *dsmBackend) ProtoSummary() (int64, int64, int64) {

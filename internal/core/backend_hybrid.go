@@ -286,6 +286,8 @@ func (b *hybridBackend) TrafficBreakdown() dsm.TrafficBreakdown {
 	return b.sys.TrafficBreakdown()
 }
 
+func (b *hybridBackend) Frames() int64 { return b.sys.Frames() }
+
 func (b *hybridBackend) ResetTraffic() { b.sys.Switch().ResetStats() }
 
 func (b *hybridBackend) ProtoSummary() (int64, int64, int64) {

@@ -269,6 +269,7 @@ func (b *smpBackend) Traffic() (int64, int64) { return 0, 0 }
 func (b *smpBackend) TrafficBreakdown() dsm.TrafficBreakdown {
 	return dsm.TrafficBreakdown{}
 }
+func (b *smpBackend) Frames() int64                       { return 0 }
 func (b *smpBackend) ResetTraffic()                       {}
 func (b *smpBackend) ProtoSummary() (int64, int64, int64) { return 0, 0, 0 }
 func (b *smpBackend) GCSummary() dsm.GCStats              { return dsm.GCStats{} }

@@ -85,6 +85,13 @@ type Config struct {
 	// hardware shared memory.
 	HomePolicy   string
 	BarrierFanin int
+
+	// WireV1 selects the pre-batching DSM wire protocol: full per-record
+	// vector clocks, flat page lists, one datagram per message (see
+	// dsm.Config.WireV1). The default is the v2 coalesced + delta-
+	// compressed format; v1 exists for byte-count pins and the bench-wire
+	// before/after comparison. A no-op on hardware shared memory.
+	WireV1 bool
 }
 
 // dsmConfig assembles the dsm.Config shared by the DSM-backed backends.
@@ -108,6 +115,7 @@ func dsmConfig(cfg Config, procs int, multiClient bool) dsm.Config {
 		GCPolicy:     policy,
 		HomePolicy:   homes,
 		BarrierFanin: cfg.BarrierFanin,
+		WireV1:       cfg.WireV1,
 	}
 }
 
@@ -196,6 +204,11 @@ func (p *Program) Traffic() (messages, bytes int64) { return p.be.Traffic() }
 // synchronization, and GC consensus — the categories the scaling tables
 // attribute a wall to (all zero on hardware shared memory).
 func (p *Program) TrafficBreakdown() dsm.TrafficBreakdown { return p.be.TrafficBreakdown() }
+
+// Frames returns the datagram count so far: with v2 frame coalescing,
+// Traffic's message count stays logical (per sub-message) while Frames
+// counts what actually crossed the wire (zero on hardware shared memory).
+func (p *Program) Frames() int64 { return p.be.Frames() }
 
 // ResetTraffic zeroes the traffic counters (to measure one phase).
 func (p *Program) ResetTraffic() { p.be.ResetTraffic() }

@@ -144,6 +144,7 @@ func ParseGCPolicy(s string) (GCPolicy, error) {
 var (
 	gcDefaultPolicy   = GCPolicyFlush
 	gcDefaultPressure = DefaultGCPressure
+	wireV1Default     = false
 )
 
 // SetGCPolicyDefault sets the purge policy used by systems whose Config
@@ -168,6 +169,17 @@ func SetGCPressureDefault(n int) int {
 	} else {
 		gcDefaultPressure = n
 	}
+	return prev
+}
+
+// SetWireV1Default makes systems whose Config leaves WireV1 false run
+// the pre-batching wire protocol anyway, returning the previous default.
+// It lets a whole harness grid (every app, every cell) flip between the
+// formats for before/after measurement without threading the knob
+// through each Params struct.
+func SetWireV1Default(v bool) bool {
+	prev := wireV1Default
+	wireV1Default = v
 	return prev
 }
 
@@ -313,6 +325,22 @@ func (co *acqCoord) report(id int, vc VectorClock, wantPush bool) (floor VectorC
 		}
 	}
 	return floor, pending, push
+}
+
+// pendingFloorFor returns the floor of an issued epoch node id has not
+// yet purged, honoring the gate ordering — report()'s pending condition
+// without registering a report or consuming push pacing. Frame senders
+// use it to piggyback a msgGCFloor announcement onto a consensus delta
+// already bound for the peer, so a quiet node learns of the epoch one
+// datagram earlier than its own next sync operation would.
+func (co *acqCoord) pendingFloorFor(id int) (VectorClock, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if !co.baseline.dominatedBy(co.purged[id]) &&
+		(co.gate < 0 || id == co.gate || co.baseline.dominatedBy(co.purged[co.gate])) {
+		return co.baseline.clone(), true
+	}
+	return nil, false
 }
 
 // maybeAnnounceLocked issues a new acquire epoch when (a) every node has
@@ -491,13 +519,33 @@ func (c *Client) gcSyncOnce() {
 		// the pressured node's intervals so the consensus floor can
 		// advance without waiting for their application threads.
 		n.mu.Lock()
+		if n.wireV1 {
+			var w wbuf
+			w.vc(n.vc)
+			encodeRecords(&w, n.deltaForLocked(n.knownVC[j]))
+			n.noteSentLocked(j)
+			n.stats.GCSyncPushes++
+			// Sent under mu: atomic with the estimate update.
+			n.ep.SendAt(j, msgGCSync, network.ClassRequest, w.b, c.clk.Now())
+			n.mu.Unlock()
+			continue
+		}
+		// v2: coalesce the push delta with a pending-floor announcement
+		// for the same peer into one frame, so a quiet node both raises
+		// its clock and learns of the epoch it owes in a single datagram.
 		var w wbuf
-		w.vc(n.vc)
-		encodeRecords(&w, n.deltaForLocked(n.knownVC[j]))
+		n.putTrailer(&w, n.vc, n.deltaForLocked(n.knownVC[j]))
+		f := n.newFrame()
+		f.add(msgGCSync, w.b)
+		if floor, ok := co.pendingFloorFor(j); ok {
+			var fw wbuf
+			n.putVC(&fw, floor)
+			f.add(msgGCFloor, fw.b)
+		}
 		n.noteSentLocked(j)
 		n.stats.GCSyncPushes++
 		// Sent under mu: atomic with the estimate update.
-		n.ep.SendAt(j, msgGCSync, network.ClassRequest, w.b, c.clk.Now())
+		f.sendAt(j, c.clk.Now())
 		n.mu.Unlock()
 	}
 }
@@ -516,8 +564,7 @@ func (c *Client) gcSyncOnce() {
 // its application thread.
 func (n *Node) handleGCSync(m *network.Message) {
 	r := rbuf{b: m.Payload}
-	senderVC := r.vc()
-	recs := decodeRecords(&r)
+	senderVC, recs := n.getTrailer(&r)
 	at := m.Arrive + n.sys.plat.RequestService
 	n.mu.Lock()
 	n.chargeInterruptLocked()
@@ -530,23 +577,77 @@ func (n *Node) handleGCSync(m *network.Message) {
 	// exchange makes the push a two-way clock-and-notice swap, exactly
 	// TreadMarks' consensus round; it stops as soon as both sides are
 	// current (an empty delta sends nothing).
-	if back := n.deltaForLocked(n.knownVC[m.From]); len(back) > 0 {
-		var w wbuf
-		w.vc(n.vc)
-		encodeRecords(&w, back)
-		// Non-blocking: a server must NEVER block on a peer's bounded
-		// request queue (two servers mutually blocked sending into each
-		// other's full inboxes would stall every grant in the system). A
-		// dropped reverse delta only delays the consensus floor — the
-		// next push round retries — and the knownVC estimate is updated
-		// only when the send actually happened, keeping the gap-free
-		// delta invariant.
-		if n.ep.TrySendAt(m.From, msgGCSync, network.ClassRequest, w.b, at) {
+	back := n.deltaForLocked(n.knownVC[m.From])
+	if n.wireV1 {
+		if len(back) > 0 {
+			var w wbuf
+			w.vc(n.vc)
+			encodeRecords(&w, back)
+			// Non-blocking: a server must NEVER block on a peer's bounded
+			// request queue (two servers mutually blocked sending into each
+			// other's full inboxes would stall every grant in the system). A
+			// dropped reverse delta only delays the consensus floor — the
+			// next push round retries — and the knownVC estimate is updated
+			// only when the send actually happened, keeping the gap-free
+			// delta invariant.
+			if n.ep.TrySendAt(m.From, msgGCSync, network.ClassRequest, w.b, at) {
+				n.noteSentLocked(m.From)
+				n.stats.GCSyncPushes++
+			}
+		}
+	} else {
+		// v2: frame the reverse delta with a pending-floor announcement
+		// for the pusher, when it owes one. Delivery is all-or-nothing per
+		// envelope, and the knownVC estimate advances ONLY when the frame
+		// that actually carries the delta went out — a dropped frame must
+		// not leave the estimate vouching for sub-messages no peer ever
+		// received (the same invariant as the unbatched TrySendAt path,
+		// re-checked per envelope).
+		f := n.newFrame()
+		if len(back) > 0 {
+			var w wbuf
+			n.putTrailer(&w, n.vc, back)
+			f.add(msgGCSync, w.b)
+		}
+		if co := n.sys.acq; co != nil {
+			if floor, ok := co.pendingFloorFor(m.From); ok {
+				var fw wbuf
+				n.putVC(&fw, floor)
+				f.add(msgGCFloor, fw.b)
+			}
+		}
+		if f.count() > 0 && f.trySendAt(m.From, at) && len(back) > 0 {
 			n.noteSentLocked(m.From)
 			n.stats.GCSyncPushes++
 		}
 	}
 	n.mu.Unlock()
+	n.gcFloorAttemptServer(vc)
+}
+
+// handleGCFloor runs on a node's protocol server when a peer piggybacked
+// a pending-floor announcement onto a consensus frame: attempt the
+// server-side epoch right away instead of waiting for this node's next
+// sync operation. The decoded floor keeps the announcement honest on the
+// wire (its bytes are charged as GC-consensus traffic), but the
+// coordinator registry remains authoritative for which floor this node
+// actually owes — a stale frame can never start a purge the registry
+// would not hand out itself.
+func (n *Node) handleGCFloor(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	_ = n.getVC(&r)
+	n.mu.Lock()
+	n.chargeInterruptLocked()
+	vc := n.vc.clone()
+	n.mu.Unlock()
+	n.gcFloorAttemptServer(vc)
+}
+
+// gcFloorAttemptServer is the server-side epoch attempt shared by
+// handleGCSync and handleGCFloor: report the node's clock, and if an
+// issued epoch is pending here and no application fetch is in flight,
+// run it flush-only right now.
+func (n *Node) gcFloorAttemptServer(vc VectorClock) {
 	co := n.sys.acq
 	if co == nil {
 		return

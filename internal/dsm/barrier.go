@@ -86,8 +86,12 @@ func (n *Node) gatherArrivals() (arrivals []struct {
 		if m.Arrive > latest {
 			latest = m.Arrive
 		}
+		// Only the clock prefix of the trailer is needed here (the server
+		// already incorporated the records in wire order); both wire
+		// versions encode the clock self-contained, so the prefix decodes
+		// alone.
 		r := rbuf{b: m.Payload}
-		senderVC := r.vc()
+		senderVC := n.getVC(&r)
 		arrivals = append(arrivals, struct {
 			from int
 			vc   VectorClock
@@ -118,16 +122,14 @@ func (c *Client) Barrier() {
 		// would let the server incorporate records and change the delta.
 		parent := barrierParent(n.id, n.sys.fanin)
 		var w wbuf
-		w.vc(n.vc)
-		encodeRecords(&w, n.deltaForLocked(n.knownVC[parent]))
+		n.putTrailer(&w, n.vc, n.deltaForLocked(n.knownVC[parent]))
 		n.noteSentLocked(parent)
 		n.ep.SendAt(parent, msgBarrArrive, network.ClassRequest, w.b, c.clk.Now())
 		n.mu.Unlock()
 
 		m := c.recvReply(msgBarrDepart, 0)
 		r := rbuf{b: m.Payload}
-		depVC := r.vc()
-		recs := decodeRecords(&r)
+		depVC, recs := n.getTrailer(&r)
 		n.mu.Lock()
 		n.incorporateLocked(recs, depVC)
 		n.noteHeardLocked(parent, depVC)
@@ -158,16 +160,14 @@ func (c *Client) Barrier() {
 		parent := barrierParent(n.id, n.sys.fanin)
 		n.mu.Lock()
 		var w wbuf
-		w.vc(n.vc)
-		encodeRecords(&w, n.deltaForLocked(n.knownVC[parent]))
+		n.putTrailer(&w, n.vc, n.deltaForLocked(n.knownVC[parent]))
 		n.noteSentLocked(parent)
 		n.ep.SendAt(parent, msgBarrArrive, network.ClassRequest, w.b, c.clk.Now())
 		n.mu.Unlock()
 
 		m := c.recvReply(msgBarrDepart, 0)
 		r := rbuf{b: m.Payload}
-		depVC := r.vc()
-		recs := decodeRecords(&r)
+		depVC, recs := n.getTrailer(&r)
 		n.mu.Lock()
 		n.incorporateLocked(recs, depVC)
 		n.noteHeardLocked(parent, depVC)
@@ -216,13 +216,12 @@ func (n *Node) forwardDeparturesLocked(c *Client, depVC VectorClock, arrivals []
 }) {
 	for _, a := range arrivals {
 		var w wbuf
-		w.vc(depVC)
 		// Exact delta against the arriver's reported clock; departures
 		// are reply-class and therefore never update knownVC. The delta
 		// stays live deliberately: records stored by the server mid-loop
 		// ride along early (their own clocks raise the receiver), which
 		// is sound — only the floor clock must be the snapshot.
-		encodeRecords(&w, n.deltaForLocked(a.vc))
+		n.putTrailer(&w, depVC, n.deltaForLocked(a.vc))
 		n.mu.Unlock()
 		n.ep.SendAt(a.from, msgBarrDepart, network.ClassReply, w.b, c.clk.Now())
 		n.mu.Lock()

@@ -45,20 +45,52 @@ func (w *wbuf) bytes(p []byte) {
 
 func (w *wbuf) str(s string) { w.bytes([]byte(s)) }
 
-// rbuf decodes what wbuf encodes. Decoding errors indicate protocol bugs,
-// so they panic rather than returning errors.
+// wireError is the panic value raised by every decode-side validation
+// failure (short message, oversized count, malformed varint). Keeping a
+// dedicated type lets the fuzz harness recover exactly the decoder's own
+// bounded failure path while still treating any other panic — including a
+// runtime index/alloc fault, which would mean a validation gap — as a bug.
+type wireError string
+
+func (e wireError) Error() string { return string(e) }
+
+func wireErrf(format string, args ...any) wireError {
+	return wireError(fmt.Sprintf(format, args...))
+}
+
+// rbuf decodes what wbuf encodes. Decoding errors indicate protocol bugs
+// (or, since frames cross the simulated wire, hostile input in the fuzz
+// suite), so they panic with a wireError rather than returning errors.
 type rbuf struct {
 	b   []byte
 	off int
 }
 
 func (r *rbuf) need(n int) []byte {
-	if r.off+n > len(r.b) {
-		panic(fmt.Sprintf("dsm: short message: need %d bytes at offset %d of %d", n, r.off, len(r.b)))
+	if n < 0 || r.off+n > len(r.b) {
+		panic(wireErrf("dsm: short message: need %d bytes at offset %d of %d", n, r.off, len(r.b)))
 	}
 	p := r.b[r.off : r.off+n]
 	r.off += n
 	return p
+}
+
+// remaining returns how many undecoded bytes are left: the bound every
+// wire-supplied element count must be validated against BEFORE allocating
+// (each element occupies at least one byte on the wire, so a count above
+// remaining() can only come from a truncated or corrupted frame).
+func (r *rbuf) remaining() int { return len(r.b) - r.off }
+
+// needCount validates a wire-supplied element count against the bytes
+// actually remaining, given a minimum encoded size per element. It exists
+// so a corrupted count fails as a bounded short-message error instead of
+// a multi-gigabyte allocation.
+func (r *rbuf) needCount(n, minBytesPer int) int {
+	if n < 0 || n > r.remaining()/minBytesPer {
+		panic(wireErrf("dsm: short message: count %d exceeds %d remaining bytes at offset %d of %d",
+			n, r.remaining(), r.off, len(r.b)))
+	}
+	return n
 }
 
 func (r *rbuf) u8() uint8    { return r.need(1)[0] }
@@ -69,12 +101,56 @@ func (r *rbuf) i64() int64   { return int64(r.u64()) }
 func (r *rbuf) f64() float64 { return math.Float64frombits(r.u64()) }
 
 func (r *rbuf) bytes() []byte {
+	// Validate the length against the bytes actually present before
+	// allocating: a truncated frame must hit the bounded short-message
+	// path, never size an allocation from the corrupted count.
 	n := int(r.u32())
+	p := r.need(n)
 	out := make([]byte, n)
-	copy(out, r.need(n))
+	copy(out, p)
 	return out
 }
 
 func (r *rbuf) str() string { return string(r.bytes()) }
 
 func (r *rbuf) done() bool { return r.off == len(r.b) }
+
+// maxUvarint bounds decoded varint values: clock components, sequence
+// numbers, page ids, and counts all fit int32, so anything larger is a
+// corrupted frame.
+const maxUvarint = math.MaxInt32
+
+// uv appends v in LEB128 (unsigned varint) form: the workhorse of the v2
+// compact wire encoding, where most values — sparse VC deltas, page-run
+// gaps, element counts — are small.
+func (w *wbuf) uv(v uint64) {
+	for v >= 0x80 {
+		w.b = append(w.b, byte(v)|0x80)
+		v >>= 7
+	}
+	w.b = append(w.b, byte(v))
+}
+
+// uv decodes one LEB128 varint, bounded to maxUvarint (all v2 wire values
+// fit int32; see maxUvarint). Truncation and overflow both raise the
+// decoder's wireError.
+func (r *rbuf) uv() uint64 {
+	var v uint64
+	for shift := 0; ; shift += 7 {
+		b := r.need(1)[0]
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+		if shift >= 28 {
+			panic(wireErrf("dsm: short message: varint overflow at offset %d of %d", r.off, len(r.b)))
+		}
+	}
+	if v > maxUvarint {
+		panic(wireErrf("dsm: short message: varint %d exceeds max %d at offset %d of %d", v, uint64(maxUvarint), r.off, len(r.b)))
+	}
+	return v
+}
+
+// uvi is uv with the int conversion every count/index site wants.
+func (r *rbuf) uvi() int { return int(r.uv()) }

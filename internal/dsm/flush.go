@@ -29,8 +29,7 @@ func (c *Client) Flush() {
 			continue
 		}
 		var w wbuf
-		w.vc(n.vc)
-		encodeRecords(&w, n.deltaForLocked(n.knownVC[j]))
+		n.putTrailer(&w, n.vc, n.deltaForLocked(n.knownVC[j]))
 		n.noteSentLocked(j)
 		// Sent under mu: atomic with the estimate update.
 		n.ep.SendAt(j, msgFlush, network.ClassRequest, w.b, c.clk.Now())
@@ -49,8 +48,7 @@ func (c *Client) Flush() {
 // uninvolved nodes.
 func (n *Node) handleFlush(m *network.Message) {
 	r := rbuf{b: m.Payload}
-	senderVC := r.vc()
-	recs := decodeRecords(&r)
+	senderVC, recs := n.getTrailer(&r)
 	at := m.Arrive + n.sys.plat.RequestService
 	n.mu.Lock()
 	n.chargeInterruptLocked()

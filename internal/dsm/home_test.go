@@ -36,12 +36,14 @@ func homePinWorkload(t *testing.T, cfg Config) (msgs, bytes int64) {
 	return sys.Switch().Stats().Snapshot()
 }
 
-// TestHomeNode0DegeneratePin asserts that HomePolicyNode0 reproduces the
-// pre-sharding protocol byte for byte: the traffic constants below were
-// captured on the revision where node 0 was hard-coded as the allocator,
-// sole page server, flat barrier manager, and GC validate-first node.
-// Any drift means the degenerate configuration is no longer the old
-// protocol and the sharding refactor changed ≤8-processor behaviour.
+// TestHomeNode0DegeneratePin asserts that WireV1 + HomePolicyNode0
+// reproduces the pre-batching, pre-sharding protocol byte for byte: the
+// traffic constants below were captured on the revision where node 0 was
+// hard-coded as the allocator, sole page server, flat barrier manager, and
+// GC validate-first node, before the v2 wire format existed. Any drift
+// means the degenerate configuration is no longer the old protocol —
+// either the sharding refactor changed ≤8-processor behaviour or the
+// WireV1 knob no longer pins the v1 encoding exactly.
 func TestHomeNode0DegeneratePin(t *testing.T) {
 	for _, tt := range []struct {
 		policy GCPolicy
@@ -56,9 +58,36 @@ func TestHomeNode0DegeneratePin(t *testing.T) {
 			GCPressure: -1,
 			GCPolicy:   tt.policy,
 			HomePolicy: HomePolicyNode0,
+			WireV1:     true,
 		})
 		if msgs != tt.msgs || bytes != tt.bytes {
 			t.Errorf("policy %v: msgs=%d bytes=%d, want msgs=%d bytes=%d (degenerate node-0 homes drifted from the pre-sharding protocol)",
+				tt.policy, msgs, bytes, tt.msgs, tt.bytes)
+		}
+	}
+}
+
+// TestHomeNode0WireV2Pin pins the same degenerate workload under the
+// default (v2, delta-compressed) wire format. The logical message counts
+// must match the v1 pin exactly — compression changes bytes, never
+// protocol behaviour — and the byte counts are the fresh v2 goldens.
+func TestHomeNode0WireV2Pin(t *testing.T) {
+	for _, tt := range []struct {
+		policy GCPolicy
+		msgs   int64
+		bytes  int64
+	}{
+		{GCPolicyFlush, 875, 1274609},
+		{GCPolicyValidateHot, 875, 676613},
+	} {
+		msgs, bytes := homePinWorkload(t, Config{
+			Procs:      8,
+			GCPressure: -1,
+			GCPolicy:   tt.policy,
+			HomePolicy: HomePolicyNode0,
+		})
+		if msgs != tt.msgs || bytes != tt.bytes {
+			t.Errorf("policy %v: msgs=%d bytes=%d, want msgs=%d bytes=%d (v2 wire format drifted)",
 				tt.policy, msgs, bytes, tt.msgs, tt.bytes)
 		}
 	}

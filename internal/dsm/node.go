@@ -24,10 +24,11 @@ import (
 // is guarded by mu; application threads release mu whenever they block on
 // the network so the server can keep serving remote requests.
 type Node struct {
-	sys   *System
-	id    int
-	clock sim.Clock
-	ep    *network.Endpoint
+	sys    *System
+	id     int
+	wireV1 bool // pre-batching wire protocol (Config.WireV1; see wire.go)
+	clock  sim.Clock
+	ep     *network.Endpoint
 
 	c0      Client       // default client: the classic single app thread
 	router  *replyRouter // reply demultiplexer; non-nil in multi-client mode
@@ -456,13 +457,20 @@ func (c *Client) ensureWritableLocked(pg *page) {
 	}
 }
 
-// sendDiffRequests issues one batched msgDiffReq per creator for the
-// given missing intervals of page pid (in ascending creator order) and
-// returns the number of requests sent. Callers collect exactly that
-// many msgDiffRep replies via recvDiffReply. It reads only immutable
-// interval identity, so it may run with or without n.mu held.
-func (c *Client) sendDiffRequests(pid PageID, fetch []*interval) int {
-	n := c.n
+// diffRequest is one batched msgDiffReq payload bound for one interval
+// creator.
+type diffRequest struct {
+	creator int
+	payload []byte
+}
+
+// diffRequestPayloads builds the per-creator msgDiffReq payloads for the
+// given missing intervals of page pid, in ascending creator order. It
+// reads only immutable interval identity, so it may run with or without
+// n.mu held. The fault path sends each payload as its own datagram
+// (sendDiffRequests); the GC purge wave coalesces one creator's payloads
+// across ALL its work pages into a single frame (gcPurgePagesLocked).
+func diffRequestPayloads(pid PageID, fetch []*interval) []diffRequest {
 	byCreator := make(map[int][]*interval)
 	var creators []int
 	for _, ivl := range fetch {
@@ -472,6 +480,7 @@ func (c *Client) sendDiffRequests(pid PageID, fetch []*interval) int {
 		byCreator[ivl.creator] = append(byCreator[ivl.creator], ivl)
 	}
 	sort.Ints(creators)
+	out := make([]diffRequest, 0, len(creators))
 	for _, cr := range creators {
 		var w wbuf
 		w.u32(uint32(pid))
@@ -480,9 +489,22 @@ func (c *Client) sendDiffRequests(pid PageID, fetch []*interval) int {
 		for _, ivl := range ivls {
 			w.u32(uint32(ivl.seq))
 		}
-		n.ep.SendAt(cr, msgDiffReq, network.ClassRequest, w.b, c.clk.Now())
+		out = append(out, diffRequest{creator: cr, payload: w.b})
 	}
-	return len(creators)
+	return out
+}
+
+// sendDiffRequests issues one batched msgDiffReq per creator for the
+// given missing intervals of page pid (in ascending creator order) and
+// returns the number of requests sent. Callers collect exactly that
+// many msgDiffRep replies via recvDiffReply.
+func (c *Client) sendDiffRequests(pid PageID, fetch []*interval) int {
+	n := c.n
+	reqs := diffRequestPayloads(pid, fetch)
+	for _, req := range reqs {
+		n.ep.SendAt(req.creator, msgDiffReq, network.ClassRequest, req.payload, c.clk.Now())
+	}
+	return len(reqs)
 }
 
 // recvDiffReply blocks for one msgDiffRep and decodes it into the page

@@ -61,8 +61,7 @@ func (c *Client) SemaSignal(id int) {
 	var w wbuf
 	w.i32(id)
 	w.u32(c.tag)
-	w.vc(n.vc)
-	encodeRecords(&w, n.deltaForLocked(n.knownVC[mgr]))
+	n.putTrailer(&w, n.vc, n.deltaForLocked(n.knownVC[mgr]))
 	n.noteSentLocked(mgr)
 	// Send while holding mu: the estimate update and the send must be
 	// atomic with respect to other request-class deltas to mgr.
@@ -86,8 +85,7 @@ func (n *Node) semaSignalAtMgrLocked(id int, at sim.Time) {
 	var w wbuf
 	w.i32(id)
 	w.u32(wtr.tag)
-	w.vc(n.vc)
-	encodeRecords(&w, n.deltaForLocked(wtr.vc)) // exact delta: no estimate update
+	n.putTrailer(&w, n.vc, n.deltaForLocked(wtr.vc)) // exact delta: no estimate update
 	n.sendOrSelfLocked(wtr.from, msgSemaGrant, w.b, at)
 }
 
@@ -117,7 +115,7 @@ func (c *Client) SemaWait(id int) {
 		var w wbuf
 		w.i32(id)
 		w.u32(c.tag)
-		w.vc(n.vc)
+		n.putVC(&w, n.vc)
 		n.mu.Unlock()
 		n.ep.SendAt(mgr, msgSemaWait, network.ClassRequest, w.b, c.clk.Now())
 	}
@@ -128,8 +126,7 @@ func (c *Client) SemaWait(id int) {
 		panic("dsm: semaphore grant for wrong semaphore")
 	}
 	r.u32() // tag: already matched by routing
-	senderVC := r.vc()
-	recs := decodeRecords(&r)
+	senderVC, recs := n.getTrailer(&r)
 	n.mu.Lock()
 	n.incorporateLocked(recs, senderVC)
 	n.noteHeardLocked(m.From, senderVC)
@@ -143,8 +140,7 @@ func (n *Node) handleSemaSignal(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	id := r.i32()
 	tag := r.u32()
-	senderVC := r.vc()
-	recs := decodeRecords(&r)
+	senderVC, recs := n.getTrailer(&r)
 	at := m.Arrive + n.sys.plat.RequestService
 
 	n.mu.Lock()
@@ -165,7 +161,7 @@ func (n *Node) handleSemaWait(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	id := r.i32()
 	tag := r.u32()
-	reqVC := r.vc()
+	reqVC := n.getVC(&r)
 	at := m.Arrive + n.sys.plat.RequestService
 
 	n.mu.Lock()
@@ -183,8 +179,7 @@ func (n *Node) handleSemaWait(m *network.Message) {
 		var w wbuf
 		w.i32(id)
 		w.u32(tag)
-		w.vc(n.vc)
-		encodeRecords(&w, n.deltaForLocked(reqVC)) // exact delta
+		n.putTrailer(&w, n.vc, n.deltaForLocked(reqVC)) // exact delta
 		n.ep.SendAt(m.From, msgSemaGrant, network.ClassReply, w.b, at)
 		return
 	}

@@ -25,57 +25,103 @@ func (n *Node) serve() {
 		if m == nil {
 			return // switch shut down
 		}
-		switch m.Type {
-		case msgExit:
-			n.forkCh <- m
-		case msgFork:
-			// Incorporate the piggybacked consistency information HERE,
-			// in wire order, before handing the fork to the application
-			// thread: a semaphore signal or flush right behind this fork
-			// in the FIFO may carry a delta that assumes the fork's
-			// intervals have already been seen. The fork GC epoch itself
-			// runs on the APPLICATION thread (slaveLoop) before the
-			// region body: a validate-policy purge fetches diffs over
-			// the network, and a server blocked on replies while its
-			// peers' servers do the same would deadlock the protocol.
-			r := rbuf{b: m.Payload}
-			_ = r.str()   // region
-			_ = r.bytes() // args
-			n.incorporateWire(&r, m.From)
-			n.forkCh <- m // consumed by the slave's application thread
-		case msgJoin:
-			r := rbuf{b: m.Payload}
-			n.incorporateWire(&r, m.From)
-			n.joinCh <- m // consumed by the master's application thread
-		case msgBarrArrive:
-			r := rbuf{b: m.Payload}
-			n.incorporateWire(&r, m.From)
-			n.barrier.arrivals <- m // consumed by the manager's thread
-		case msgPageReq:
-			n.handlePageReq(m)
-		case msgDiffReq:
-			n.handleDiffReq(m)
-		case msgAcqReq:
-			n.handleAcqReq(m)
-		case msgAcqFwd:
-			n.handleAcqFwd(m)
-		case msgSemaSignal:
-			n.handleSemaSignal(m)
-		case msgSemaWait:
-			n.handleSemaWait(m)
-		case msgCondWait:
-			n.handleCondWait(m)
-		case msgCondSignal:
-			n.handleCondNotify(m, false)
-		case msgCondBroadcast:
-			n.handleCondNotify(m, true)
-		case msgFlush:
-			n.handleFlush(m)
-		case msgGCSync:
-			n.handleGCSync(m)
-		default:
-			panic(fmt.Sprintf("dsm: node %d: unknown request type %d", n.id, m.Type))
+		n.dispatch(m)
+	}
+}
+
+// dispatch routes one request to its handler. A msgBatch frame recurses:
+// each typed sub-message is dispatched in wire order as if it had arrived
+// as its own datagram (same sender, same arrival time), so coalescing is
+// invisible to the handlers.
+func (n *Node) dispatch(m *network.Message) {
+	switch m.Type {
+	case msgExit:
+		n.forkCh <- m
+	case msgFork:
+		// Incorporate the piggybacked consistency information HERE,
+		// in wire order, before handing the fork to the application
+		// thread: a semaphore signal or flush right behind this fork
+		// in the FIFO may carry a delta that assumes the fork's
+		// intervals have already been seen. The fork GC epoch itself
+		// runs on the APPLICATION thread (slaveLoop) before the
+		// region body: a validate-policy purge fetches diffs over
+		// the network, and a server blocked on replies while its
+		// peers' servers do the same would deadlock the protocol.
+		r := rbuf{b: m.Payload}
+		_ = r.str()   // region
+		_ = r.bytes() // args
+		n.incorporateWire(&r, m.From)
+		n.forkCh <- m // consumed by the slave's application thread
+	case msgJoin:
+		r := rbuf{b: m.Payload}
+		n.incorporateWire(&r, m.From)
+		n.joinCh <- m // consumed by the master's application thread
+	case msgBarrArrive:
+		r := rbuf{b: m.Payload}
+		n.incorporateWire(&r, m.From)
+		n.barrier.arrivals <- m // consumed by the manager's thread
+	case msgPageReq:
+		n.handlePageReq(m)
+	case msgDiffReq:
+		n.handleDiffReq(m)
+	case msgAcqReq:
+		n.handleAcqReq(m)
+	case msgAcqFwd:
+		n.handleAcqFwd(m)
+	case msgSemaSignal:
+		n.handleSemaSignal(m)
+	case msgSemaWait:
+		n.handleSemaWait(m)
+	case msgCondWait:
+		n.handleCondWait(m)
+	case msgCondSignal:
+		n.handleCondNotify(m, false)
+	case msgCondBroadcast:
+		n.handleCondNotify(m, true)
+	case msgFlush:
+		n.handleFlush(m)
+	case msgGCSync:
+		n.handleGCSync(m)
+	case msgGCFloor:
+		n.handleGCFloor(m)
+	case msgBatch:
+		n.dispatchBatch(m)
+	default:
+		panic(fmt.Sprintf("dsm: node %d: unknown request type %d", n.id, m.Type))
+	}
+}
+
+// dispatchBatch demuxes a coalesced frame (wire.go's frameBuilder) into
+// per-sub synthesized messages and dispatches each in order. Sub payloads
+// alias the envelope payload — handlers never mutate payloads, and any
+// retained decode output is copied by the decoders themselves.
+func (n *Node) dispatchBatch(m *network.Message) {
+	r := rbuf{b: m.Payload}
+	walkBatch(&r, n.id, func(typ int, payload []byte) {
+		n.dispatch(&network.Message{
+			From:    m.From,
+			To:      m.To,
+			Type:    typ,
+			Class:   m.Class,
+			Payload: payload,
+			Send:    m.Send,
+			Arrive:  m.Arrive,
+		})
+	})
+}
+
+// walkBatch decodes a msgBatch envelope, invoking fn for each typed sub in
+// wire order. Factored from dispatchBatch so the fuzz suite can drive the
+// envelope validation (counts, nesting) without reaching live handlers.
+func walkBatch(r *rbuf, nodeID int, fn func(typ int, payload []byte)) {
+	// A sub costs at least 2 envelope bytes (type byte + length varint).
+	nsubs := r.needCount(r.uvi(), 2)
+	for i := 0; i < nsubs; i++ {
+		typ := int(r.u8())
+		if typ == msgBatch {
+			panic(wireErrf("dsm: node %d: nested msgBatch frame", nodeID))
 		}
+		fn(typ, r.need(r.uvi()))
 	}
 }
 
@@ -83,8 +129,7 @@ func (n *Node) serve() {
 // node's knowledge, recording the sender's reported clock (returned for
 // callers that need it, e.g. as a GC epoch floor).
 func (n *Node) incorporateWire(r *rbuf, from int) VectorClock {
-	senderVC := r.vc()
-	recs := decodeRecords(r)
+	senderVC, recs := n.getTrailer(r)
 	n.mu.Lock()
 	n.incorporateLocked(recs, senderVC)
 	n.noteHeardLocked(from, senderVC)
@@ -127,7 +172,7 @@ func (n *Node) handlePageReq(m *network.Message) {
 func (n *Node) handleDiffReq(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	pid := PageID(r.u32())
-	cnt := int(r.u32())
+	cnt := r.needCount(int(r.u32()), 4)
 	seqs := make([]int, cnt)
 	for i := range seqs {
 		seqs[i] = int(r.u32())

@@ -33,6 +33,8 @@ const (
 	msgJoin                     // slave → master: region finished + delta
 	msgExit                     // master → slave: shut down
 	msgGCSync                   // pressured node → quiet node: GC consensus push + delta (acqgc.go)
+	msgGCFloor                  // piggybacked acquire-epoch floor announcement (acqgc.go)
+	msgBatch                    // coalesced per-peer frame of typed sub-messages (wire.go)
 )
 
 // RegionFunc is the body of a parallel region, registered under a name on
@@ -88,6 +90,13 @@ type Config struct {
 	// (8), which makes the tree exactly the old flat manager for runs of
 	// at most 9 nodes.
 	BarrierFanin int
+	// WireV1 selects the pre-batching wire protocol: every message its
+	// own datagram, fixed-width u32 vector clocks and flat page lists in
+	// the interval records. It is byte-identical to the protocol before
+	// frame coalescing and delta compression existed (the golden
+	// byte-count pins run under it); the default (false) is the compact
+	// v2 encoding with per-peer msgBatch frames. See wire.go.
+	WireV1 bool
 	// MultiClient lets several application threads share each node (the
 	// NOW-of-SMPs configuration: every node is an SMP island's protocol
 	// delegate). It starts a reply router per node so tagged grants and
@@ -109,6 +118,7 @@ type System struct {
 	homes     *homeTable  // page → home resolution (see home.go)
 	purged    *homePurged // per-node purge-floor registry (flush gate)
 	fanin     int         // resolved barrier tree fan-in
+	wireV1    bool        // pre-batching wire protocol (Config.WireV1)
 
 	regionsMu sync.Mutex
 	regions   map[string]RegionFunc
@@ -152,6 +162,7 @@ func New(cfg Config) *System {
 		done:      make(chan struct{}),
 		gcOn:      !cfg.DisableGC && gcDefault && cfg.Procs > 1,
 		gcFloors:  make(map[int64]*epochFloor),
+		wireV1:    cfg.WireV1 || wireV1Default,
 	}
 	s.gcPolicy = cfg.GCPolicy
 	if s.gcPolicy == GCPolicyDefault {
@@ -187,6 +198,7 @@ func New(cfg Config) *System {
 		n := &Node{
 			sys:       s,
 			id:        i,
+			wireV1:    s.wireV1,
 			vc:        newVC(cfg.Procs),
 			intervals: make([][]*interval, cfg.Procs),
 			ivlBase:   make([]int, cfg.Procs),
@@ -282,12 +294,22 @@ func (s *System) TrafficBreakdown() TrafficBreakdown {
 		b.PageMsgs += m
 		b.PageBytes += by
 	}
-	b.GCMsgs, b.GCBytes = st.ByType(msgGCSync)
+	for _, typ := range []int{msgGCSync, msgGCFloor} {
+		m, by := st.ByType(typ)
+		b.GCMsgs += m
+		b.GCBytes += by
+	}
 	msgs, bytes := st.Snapshot()
 	b.SyncMsgs = msgs - b.PageMsgs - b.GCMsgs
 	b.SyncBytes = bytes - b.PageBytes - b.GCBytes
 	return b
 }
+
+// Frames returns the number of datagrams the run put on the wire.
+// Messages − Frames (from the switch's Snapshot) is the number of
+// datagrams per-peer frame coalescing eliminated; under Config.WireV1
+// the two are equal.
+func (s *System) Frames() int64 { return s.sw.Stats().FrameCount() }
 
 // Done is closed when the system aborts or shuts down; external worker
 // threads (a hybrid backend's island teams) select on it so they unwind

@@ -61,7 +61,9 @@ func (w *wbuf) vc(v VectorClock) {
 }
 
 func (r *rbuf) vc() VectorClock {
-	n := int(r.u32())
+	// Each component is 4 wire bytes; validating the count against the
+	// bytes remaining keeps a corrupted count from sizing the allocation.
+	n := r.needCount(int(r.u32()), 4)
 	v := make(VectorClock, n)
 	for i := range v {
 		v[i] = int32(r.u32())
@@ -106,7 +108,7 @@ func decodeRecord(r *rbuf) *interval {
 		seq:     r.i32(),
 		vc:      r.vc(),
 	}
-	n := int(r.u32())
+	n := r.needCount(int(r.u32()), 4)
 	ivl.pages = make([]PageID, n)
 	for i := range ivl.pages {
 		ivl.pages[i] = PageID(r.u32())
@@ -123,7 +125,8 @@ func encodeRecords(w *wbuf, ivls []*interval) {
 }
 
 func decodeRecords(r *rbuf) []*interval {
-	n := int(r.u32())
+	// A record is at least 16 bytes (creator, seq, vc count, page count).
+	n := r.needCount(int(r.u32()), 16)
 	out := make([]*interval, n)
 	for i := range out {
 		out[i] = decodeRecord(r)

@@ -1,0 +1,313 @@
+package dsm
+
+// Wire format v2: compact encodings for the consistency trailer (sender
+// vector clock + interval records) and per-peer frame coalescing.
+//
+// The v1 encoding — still selectable via Config.WireV1, and pinned
+// byte-identical by the golden byte-count tests — writes each interval's
+// full vector clock as fixed u32 components plus a flat u32 page list,
+// and every protocol message travels as its own datagram. The v2 default
+// replaces both:
+//
+//   - Vector clocks travel as LEB128 varints (uv), so the mostly-small
+//     components of a young clock cost one byte instead of four.
+//   - A record batch shares one base clock (the componentwise minimum of
+//     the batch's record clocks); each record carries only its sparse
+//     delta against the base. A record's sequence number is never
+//     encoded: the protocol invariant ivl.vc[creator] == seq+1 (see
+//     closeIntervalLocked) lets the decoder derive it.
+//   - Write-notice page lists are sorted and run-length encoded as
+//     (gap, runLen) pairs: QSORT/Sweep3D notices are dense runs, Water's
+//     are short strides, and both collapse to a few bytes per run.
+//   - Everything bound for one peer at a GC push or purge wave is
+//     coalesced into a single msgBatch datagram of typed sub-messages,
+//     demuxed server-side into the existing handlers (see server.go).
+//
+// Every decode path validates wire-supplied counts against the bytes
+// actually remaining before allocating, and fails only via the typed
+// wireError panic — the contract the fuzz suite (wire_test.go) pins.
+
+import (
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// maxPagesPerRecord caps the decoded page list of one interval record. A
+// legitimate record's notices are bounded by the shared heap's page count
+// (well under a million pages at any configured heap size); beyond that
+// the run-length form can only be describing a corrupted frame.
+const maxPagesPerRecord = 1 << 20
+
+// putVCv2 writes a self-contained varint vector clock.
+func putVCv2(w *wbuf, v VectorClock) {
+	w.uv(uint64(len(v)))
+	for _, x := range v {
+		w.uv(uint64(x))
+	}
+}
+
+// getVCv2 decodes a varint vector clock (each component is at least one
+// wire byte, so the count is validated against the bytes remaining).
+func getVCv2(r *rbuf) VectorClock {
+	n := r.needCount(r.uvi(), 1)
+	v := make(VectorClock, n)
+	for i := range v {
+		v[i] = int32(r.uv())
+	}
+	return v
+}
+
+// encodeRecordsV2 writes a record batch in the compact form: count, base
+// clock (componentwise minimum), then per record the creator, the sparse
+// clock delta against the base, and the run-length-encoded page list.
+// Page lists are sorted in place here — safe under the caller's n.mu:
+// each node holds its own copy of every interval record, notice order is
+// immaterial to the protocol, and sorting is idempotent across the many
+// encodes an interval sees.
+func encodeRecordsV2(w *wbuf, ivls []*interval) {
+	w.uv(uint64(len(ivls)))
+	if len(ivls) == 0 {
+		return
+	}
+	base := ivls[0].vc.clone()
+	for _, ivl := range ivls[1:] {
+		for i, x := range ivl.vc {
+			if x < base[i] {
+				base[i] = x
+			}
+		}
+	}
+	putVCv2(w, base)
+	for _, ivl := range ivls {
+		w.uv(uint64(ivl.creator))
+		ndiff := 0
+		for i, x := range ivl.vc {
+			if x != base[i] {
+				ndiff++
+			}
+		}
+		w.uv(uint64(ndiff))
+		for i, x := range ivl.vc {
+			if x != base[i] {
+				w.uv(uint64(i))
+				w.uv(uint64(x - base[i]))
+			}
+		}
+		sort.Slice(ivl.pages, func(a, b int) bool { return ivl.pages[a] < ivl.pages[b] })
+		encodePageRuns(w, ivl.pages)
+	}
+}
+
+// encodePageRuns writes an ascending page-id list as (gap, runLen-1)
+// varint pairs: gap is the distance from the end of the previous run
+// (initially page 0) to the run's first id.
+func encodePageRuns(w *wbuf, pages []PageID) {
+	runs := 0
+	for i := 0; i < len(pages); {
+		j := i + 1
+		for j < len(pages) && pages[j] == pages[j-1]+1 {
+			j++
+		}
+		runs++
+		i = j
+	}
+	w.uv(uint64(runs))
+	prev := PageID(0)
+	for i := 0; i < len(pages); {
+		j := i + 1
+		for j < len(pages) && pages[j] == pages[j-1]+1 {
+			j++
+		}
+		w.uv(uint64(pages[i] - prev))
+		w.uv(uint64(j - i - 1))
+		prev = pages[j-1] + 1
+		i = j
+	}
+}
+
+// decodeRecordsV2 decodes what encodeRecordsV2 writes, deriving each
+// record's sequence number from its reconstructed clock. All counts,
+// indices, and accumulated values are validated before use; any
+// malformation fails via wireError.
+func decodeRecordsV2(r *rbuf) []*interval {
+	// A v2 record is at least 3 bytes (creator, ndiff, nruns varints).
+	n := r.needCount(r.uvi(), 3)
+	if n == 0 {
+		return nil
+	}
+	base := getVCv2(r)
+	out := make([]*interval, n)
+	for k := range out {
+		creator := r.uvi()
+		if creator >= len(base) {
+			panic(wireErrf("dsm: short message: record creator %d outside %d-node clock", creator, len(base)))
+		}
+		vc := base.clone()
+		ndiff := r.needCount(r.uvi(), 2)
+		if ndiff > len(vc) {
+			panic(wireErrf("dsm: short message: %d clock deltas for a %d-node clock", ndiff, len(vc)))
+		}
+		for i := 0; i < ndiff; i++ {
+			idx := r.uvi()
+			if idx >= len(vc) {
+				panic(wireErrf("dsm: short message: clock delta index %d outside %d-node clock", idx, len(vc)))
+			}
+			sum := int64(vc[idx]) + int64(r.uv())
+			if sum > maxUvarint {
+				panic(wireErrf("dsm: short message: clock component %d overflows", sum))
+			}
+			vc[idx] = int32(sum)
+		}
+		if vc[creator] < 1 {
+			panic(wireErrf("dsm: short message: record clock has no interval for creator %d", creator))
+		}
+		out[k] = &interval{
+			creator: creator,
+			seq:     int(vc[creator]) - 1,
+			vc:      vc,
+			pages:   decodePageRuns(r),
+		}
+	}
+	return out
+}
+
+// decodePageRuns reconstructs an ascending page-id list from its
+// (gap, runLen-1) pairs, bounding both the total page count and the
+// largest reconstructed id.
+func decodePageRuns(r *rbuf) []PageID {
+	nruns := r.needCount(r.uvi(), 2)
+	var pages []PageID
+	prev := int64(0)
+	for i := 0; i < nruns; i++ {
+		start := prev + int64(r.uv())
+		runLen := int64(r.uv()) + 1
+		if len(pages)+int(runLen) > maxPagesPerRecord {
+			panic(wireErrf("dsm: short message: record pages exceed cap %d", maxPagesPerRecord))
+		}
+		if start+runLen-1 > maxUvarint {
+			panic(wireErrf("dsm: short message: page id %d overflows", start+runLen-1))
+		}
+		for p := int64(0); p < runLen; p++ {
+			pages = append(pages, PageID(start+p))
+		}
+		prev = start + runLen
+	}
+	return pages
+}
+
+// putVC writes a bare vector clock in the node's configured wire version.
+func (n *Node) putVC(w *wbuf, v VectorClock) {
+	if n.wireV1 {
+		w.vc(v)
+		return
+	}
+	putVCv2(w, v)
+}
+
+// getVC decodes a bare vector clock in the node's configured wire
+// version. Both encodings are self-contained, so trailer consumers that
+// only need the clock prefix (gatherArrivals, slaveLoop) can stop here.
+func (n *Node) getVC(r *rbuf) VectorClock {
+	if n.wireV1 {
+		return r.vc()
+	}
+	return getVCv2(r)
+}
+
+// putTrailer writes the consistency trailer — sender clock plus interval
+// records — in the node's configured wire version.
+func (n *Node) putTrailer(w *wbuf, vc VectorClock, recs []*interval) {
+	if n.wireV1 {
+		w.vc(vc)
+		encodeRecords(w, recs)
+		return
+	}
+	putVCv2(w, vc)
+	encodeRecordsV2(w, recs)
+}
+
+// getTrailer decodes the consistency trailer.
+func (n *Node) getTrailer(r *rbuf) (VectorClock, []*interval) {
+	if n.wireV1 {
+		return r.vc(), decodeRecords(r)
+	}
+	return getVCv2(r), decodeRecordsV2(r)
+}
+
+// frameBuilder collects typed request-class sub-messages bound for one
+// peer and transmits them as a single msgBatch datagram. The envelope is
+// uv(nsubs), then per sub u8(type) + uv(len) + payload; the server demuxes
+// it back into the ordinary handlers (server.go), so observable protocol
+// behavior is unchanged — only the datagram count and header overhead
+// shrink. Degenerate cases collapse: zero subs send nothing, one sub is
+// sent plain under its own type (so single-message waves stay
+// byte-identical to the unbatched path and never pay envelope overhead).
+type frameBuilder struct {
+	n    *Node
+	subs []frameSub
+}
+
+type frameSub struct {
+	typ     int
+	payload []byte
+}
+
+func (n *Node) newFrame() *frameBuilder { return &frameBuilder{n: n} }
+
+func (f *frameBuilder) add(typ int, payload []byte) {
+	f.subs = append(f.subs, frameSub{typ: typ, payload: payload})
+}
+
+func (f *frameBuilder) count() int { return len(f.subs) }
+
+// build assembles the envelope payload and the per-sub attribution parts
+// handed to the network layer so Stats.ByType charges each sub-message's
+// bytes to its true type. The uv(nsubs) prefix is folded into the first
+// part so the parts sum exactly to the payload length (the network layer
+// panics otherwise).
+func (f *frameBuilder) build() ([]byte, []network.FramePart) {
+	var w wbuf
+	w.uv(uint64(len(f.subs)))
+	prefix := len(w.b)
+	parts := make([]network.FramePart, len(f.subs))
+	for i, s := range f.subs {
+		before := len(w.b)
+		w.u8(uint8(s.typ))
+		w.uv(uint64(len(s.payload)))
+		w.b = append(w.b, s.payload...)
+		parts[i] = network.FramePart{Type: s.typ, Bytes: len(w.b) - before}
+	}
+	parts[0].Bytes += prefix
+	return w.b, parts
+}
+
+// sendAt transmits the collected subs (blocking; application-thread
+// contexts only — server contexts must use trySendAt).
+func (f *frameBuilder) sendAt(to int, at sim.Time) {
+	switch len(f.subs) {
+	case 0:
+		return
+	case 1:
+		f.n.ep.SendAt(to, f.subs[0].typ, network.ClassRequest, f.subs[0].payload, at)
+		return
+	}
+	payload, parts := f.build()
+	f.n.ep.SendFrameAt(to, msgBatch, network.ClassRequest, payload, parts, at)
+}
+
+// trySendAt transmits non-blocking, reporting whether the frame (with
+// every sub in it) was delivered. All-or-nothing delivery is what lets
+// callers keep the knownVC bookkeeping invariant per envelope: either
+// every sub went out or none did.
+func (f *frameBuilder) trySendAt(to int, at sim.Time) bool {
+	switch len(f.subs) {
+	case 0:
+		return true
+	case 1:
+		return f.n.ep.TrySendAt(to, f.subs[0].typ, network.ClassRequest, f.subs[0].payload, at)
+	}
+	payload, parts := f.build()
+	return f.n.ep.TrySendFrameAt(to, msgBatch, network.ClassRequest, payload, parts, at)
+}

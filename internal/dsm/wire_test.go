@@ -1,0 +1,483 @@
+package dsm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+)
+
+// ---------------------------------------------------------------------
+// Round-trip properties (testing/quick): encode→decode is the identity
+// for every wire element, in both versions.
+// ---------------------------------------------------------------------
+
+// randRecords builds a batch of interval records over a procs-node clock
+// that respects the protocol invariant vc[creator] == seq+1 (the v2
+// encoding omits seq and re-derives it from the clock, so only invariant-
+// respecting records exist on a healthy wire). Page lists are ascending
+// and duplicate-free, mixing dense runs with isolated ids.
+func randRecords(rnd *rand.Rand, procs, count int) []*interval {
+	out := make([]*interval, count)
+	for k := range out {
+		vc := newVC(procs)
+		for i := range vc {
+			vc[i] = int32(rnd.Intn(1 << rnd.Intn(20)))
+		}
+		creator := rnd.Intn(procs)
+		if vc[creator] == 0 {
+			vc[creator] = int32(rnd.Intn(1000) + 1)
+		}
+		var pages []PageID
+		next := PageID(rnd.Intn(8))
+		for len(pages) < rnd.Intn(40) {
+			run := rnd.Intn(6) + 1
+			for i := 0; i < run; i++ {
+				pages = append(pages, next)
+				next++
+			}
+			next += PageID(rnd.Intn(1000) + 1)
+		}
+		out[k] = &interval{creator: creator, seq: int(vc[creator]) - 1, vc: vc, pages: pages}
+	}
+	return out
+}
+
+// stripDiffs projects a record batch onto its wire-visible fields (diffs
+// never travel in records) so decoded batches compare with DeepEqual.
+func stripDiffs(ivls []*interval) []*interval {
+	out := make([]*interval, len(ivls))
+	for i, ivl := range ivls {
+		pages := ivl.pages
+		if pages == nil {
+			pages = []PageID{}
+		}
+		out[i] = &interval{creator: ivl.creator, seq: ivl.seq, vc: ivl.vc, pages: pages}
+	}
+	return out
+}
+
+func TestWireVCRoundTrip(t *testing.T) {
+	prop := func(xs []uint16) bool {
+		v := make(VectorClock, len(xs))
+		for i, x := range xs {
+			v[i] = int32(x)
+		}
+		var w wbuf
+		putVCv2(&w, v)
+		r := rbuf{b: w.b}
+		got := getVCv2(&r)
+		if len(got) == 0 && len(v) == 0 {
+			return r.done()
+		}
+		return reflect.DeepEqual(got, v) && r.done()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWirePageRunsRoundTrip(t *testing.T) {
+	prop := func(gaps []uint8, lens []uint8) bool {
+		var pages []PageID
+		next := PageID(0)
+		for i, g := range gaps {
+			next += PageID(g)
+			run := 1
+			if i < len(lens) {
+				run += int(lens[i]) % 7
+			}
+			for j := 0; j < run; j++ {
+				pages = append(pages, next)
+				next++
+			}
+			next++ // keep runs maximal: never adjacent
+		}
+		var w wbuf
+		encodePageRuns(&w, pages)
+		r := rbuf{b: w.b}
+		got := decodePageRuns(&r)
+		if len(pages) == 0 {
+			return len(got) == 0 && r.done()
+		}
+		return reflect.DeepEqual(got, pages) && r.done()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireRecordsRoundTrip drives random invariant-respecting batches
+// through both wire versions' trailer codecs.
+func TestWireRecordsRoundTrip(t *testing.T) {
+	for _, v1 := range []bool{false, true} {
+		n := &Node{wireV1: v1}
+		prop := func(seed int64) bool {
+			rnd := rand.New(rand.NewSource(seed))
+			procs := rnd.Intn(16) + 1
+			recs := randRecords(rnd, procs, rnd.Intn(12))
+			vc := newVC(procs)
+			for i := range vc {
+				vc[i] = int32(rnd.Intn(1 << 16))
+			}
+			var w wbuf
+			n.putTrailer(&w, vc, recs)
+			r := rbuf{b: w.b}
+			gotVC, gotRecs := n.getTrailer(&r)
+			if !r.done() || !reflect.DeepEqual(gotVC, vc) {
+				return false
+			}
+			return reflect.DeepEqual(stripDiffs(gotRecs), stripDiffs(recs))
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Fatalf("wireV1=%v: %v", v1, err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Truncation: every strict prefix of a valid encoding must fail through
+// the bounded wireError path — never a runtime fault, never a huge
+// allocation sized from a corrupted count (the bug this PR fixes in the
+// v1 decoders).
+// ---------------------------------------------------------------------
+
+// wantWireError runs fn expecting either success (ok true) or a panic of
+// the decoder's own typed wireError; any other panic is a validation gap.
+func wantWireError(t *testing.T, ctx string, fn func()) {
+	t.Helper()
+	defer func() {
+		switch e := recover().(type) {
+		case nil, wireError:
+		default:
+			t.Fatalf("%s: non-wireError panic: %v", ctx, e)
+		}
+	}()
+	fn()
+}
+
+func TestWireTruncatedTrailer(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	recs := randRecords(rnd, 8, 5)
+	vc := newVC(8)
+	for i := range vc {
+		vc[i] = int32(rnd.Intn(1 << 20))
+	}
+	for _, v1 := range []bool{false, true} {
+		n := &Node{wireV1: v1}
+		var w wbuf
+		n.putTrailer(&w, vc, recs)
+		for cut := 0; cut < len(w.b); cut++ {
+			panicked := false
+			func() {
+				defer func() {
+					switch e := recover().(type) {
+					case wireError:
+						panicked = true
+					case nil:
+					default:
+						t.Fatalf("wireV1=%v cut=%d: non-wireError panic: %v", v1, cut, e)
+					}
+				}()
+				r := rbuf{b: w.b[:cut]}
+				n.getTrailer(&r)
+			}()
+			if !panicked {
+				t.Fatalf("wireV1=%v: truncation at %d of %d decoded silently", v1, cut, len(w.b))
+			}
+		}
+	}
+}
+
+// TestWireCorruptCountBounded pins the decode-before-validate fix
+// directly: a frame whose count field claims far more elements than bytes
+// remain must die in needCount, not in make().
+func TestWireCorruptCountBounded(t *testing.T) {
+	var w wbuf
+	w.u32(0x7fffffff) // v1 record count with an empty body
+	wantWireError(t, "v1 records", func() {
+		r := rbuf{b: w.b}
+		decodeRecords(&r)
+	})
+	var w2 wbuf
+	w2.u32(0x7fffffff) // v1 clock length
+	wantWireError(t, "v1 clock", func() {
+		r := rbuf{b: w2.b}
+		r.vc()
+	})
+	var w3 wbuf
+	w3.u32(0x7fffffff) // byte-slice length (page contents, diff bodies)
+	wantWireError(t, "bytes", func() {
+		r := rbuf{b: w3.b}
+		r.bytes()
+	})
+	var w4 wbuf
+	w4.uv(0x7fffffff) // batch sub count
+	wantWireError(t, "batch count", func() {
+		r := rbuf{b: w4.b}
+		walkBatch(&r, 0, func(int, []byte) {})
+	})
+}
+
+// ---------------------------------------------------------------------
+// Frame envelope.
+// ---------------------------------------------------------------------
+
+func TestWireBatchEnvelopeRoundTrip(t *testing.T) {
+	n := &Node{}
+	f := n.newFrame()
+	subs := []frameSub{
+		{typ: msgGCSync, payload: []byte{1, 2, 3}},
+		{typ: msgGCFloor, payload: nil},
+		{typ: msgDiffReq, payload: make([]byte, 300)},
+	}
+	for _, s := range subs {
+		f.add(s.typ, s.payload)
+	}
+	payload, parts := f.build()
+	sum := 0
+	for _, p := range parts {
+		sum += p.Bytes
+	}
+	if sum != len(payload) {
+		t.Fatalf("parts sum to %d, payload is %d", sum, len(payload))
+	}
+	var got []frameSub
+	r := rbuf{b: payload}
+	walkBatch(&r, 0, func(typ int, p []byte) {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		got = append(got, frameSub{typ: typ, payload: cp})
+	})
+	if !r.done() || len(got) != len(subs) {
+		t.Fatalf("demuxed %d subs, want %d (done=%v)", len(got), len(subs), r.done())
+	}
+	for i, s := range subs {
+		if got[i].typ != s.typ || len(got[i].payload) != len(s.payload) {
+			t.Fatalf("sub %d: got (%d, %d bytes), want (%d, %d bytes)",
+				i, got[i].typ, len(got[i].payload), s.typ, len(s.payload))
+		}
+	}
+}
+
+func TestWireNestedBatchRejected(t *testing.T) {
+	var w wbuf
+	w.uv(1)
+	w.u8(uint8(msgBatch))
+	w.uv(0)
+	defer func() {
+		if _, ok := recover().(wireError); !ok {
+			t.Fatal("nested msgBatch frame was not rejected with wireError")
+		}
+	}()
+	r := rbuf{b: w.b}
+	walkBatch(&r, 0, func(int, []byte) {})
+}
+
+// TestWireBatchAttribution sends a real two-sub frame across the switch
+// and checks the stats contract: Messages counts logical sub-messages,
+// Frames counts datagrams, and ByType charges every byte to the true
+// sub-message types — the msgBatch envelope never appears in a breakdown.
+func TestWireBatchAttribution(t *testing.T) {
+	sys := New(Config{Procs: 2, GCPressure: -1})
+	defer sys.Shutdown()
+	n0, n1 := sys.nodes[0], sys.nodes[1]
+
+	st := sys.Switch().Stats()
+	baseMsgs, _ := st.Snapshot()
+	baseFrames := st.FrameCount()
+
+	f := n1.newFrame()
+	f.add(msgExit, []byte{9, 9})
+	f.add(msgExit, nil)
+	f.sendAt(0, 0)
+
+	// Both subs surface as ordinary msgExit deliveries on node 0's server.
+	for i := 0; i < 2; i++ {
+		m := <-n0.forkCh
+		if m.Type != msgExit {
+			t.Fatalf("demuxed type %d, want msgExit", m.Type)
+		}
+	}
+	msgs, _ := st.Snapshot()
+	if got := msgs - baseMsgs; got != 2 {
+		t.Fatalf("frame of 2 subs counted %d logical messages", got)
+	}
+	if got := st.FrameCount() - baseFrames; got != 1 {
+		t.Fatalf("frame of 2 subs counted %d datagrams", got)
+	}
+	if m, _ := st.ByType(msgBatch); m != 0 {
+		t.Fatalf("msgBatch envelope attributed %d messages to itself", m)
+	}
+	if m, _ := st.ByType(msgExit); m != 2 {
+		t.Fatalf("ByType(msgExit) = %d, want 2", m)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Satellite: a dropped consensus frame must not advance knownVC.
+// ---------------------------------------------------------------------
+
+// TestGCSyncDroppedFrameKeepsKnownVC pins the reverse-delta bookkeeping
+// in handleGCSync under batching: when the pusher's request queue is full
+// and the reply frame is dropped, the responder's knownVC estimate for
+// the pusher must stay put — a frame that never went out must not leave
+// the estimate vouching for intervals the peer never received (the next
+// delta would then silently skip them: a gap).
+func TestGCSyncDroppedFrameKeepsKnownVC(t *testing.T) {
+	sys := New(Config{Procs: 2, GCPressure: -1})
+	n0, n1 := sys.nodes[0], sys.nodes[1]
+
+	// Wedge node 0's protocol server: 8 exits fill forkCh, the 9th blocks
+	// the server mid-dispatch, and every TrySendAt after that lands in the
+	// request inbox until it is full.
+	const wedge = 9
+	for i := 0; i < wedge; i++ {
+		n1.ep.SendAt(0, msgExit, network.ClassRequest, nil, 0)
+	}
+	filled := 0
+	for n1.ep.TrySendAt(0, msgExit, network.ClassRequest, nil, 0) {
+		filled++
+	}
+
+	// Hand-craft an unsent interval on node 1: its clock is ahead of what
+	// node 0 has ever been told (knownVC[0] is still zero).
+	n1.mu.Lock()
+	ivl := &interval{creator: 1, seq: 0, vc: VectorClock{0, 1}, pages: []PageID{0}}
+	n1.vc[1] = 1
+	n1.intervals[1] = append(n1.intervals[1], ivl)
+	n1.mu.Unlock()
+
+	// A consensus push from node 0 arrives; the reverse delta cannot be
+	// delivered (node 0's queue is full), so nothing may be recorded.
+	var w wbuf
+	n1.putTrailer(&w, newVC(2), nil)
+	n1.handleGCSync(&network.Message{From: 0, To: 1, Type: msgGCSync, Payload: w.b})
+
+	n1.mu.Lock()
+	known := n1.knownVC[0].clone()
+	pushes := n1.stats.GCSyncPushes
+	n1.mu.Unlock()
+	if known[1] != 0 {
+		t.Errorf("knownVC[0] advanced to %v after a dropped reverse frame", known)
+	}
+	if pushes != 0 {
+		t.Errorf("GCSyncPushes = %d after a dropped reverse frame", pushes)
+	}
+
+	// Unwedge: consume every exit so the server drains the inbox and the
+	// switch can shut down cleanly.
+	go func() {
+		for i := 0; i < wedge+filled; i++ {
+			<-n0.forkCh
+		}
+	}()
+	if err := sys.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCSyncDeliveredFrameAdvancesKnownVC is the success-path twin: the
+// same push with a drained peer queue must both deliver the reverse delta
+// and record it.
+func TestGCSyncDeliveredFrameAdvancesKnownVC(t *testing.T) {
+	sys := New(Config{Procs: 2, GCPressure: -1})
+	defer sys.Shutdown()
+	n1 := sys.nodes[1]
+
+	n1.mu.Lock()
+	ivl := &interval{creator: 1, seq: 0, vc: VectorClock{0, 1}, pages: []PageID{0}}
+	n1.vc[1] = 1
+	n1.intervals[1] = append(n1.intervals[1], ivl)
+	n1.mu.Unlock()
+
+	var w wbuf
+	n1.putTrailer(&w, newVC(2), nil)
+	n1.handleGCSync(&network.Message{From: 0, To: 1, Type: msgGCSync, Payload: w.b})
+
+	n1.mu.Lock()
+	known := n1.knownVC[0].clone()
+	pushes := n1.stats.GCSyncPushes
+	n1.mu.Unlock()
+	if known[1] != 1 {
+		t.Errorf("knownVC[0] = %v after a delivered reverse frame, want [0 1]", known)
+	}
+	if pushes != 1 {
+		t.Errorf("GCSyncPushes = %d after a delivered reverse frame, want 1", pushes)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fuzz: arbitrary bytes may only fail through wireError.
+// ---------------------------------------------------------------------
+
+// FuzzWireDecode feeds arbitrary bytes to every wire decoder. The
+// contract under test: decoding never panics except via the typed
+// wireError (the bounded short-message path) — any index fault or
+// count-sized allocation blowup is a missing validation.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with valid encodings of each shape so the fuzzer starts on the
+	// deep paths rather than rediscovering the framing byte by byte.
+	rnd := rand.New(rand.NewSource(1))
+	recs := randRecords(rnd, 6, 4)
+	vc := VectorClock{3, 1, 4, 1, 5, 9}
+	for _, v1 := range []bool{false, true} {
+		n := &Node{wireV1: v1}
+		var w wbuf
+		n.putTrailer(&w, vc, recs)
+		f.Add(w.b)
+	}
+	var v wbuf
+	putVCv2(&v, vc)
+	f.Add(v.b)
+	fb := (&Node{}).newFrame()
+	fb.add(msgGCSync, v.b)
+	fb.add(msgGCFloor, v.b)
+	env, _ := fb.build()
+	f.Add(env)
+
+	decoders := []func(n *Node, b []byte){
+		func(n *Node, b []byte) {
+			r := rbuf{b: b}
+			n.getTrailer(&r)
+		},
+		func(n *Node, b []byte) {
+			r := rbuf{b: b}
+			n.getVC(&r)
+		},
+		func(n *Node, b []byte) {
+			r := rbuf{b: b}
+			walkBatch(&r, 0, func(_ int, sub []byte) {
+				// Demuxed sub payloads reach the same trailer decoders.
+				sr := rbuf{b: sub}
+				defer func() {
+					if e := recover(); e != nil {
+						if _, ok := e.(wireError); !ok {
+							panic(e)
+						}
+					}
+				}()
+				n.getTrailer(&sr)
+			})
+		},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, v1 := range []bool{false, true} {
+			n := &Node{wireV1: v1}
+			for i, dec := range decoders {
+				func() {
+					defer func() {
+						switch e := recover().(type) {
+						case nil, wireError:
+						default:
+							t.Fatalf("decoder %d (wireV1=%v): non-wireError panic: %v", i, v1, e)
+						}
+					}()
+					dec(n, data)
+				}()
+			}
+		}
+	})
+}

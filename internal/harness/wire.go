@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/apps/qsort"
+	"repro/internal/apps/water"
+)
+
+// The wire-format benchmark: the same application run under the v1
+// (one-datagram-per-message, full-clock) protocol and the v2 default
+// (coalesced frames + delta-compressed records), reporting total bytes,
+// datagrams, and bytes per barrier/fork synchronization episode. Water is
+// the barrier-per-step Table 1 representative; QSORT is the
+// lock/condition-variable one whose GC consensus pushes exercise the
+// frame coalescing hardest. Both wire versions run the identical
+// program, so any checksum or message-count disagreement is a protocol
+// bug, not a measurement artifact.
+
+// WireBenchRow is one (app, procs) before/after comparison.
+type WireBenchRow struct {
+	App   string
+	Procs int
+	V1    apps.Result // Config.WireV1: the pre-batching protocol
+	V2    apps.Result // the default coalesced + compressed protocol
+}
+
+// BytesReduction is the fraction of v1 wire bytes the v2 format removed.
+func (r WireBenchRow) BytesReduction() float64 {
+	if r.V1.Bytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.V2.Bytes)/float64(r.V1.Bytes)
+}
+
+// wireBenchApps are the benchmarked (app, runner) pairs; the runner maps
+// (scale, procs, wireV1) to a finished run.
+var wireBenchApps = []struct {
+	name string
+	run  func(s Scale, procs int, wireV1 bool) (apps.Result, error)
+}{
+	{"Water", func(s Scale, procs int, wireV1 bool) (apps.Result, error) {
+		p := waterParams(s)
+		p.WireV1 = wireV1
+		return water.RunOMP(p, procs)
+	}},
+	{"QSORT", func(s Scale, procs int, wireV1 bool) (apps.Result, error) {
+		p := qsortParams(s)
+		p.WireV1 = wireV1
+		return qsort.RunOMP(p, procs)
+	}},
+}
+
+// WireBench runs the comparison grid.
+func WireBench(s Scale, procsList []int) ([]WireBenchRow, error) {
+	var rows []WireBenchRow
+	for _, a := range wireBenchApps {
+		for _, procs := range procsList {
+			v1, err := a.run(s, procs, true)
+			if err != nil {
+				return rows, fmt.Errorf("%s p=%d wire=v1: %w", a.name, procs, err)
+			}
+			v2, err := a.run(s, procs, false)
+			if err != nil {
+				return rows, fmt.Errorf("%s p=%d wire=v2: %w", a.name, procs, err)
+			}
+			// No logical-message equality assertion here: barrier apps
+			// match exactly (the golden pins check that), but acquire-GC
+			// consensus rounds are timing-dependent, and v2's piggybacked
+			// floor announcements legitimately retire push rounds early.
+			rows = append(rows, WireBenchRow{App: a.name, Procs: procs, V1: v1, V2: v2})
+		}
+	}
+	return rows, nil
+}
+
+// PrintWireBench prints the before/after wire-format table for Water and
+// QSORT at 8 and 32 processors (make bench-wire).
+func PrintWireBench(w io.Writer, s Scale) error {
+	rows, err := WireBench(s, []int{8, 32})
+	if err != nil {
+		return err
+	}
+	fprintf(w, "Wire format: v1 (one datagram per message, full clocks) vs the v2\n")
+	fprintf(w, "default (coalesced frames, delta-compressed write notices)\n\n")
+	fprintf(w, "%-8s %5s %12s %12s %7s %10s %10s %12s %12s\n",
+		"App", "Procs", "v1 bytes", "v2 bytes", "saved", "v1 dgrams", "v2 dgrams", "v1 B/episode", "v2 B/episode")
+	for _, r := range rows {
+		perEp := func(res apps.Result) string {
+			if res.GCEpisodes == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%d", res.Bytes/res.GCEpisodes)
+		}
+		fprintf(w, "%-8s %5d %12d %12d %6.1f%% %10d %10d %12s %12s\n",
+			r.App, r.Procs, r.V1.Bytes, r.V2.Bytes, 100*r.BytesReduction(),
+			r.V1.Frames, r.V2.Frames, perEp(r.V1), perEp(r.V2))
+	}
+	return nil
+}

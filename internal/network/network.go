@@ -53,9 +53,17 @@ const MaxType = 32
 
 // Stats accumulates traffic totals for one run. All fields are updated
 // atomically and may be read while the run is in flight.
+//
+// Messages and Bytes count LOGICAL protocol messages: a coalesced frame
+// (SendFrameAt) contributes one Message per sub-message it carries and
+// its full wire size to Bytes, exactly as if the subs had traveled
+// separately minus the saved per-datagram headers. Frames counts the
+// datagrams actually put on the wire (plain sends count one each), so
+// Messages − Frames is the number of datagrams batching eliminated.
 type Stats struct {
 	Messages atomic.Int64
 	Bytes    atomic.Int64
+	Frames   atomic.Int64
 
 	// Per-message-type counters, indexed by the protocol's type tag: the
 	// raw material for cost attribution (page service vs synchronization
@@ -71,12 +79,19 @@ func (s *Stats) Snapshot() (messages, bytes int64) {
 }
 
 // ByType returns the totals recorded against one protocol message type.
+// Sub-messages of a coalesced frame are attributed to their own types,
+// never to the envelope type.
 func (s *Stats) ByType(typ int) (messages, bytes int64) {
 	if typ < 0 || typ >= MaxType {
 		typ = 0
 	}
 	return s.typeMsgs[typ].Load(), s.typeBytes[typ].Load()
 }
+
+// FrameCount returns the number of datagrams sent (plain sends count one
+// each; a coalesced frame counts one regardless of how many sub-messages
+// it carries).
+func (s *Stats) FrameCount() int64 { return s.Frames.Load() }
 
 // Switch connects n endpoints with a shared wire profile.
 type Switch struct {
@@ -130,6 +145,7 @@ func (s *Switch) Stats() *Stats { return &s.stats }
 func (s *Switch) ResetStats() {
 	s.stats.Messages.Store(0)
 	s.stats.Bytes.Store(0)
+	s.stats.Frames.Store(0)
 	for i := 0; i < MaxType; i++ {
 		s.stats.typeMsgs[i].Store(0)
 		s.stats.typeBytes[i].Store(0)
@@ -210,11 +226,91 @@ func (e *Endpoint) count(typ int, payload []byte) {
 	bytes := int64(len(payload) + e.sw.profile.HeaderBytes)
 	e.sw.stats.Messages.Add(1)
 	e.sw.stats.Bytes.Add(bytes)
+	e.sw.stats.Frames.Add(1)
 	if typ < 0 || typ >= MaxType {
 		typ = 0
 	}
 	e.sw.stats.typeMsgs[typ].Add(1)
 	e.sw.stats.typeBytes[typ].Add(bytes)
+}
+
+// FramePart attributes one sub-message of a coalesced frame for the
+// traffic statistics: its protocol type and the envelope bytes it
+// occupies (sub header + payload; the frame builder folds any shared
+// envelope prefix into the first part).
+type FramePart struct {
+	Type  int
+	Bytes int
+}
+
+// countFrame records one delivered frame: one datagram, len(parts)
+// logical messages, total bytes once, and each part's bytes against its
+// own type (the per-datagram header overhead is charged to the first
+// part, mirroring count's payload+header accounting so the per-type
+// bytes still sum to Bytes).
+func (e *Endpoint) countFrame(payload []byte, parts []FramePart) {
+	total := 0
+	for _, p := range parts {
+		total += p.Bytes
+	}
+	if total != len(payload) {
+		panic(fmt.Sprintf("network: frame parts sum to %d bytes but payload is %d", total, len(payload)))
+	}
+	e.sw.stats.Messages.Add(int64(len(parts)))
+	e.sw.stats.Bytes.Add(int64(len(payload) + e.sw.profile.HeaderBytes))
+	e.sw.stats.Frames.Add(1)
+	for i, p := range parts {
+		typ, bytes := p.Type, p.Bytes
+		if typ < 0 || typ >= MaxType {
+			typ = 0
+		}
+		if i == 0 {
+			bytes += e.sw.profile.HeaderBytes
+		}
+		e.sw.stats.typeMsgs[typ].Add(1)
+		e.sw.stats.typeBytes[typ].Add(int64(bytes))
+	}
+}
+
+// SendFrameAt transmits a coalesced frame: one datagram whose payload
+// carries several protocol sub-messages, delivered and routed like any
+// other message of type typ but counted as len(parts) logical messages
+// attributed to the parts' own types. Latency is computed on the full
+// payload, so batching also models the real saving of one wire
+// transaction instead of k.
+func (e *Endpoint) SendFrameAt(to, typ int, class Class, payload []byte, parts []FramePart, at sim.Time) {
+	m := e.build(to, typ, class, payload, at)
+	select {
+	case <-e.sw.down:
+		panic("network: switch is down")
+	default:
+	}
+	select {
+	case e.sw.inboxes[to][m.Class] <- m:
+		e.countFrame(payload, parts)
+	case <-e.sw.down:
+		panic("network: switch is down")
+	}
+}
+
+// TrySendFrameAt is SendFrameAt with non-blocking delivery: if the
+// destination's queue is full the frame is dropped, false is returned,
+// and nothing is counted. Like TrySendAt it is the only frame send a
+// protocol server may issue.
+func (e *Endpoint) TrySendFrameAt(to, typ int, class Class, payload []byte, parts []FramePart, at sim.Time) bool {
+	m := e.build(to, typ, class, payload, at)
+	select {
+	case <-e.sw.down:
+		panic("network: switch is down")
+	default:
+	}
+	select {
+	case e.sw.inboxes[to][m.Class] <- m:
+		e.countFrame(payload, parts)
+		return true
+	default:
+		return false
+	}
 }
 
 // TrySendAt is SendAt with non-blocking delivery: if the destination's
