@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check lint test test-short test-race smp-race hybrid-race gc-race scale-race serve-race fuzz-wire bench-smoke bench bench-wire tables ci
+.PHONY: build vet fmt-check lint test test-short test-race smp-race hybrid-race gc-race scale-race serve-race fuzz-wire bench-smoke bench bench-wire bench-scaling tables ci
 
 build:
 	$(GO) build ./...
@@ -65,11 +65,15 @@ gc-race:
 # >8-node smoke under the race detector: the wide-team (16/32-thread)
 # conformance scenario on every backend plus one real application at 16
 # processors on the NOW (3D-FFT: pure page traffic through the sharded
-# homes and a two-level tree barrier). This is where a race in the
-# combining barrier or the home table fails first.
+# homes and a two-level tree barrier), plus the hierarchical-consensus
+# scenarios — tree-routed GC pushes with relays, batched departure waves
+# with floor piggybacks, and the tree-vs-flat equivalence pin. The relay
+# forwarding and reply-frame unwrap both cross the server/application
+# goroutine boundary, so a race in either fails here first.
 scale-race:
 	$(GO) test -race -run 'TestBackendConformanceWideTeams' ./internal/core
 	$(GO) test -race -run 'TestEquivalenceBeyondPaperScale/3D-FFT/omp/p16' ./internal/harness
+	$(GO) test -race -run 'TestTreeVsFlatConsensusEquivalence|TestTreeBarrierFloorPiggyback|TestScaleTreeBarrierCorrectness' ./internal/dsm
 
 # Service-mode smoke under the race detector: a short mixed stream (NOW,
 # TreadMarks, and shared-memory classes) through the scheduler — the
@@ -107,6 +111,19 @@ bench:
 SCALE ?= full
 bench-wire:
 	$(GO) run ./cmd/nowbench -wire -scale $(SCALE)
+
+# Scaling-wall before/after: the P = 8..128 study under the flat
+# consensus transport (every push and departure a direct send — the
+# pre-hierarchical baseline), then under the tree-routed transport with
+# batched departure waves and the P-aware GC trigger. Compare the wall
+# lines per application. Add SCALE=test for a fast run; at full scale the
+# 64- and 128-node cells take serious time.
+bench-scaling:
+	@echo '=== flat consensus (baseline) ==='
+	$(GO) run ./cmd/nowbench -scaling -flatconsensus -scale $(SCALE)
+	@echo
+	@echo '=== hierarchical consensus ==='
+	$(GO) run ./cmd/nowbench -scaling -scale $(SCALE)
 
 # Regenerate every paper artifact at full scale.
 tables:

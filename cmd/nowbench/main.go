@@ -94,6 +94,7 @@ func main() {
 		gcPress  = flag.Int("gcpressure", 0, "default acquire-epoch GC trigger (0 = dsm default, negative disables)")
 		gcPolicy = flag.String("gcpolicy", "", "default GC purge policy: flush, validate-hot, or adaptive")
 		wireV1   = flag.Bool("wirev1", false, "run every DSM cell under the pre-batching v1 wire protocol (see dsm.Config.WireV1)")
+		flatCons = flag.Bool("flatconsensus", false, "route GC consensus pushes and barrier departure waves flat at any machine size (the pre-hierarchical baseline; see make bench-scaling)")
 
 		serveMode  = flag.Bool("serve", false, "service mode: run a multi-tenant job stream and print the latency report")
 		jobs       = flag.Int("jobs", 500, "service mode: number of jobs in the stream")
@@ -109,6 +110,9 @@ func main() {
 	}
 	if *wireV1 {
 		dsm.SetWireV1Default(true)
+	}
+	if *flatCons {
+		dsm.SetTreeConsensusDefault(false)
 	}
 	if *gcPolicy != "" {
 		p, err := dsm.ParseGCPolicy(*gcPolicy)

@@ -3,6 +3,7 @@ package dsm
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/network"
@@ -145,6 +146,7 @@ var (
 	gcDefaultPolicy   = GCPolicyFlush
 	gcDefaultPressure = DefaultGCPressure
 	wireV1Default     = false
+	treeConsensusOn   = true
 )
 
 // SetGCPolicyDefault sets the purge policy used by systems whose Config
@@ -180,6 +182,20 @@ func SetGCPressureDefault(n int) int {
 func SetWireV1Default(v bool) bool {
 	prev := wireV1Default
 	wireV1Default = v
+	return prev
+}
+
+// SetTreeConsensusDefault switches subsequently created systems between
+// hierarchical consensus (push rounds and barrier departure waves routed
+// through the combining tree; the default) and the flat pre-hierarchical
+// transport (one datagram per destination at any machine size),
+// returning the previous default. It is the before/after axis of the
+// scaling measurement (`make bench-scaling`), mirroring SetWireV1Default
+// for the wire formats. At ≤ fan-in+1 nodes the two transports are
+// identical and the knob is a no-op.
+func SetTreeConsensusDefault(v bool) bool {
+	prev := treeConsensusOn
+	treeConsensusOn = v
 	return prev
 }
 
@@ -402,6 +418,72 @@ func (co *acqCoord) announcedCount() int64 {
 	return co.announced
 }
 
+// gcTreeConsensus reports whether consensus pushes route through the
+// combining tree instead of directly to every target: wire v2 with more
+// nodes than the flat barrier spans (procs > fanin+1), unless the
+// SetTreeConsensusDefault measurement knob forced the flat transport. At
+// or below that size the tree is flat — every node is at most one hop
+// from the root — and direct sends already ARE the degenerate tree
+// routing, so the paper-scale paths stay byte-identical.
+func (n *Node) gcTreeConsensus() bool {
+	return !n.wireV1 && n.sys.treeGC && n.sys.cfg.Procs > n.sys.fanin+1
+}
+
+// routeTargetsLocked groups consensus destinations by their first
+// combining-tree hop from this node, dropping the node itself. Hops come
+// back sorted so send order is deterministic. byHop[h] lists the FINAL
+// destinations to be relayed past h — h itself, always a recipient of
+// the frame, is not in its own list.
+func (n *Node) routeTargetsLocked(targets []int) (hops []int, byHop map[int][]int) {
+	byHop = make(map[int][]int, len(targets))
+	for _, t := range targets {
+		if t == n.id {
+			continue
+		}
+		h := routeHop(n.id, t, n.sys.fanin)
+		if _, seen := byHop[h]; !seen {
+			hops = append(hops, h)
+			byHop[h] = nil
+		}
+		if t != h {
+			byHop[h] = append(byHop[h], t)
+		}
+	}
+	sort.Ints(hops)
+	return hops, byHop
+}
+
+// consensusFrameLocked assembles one tree-routed consensus frame bound
+// for hop: a msgGCSync sub carrying the trailer delta against the hop's
+// piggyback estimate plus the varint relay list of destinations past the
+// hop (appended after the trailer; a flat or reverse delta simply has no
+// trailing bytes), and a msgGCFloor sub when the hop owes an issued
+// epoch. The hop incorporates the delta and forwards each remaining
+// destination one hop onward with a delta recomputed from its own merged
+// clocks — the interior-node merging that caps any node's per-round
+// consensus fan-out at its tree degree instead of the machine size.
+// Requires n.mu.
+func (n *Node) consensusFrameLocked(hop int, relay []int) *frameBuilder {
+	var w wbuf
+	n.putTrailer(&w, n.vc, n.deltaForLocked(n.knownVC[hop]))
+	if len(relay) > 0 {
+		w.uv(uint64(len(relay)))
+		for _, t := range relay {
+			w.uv(uint64(t))
+		}
+	}
+	f := n.newFrame()
+	f.add(msgGCSync, w.b)
+	if co := n.sys.acq; co != nil {
+		if floor, ok := co.pendingFloorFor(hop); ok {
+			var fw wbuf
+			n.putVC(&fw, floor)
+			f.add(msgGCFloor, fw.b)
+		}
+	}
+	return f
+}
+
 // gcSpinTries bounds the backpressure loop of gcSyncHook: a pressured
 // node yields at most this many times waiting for the consensus to catch
 // up, so a consensus stalled on a thread that only this node can unblock
@@ -513,6 +595,28 @@ func (c *Client) gcSyncOnce() {
 			co.notePurged(n.id, floor)
 		}
 	}
+	if len(push) > 0 && n.gcTreeConsensus() {
+		// Hierarchical push: instead of one datagram per quiet node —
+		// O(P) from the pusher every round, O(P²) consensus traffic as
+		// rounds scale with the node count — route the round through the
+		// combining tree. The pusher sends ONE frame per first hop
+		// (children subtrees and the parent, at most fanin+1 of them);
+		// each hop incorporates the delta and relays the destinations
+		// beyond it with deltas recomputed from its own merged state, so
+		// every node's per-round fan-out is bounded by its tree degree
+		// and round traffic totals O(P) frames along tree edges.
+		n.mu.Lock()
+		hops, byHop := n.routeTargetsLocked(push)
+		for _, h := range hops {
+			f := n.consensusFrameLocked(h, byHop[h])
+			n.noteSentLocked(h)
+			n.stats.GCSyncPushes++
+			// Sent under mu: atomic with the estimate update.
+			f.sendAt(h, c.clk.Now())
+		}
+		n.mu.Unlock()
+		return
+	}
 	for _, j := range push {
 		// One delta per quiet node, exactly like a flush notice: their
 		// servers incorporate it in wire order, raising their clocks past
@@ -565,6 +669,21 @@ func (c *Client) gcSyncOnce() {
 func (n *Node) handleGCSync(m *network.Message) {
 	r := rbuf{b: m.Payload}
 	senderVC, recs := n.getTrailer(&r)
+	// Tree-routed pushes append the varint relay list after the trailer
+	// (v2 only; flat pushes and reverse deltas end with the trailer).
+	var relay []int
+	if !n.wireV1 && !r.done() {
+		cnt := r.needCount(r.uvi(), 1)
+		relay = make([]int, cnt)
+		for i := range relay {
+			t := r.uvi()
+			if t >= n.sys.cfg.Procs {
+				panic(wireErrf("dsm: node %d: consensus relay target %d outside %d-node system",
+					n.id, t, n.sys.cfg.Procs))
+			}
+			relay[i] = t
+		}
+	}
 	at := m.Arrive + n.sys.plat.RequestService
 	n.mu.Lock()
 	n.chargeInterruptLocked()
@@ -619,6 +738,25 @@ func (n *Node) handleGCSync(m *network.Message) {
 		if f.count() > 0 && f.trySendAt(m.From, at) && len(back) > 0 {
 			n.noteSentLocked(m.From)
 			n.stats.GCSyncPushes++
+		}
+		// Tree relay: the pusher handed this node the destinations whose
+		// first hop is here; forward each remaining destination one hop
+		// onward. The forwarded trailer is recomputed from OUR clocks —
+		// the pushed records were incorporated above, so the relayed
+		// delta covers everything the pusher wanted propagated (interior-
+		// node merging), and it additionally closes any gap between this
+		// node and the next hop. Non-blocking like the reverse delta: a
+		// dropped frame only delays the floor, and the pusher's next
+		// paced round retries; the estimate advances only on real sends.
+		if len(relay) > 0 && n.gcTreeConsensus() {
+			hops, byHop := n.routeTargetsLocked(relay)
+			for _, h := range hops {
+				rf := n.consensusFrameLocked(h, byHop[h])
+				if rf.trySendAt(h, at) {
+					n.noteSentLocked(h)
+					n.stats.GCSyncRelays++
+				}
+			}
 		}
 	}
 	n.mu.Unlock()

@@ -45,6 +45,24 @@ func barrierChildren(id, procs, fanin int) []int {
 // barrierParent returns the node id reports its arrival to.
 func barrierParent(id, fanin int) int { return (id - 1) / fanin }
 
+// routeHop returns the next node on the combining-tree path from `from`
+// toward `to` (from != to): the child of `from` whose subtree contains
+// `to` when `to` is a descendant, and `from`'s parent otherwise. The
+// heap layout makes descendants strictly larger than their ancestors, so
+// the descent test is a parent walk from `to`. Tree routing is loop-free:
+// every hop strictly ascends toward the lowest common ancestor of the
+// endpoints and then strictly descends toward `to`.
+func routeHop(from, to, fanin int) int {
+	for x := to; x > from; {
+		p := barrierParent(x, fanin)
+		if p == from {
+			return x
+		}
+		x = p
+	}
+	return barrierParent(from, fanin)
+}
+
 // barrierMgr buffers arrival messages at a node with tree children,
 // between the protocol server (which receives them) and the application
 // thread (which consumes one per child per barrier episode).
@@ -174,8 +192,11 @@ func (c *Client) Barrier() {
 		// Forward the wave before collecting: the children (and their
 		// subtrees) stay parked until these go out, and the covered diffs
 		// this node's purge may drop stay fetchable until the one-epoch-
-		// delayed free, so collection order does not affect them.
-		n.forwardDeparturesLocked(c, depVC, arrivals)
+		// delayed free, so collection order does not affect them. The
+		// trigger decision is deterministic from the floor (identical on
+		// every node), so it is known before the epoch itself runs.
+		collects := n.sys.gcOn && n.gcWillCollectLocked(depVC)
+		n.forwardDeparturesLocked(c, depVC, arrivals, collects)
 		if n.sys.gcOn {
 			n.gcEpochLocked(c, depVC)
 		}
@@ -193,37 +214,81 @@ func (c *Client) Barrier() {
 	// over-approximation; as the GC epoch floor it must be identical in
 	// every departure (see gc.go), and the root must not publish a floor
 	// covering intervals it did not just validate.
+	collects := false
 	if n.sys.gcOn {
 		// Collect BEFORE any departure goes out: with every other
 		// application thread parked awaiting its departure, the root's
 		// validation fetches race with nothing, and the departure arrival
 		// times then carry the (real, TreadMarks-style) GC pause. The
-		// root's merged clock is the floor every departure carries.
+		// root's merged clock is the floor every departure carries. The
+		// trigger decision is snapshotted here — gcEpochLocked advances
+		// gcFreeVC, after which the predicate would read false.
+		collects = n.gcWillCollectLocked(n.vc)
 		n.gcEpochLocked(c, n.vc.clone())
 	}
 	depVC := n.vc.clone()
-	n.forwardDeparturesLocked(c, depVC, arrivals)
+	n.forwardDeparturesLocked(c, depVC, arrivals, collects)
 	n.mu.Unlock()
 }
 
 // forwardDeparturesLocked sends one departure per gathered arrival,
 // carrying the episode's floor clock and, for each receiver, the exact
 // delta against its reported arrival clock. Called with n.mu held;
-// released around each send.
+// released around the sends. episodeCollects is the episode's (node-
+// identical) trigger decision, known before the epoch runs.
 func (n *Node) forwardDeparturesLocked(c *Client, depVC VectorClock, arrivals []struct {
 	from int
 	vc   VectorClock
-}) {
-	for _, a := range arrivals {
-		var w wbuf
-		// Exact delta against the arriver's reported clock; departures
-		// are reply-class and therefore never update knownVC. The delta
-		// stays live deliberately: records stored by the server mid-loop
-		// ride along early (their own clocks raise the receiver), which
-		// is sound — only the floor clock must be the snapshot.
-		n.putTrailer(&w, depVC, n.deltaForLocked(a.vc))
-		n.mu.Unlock()
-		n.ep.SendAt(a.from, msgBarrDepart, network.ClassReply, w.b, c.clk.Now())
-		n.mu.Lock()
+}, episodeCollects bool) {
+	if !n.gcTreeConsensus() {
+		// Flat tree (the paper's ≤ fan-in+1 machine), wire v1, or the
+		// flat-transport measurement knob: the pinned byte-for-byte
+		// path — one plain departure per arrival.
+		for _, a := range arrivals {
+			var w wbuf
+			// Exact delta against the arriver's reported clock; departures
+			// are reply-class and therefore never update knownVC. The delta
+			// stays live deliberately: records stored by the server mid-loop
+			// ride along early (their own clocks raise the receiver), which
+			// is sound — only the floor clock must be the snapshot.
+			n.putTrailer(&w, depVC, n.deltaForLocked(a.vc))
+			n.mu.Unlock()
+			n.ep.SendAt(a.from, msgBarrDepart, network.ClassReply, w.b, c.clk.Now())
+			n.mu.Lock()
+		}
+		return
 	}
+	// Tree mode under wire v2: build the whole departure wave under ONE
+	// mu hold — every child subtree's delta cut from the same snapshot,
+	// with no per-send unlock windows for the server to interleave — then
+	// send the frames back to back. Dropping the live-delta opportunism is
+	// sound: a record a child misses here still reaches it on the next
+	// request-class send, whose delta is computed against the unraised
+	// knownVC estimate. A child that owes an acquire-consensus floor the
+	// episode itself will NOT purge (a non-collecting episode leaves
+	// pending acquire floors pending) gets the announcement piggybacked
+	// onto its departure frame, so a whole parked subtree learns of the
+	// epoch from the wave instead of at each node's next sync operation.
+	co := n.sys.acq
+	frames := make([]*frameBuilder, len(arrivals))
+	for i, a := range arrivals {
+		var w wbuf
+		n.putTrailer(&w, depVC, n.deltaForLocked(a.vc))
+		f := n.newFrame()
+		f.add(msgBarrDepart, w.b)
+		if co != nil && !episodeCollects {
+			if floor, ok := co.pendingFloorFor(a.from); ok {
+				var fw wbuf
+				n.putVC(&fw, floor)
+				f.add(msgGCFloor, fw.b)
+				n.stats.GCDepartFloors++
+			}
+		}
+		frames[i] = f
+	}
+	n.mu.Unlock()
+	for i, a := range arrivals {
+		frames[i].sendReplyAt(a.from, c.clk.Now())
+	}
+	n.mu.Lock()
 }

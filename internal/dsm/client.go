@@ -108,10 +108,46 @@ func (c *Client) recvReply(wantType int, key uint32) *network.Message {
 		panic(abortError{cause: "switch shut down"})
 	}
 	c.clk.AdvanceTo(m.Arrive)
+	if m.Type == msgBatch {
+		m = n.unwrapReplyBatch(m)
+	}
 	if m.Type != wantType {
 		panic(fmt.Sprintf("dsm: node %d expected reply type %d, got %d from %d", n.id, wantType, m.Type, m.From))
 	}
 	return m
+}
+
+// unwrapReplyBatch splits a reply-class frame (a batched barrier
+// departure wave; see forwardDeparturesLocked): the FIRST sub is the
+// primary reply handed back to the waiter, and every sub behind it is a
+// piggybacked notice — a msgGCFloor epoch announcement riding the
+// departure — handled inline right here. Running the handler on the
+// application thread is safe because the thread is parked in recvReply
+// holding neither n.mu nor fetchMu, exactly the locks the handler takes
+// (and the server-side epoch attempt only ever TryLocks fetchMu).
+func (n *Node) unwrapReplyBatch(m *network.Message) *network.Message {
+	var primary *network.Message
+	r := rbuf{b: m.Payload}
+	walkBatch(&r, n.id, func(typ int, payload []byte) {
+		sub := &network.Message{
+			From: m.From, To: m.To, Type: typ, Class: m.Class,
+			Payload: payload, Send: m.Send, Arrive: m.Arrive,
+		}
+		if primary == nil {
+			primary = sub
+			return
+		}
+		switch typ {
+		case msgGCFloor:
+			n.handleGCFloor(sub)
+		default:
+			panic(fmt.Sprintf("dsm: node %d: unexpected piggyback type %d in reply frame from %d", n.id, typ, m.From))
+		}
+	})
+	if primary == nil {
+		panic(fmt.Sprintf("dsm: node %d: empty reply frame from %d", n.id, m.From))
+	}
+	return primary
 }
 
 // ---------------------------------------------------------------------
@@ -147,6 +183,14 @@ func newReplyRouter() *replyRouter {
 func replyRouteKey(m *network.Message) routeKey {
 	k := routeKey{typ: m.Type}
 	switch m.Type {
+	case msgBatch:
+		// A reply-class frame routes by its FIRST sub — the primary reply
+		// (the piggybacked notices behind it carry no tag). The whole
+		// frame is delivered to that waiter; recvReply unwraps it.
+		r := rbuf{b: m.Payload}
+		r.uv() // sub count
+		typ := int(r.u8())
+		return replyRouteKey(&network.Message{Type: typ, Payload: r.need(r.uvi())})
 	case msgLockGrant, msgSemaGrant:
 		// Payload leads with [i32 id][u32 tag].
 		r := rbuf{b: m.Payload}

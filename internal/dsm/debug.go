@@ -1,7 +1,9 @@
 package dsm
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -26,16 +28,26 @@ func SetDebugSquashMode(m int) { debugSquash = m }
 // matches real time, which holds for lock-ordered tests). Reads compare
 // against it and report the first divergence.
 var (
-	debugOracleOn bool
-	oracleMu      sync.Mutex
-	oracleMem     map[int][]byte // per system instance? single-run tests only
+	debugOracleOn  bool
+	oracleMu       sync.Mutex
+	oracleMem      map[int][]byte // per system instance? single-run tests only
+	oracleDiverges int
 )
+
+// OracleDiverges reports how many divergent reads the shadow-memory
+// checker has seen since the last SetDebugOracle(true).
+func OracleDiverges() int {
+	oracleMu.Lock()
+	defer oracleMu.Unlock()
+	return oracleDiverges
+}
 
 // SetDebugOracle enables the shadow-memory checker (single-System tests).
 func SetDebugOracle(on bool) {
 	oracleMu.Lock()
 	debugOracleOn = on
 	oracleMem = map[int][]byte{}
+	oracleDiverges = 0
 	oracleMu.Unlock()
 }
 
@@ -57,6 +69,30 @@ func oracleWrite(a Addr, src []byte) {
 	oracleMu.Unlock()
 }
 
+// oracleWriteF64s mirrors oracleWrite for the float64 bulk path.
+func oracleWriteF64s(a Addr, src []float64) {
+	if !debugOracleOn {
+		return
+	}
+	buf := make([]byte, 8*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	oracleWrite(a, buf)
+}
+
+// oracleCheckF64s mirrors oracleCheck for the float64 bulk path.
+func oracleCheckF64s(node int, a Addr, got []float64) {
+	if !debugOracleOn {
+		return
+	}
+	buf := make([]byte, 8*len(got))
+	for i, v := range got {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	oracleCheck(node, a, buf)
+}
+
 func oracleCheck(node int, a Addr, got []byte) {
 	if !debugOracleOn {
 		return
@@ -71,6 +107,7 @@ func oracleCheck(node int, a Addr, got []byte) {
 			continue
 		}
 		if got[i] != buf[off%PageSize] {
+			oracleDiverges++
 			fmt.Printf("ORACLE-DIVERGE node=%d addr=%d page=%d off=%d got=%d want=%d\n",
 				node, off, pg, off%PageSize, got[i], buf[off%PageSize])
 			return

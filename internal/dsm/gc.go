@@ -163,11 +163,7 @@ func ivlRecordBytes(ivl *interval) int64 {
 func (n *Node) gcEpochLocked(c *Client, retire VectorClock) {
 	episode := n.stats.GCEpisodes
 	n.stats.GCEpisodes++
-	pending := retire.sum()
-	if n.gcFreeVC != nil {
-		pending -= n.gcFreeVC.sum()
-	}
-	collect := pending >= int64(n.sys.cfg.GCMinRetire)
+	collect := n.gcWillCollectLocked(retire)
 	// Soundness tripwire: all nodes must agree on every episode's floor
 	// and trigger decision (they run the same episode sequence), or the
 	// one-epoch free delay breaks. Divergence here means a caller derived
@@ -199,6 +195,23 @@ func (n *Node) gcEpochLocked(c *Client, retire VectorClock) {
 	if n.sys.acq != nil {
 		n.sys.acq.notePurged(n.id, retire)
 	}
+}
+
+// gcWillCollectLocked evaluates the episode trigger predicate for the
+// given retire floor WITHOUT running the epoch: the number of interval
+// records the floor would newly retire against Config.GCMinRetire. Both
+// inputs (the floor and the last collecting floor, gcFreeVC) are
+// identical on every node, so the decision is too — which is what lets a
+// departure forwarder know, before its own epoch runs, whether the
+// episode its children are about to process will purge (and therefore
+// whether a pending acquire floor needs piggybacking; see
+// forwardDeparturesLocked). Requires n.mu.
+func (n *Node) gcWillCollectLocked(retire VectorClock) bool {
+	pending := retire.sum()
+	if n.gcFreeVC != nil {
+		pending -= n.gcFreeVC.sum()
+	}
+	return pending >= int64(n.sys.cfg.GCMinRetire)
 }
 
 // gcCollectLocked is the collection-epoch tail shared by the two epoch
@@ -368,6 +381,12 @@ func (n *Node) gcCanFlushAllLocked(retire VectorClock) bool {
 		if pg.lastOwnSeq >= 0 && !retire.covers(n.id, pg.lastOwnSeq) {
 			return false
 		}
+		if pg.data != nil && pg.appliedVC != nil && !pg.appliedVC.dominatedBy(retire) {
+			// Applied diffs above the floor are baked into this copy only
+			// (their notices are gone from `missing`); the home's copy is
+			// not yet guaranteed to reflect them.
+			return false
+		}
 		if home := n.homeOf(pg.id); home == n.id || !n.sys.purged.covers(home, retire) {
 			return false
 		}
@@ -405,6 +424,15 @@ func (n *Node) gcFlushPageLocked(pg *page, flushVC VectorClock) {
 	}
 	if pg.data == nil && dropped == 0 {
 		return // nothing to discard: copy already gone, every notice kept
+	}
+	if pg.data != nil {
+		// The discarded copy may bake in applied diffs and own writes whose
+		// notices are gone from `missing` (appliedVC — the caller checked
+		// the home's floor covers it); only the home's validated copy can
+		// reproduce them, so any rebuild must also start from a whole-page
+		// fetch, never from a zeros base.
+		pg.refetch = true
+		pg.appliedVC = nil
 	}
 	pg.data = nil
 	pg.state = pageInvalid
@@ -495,6 +523,20 @@ func (n *Node) gcPurgePagesLocked(c *Client, retire, flushVC VectorClock, quiesc
 		// A copy holding own writes above the floor must be kept (see
 		// page.lastOwnSeq): validate it regardless of policy.
 		mustKeep := pg.lastOwnSeq >= 0 && !retire.covers(n.id, pg.lastOwnSeq) && pg.data != nil
+		// Lagged-floor safety: a flush rebuilds from the home, and the home
+		// is only guaranteed to reflect flushVC — which trails the retire
+		// floor under sharded homes (and trails the node's recent history at
+		// acquire epochs). Content baked into the copy beyond flushVC — own
+		// closed writes and already-applied diffs (page.appliedVC) — has no
+		// notice left to re-deliver it, so discarding the copy would lose
+		// it: validate instead.
+		if !mustKeep && pg.data != nil {
+			if pg.lastOwnSeq >= 0 && (flushVC == nil || !flushVC.covers(n.id, pg.lastOwnSeq)) {
+				mustKeep = true
+			} else if pg.appliedVC != nil && (flushVC == nil || !pg.appliedVC.dominatedBy(flushVC)) {
+				mustKeep = true
+			}
+		}
 		if mustKeep || n.gcShouldValidateLocked(pg, retire, len(covered), !quiescent) {
 			w := pageWork{pg: pg, fetch: covered, home: -1}
 			if pg.data == nil {
@@ -581,6 +623,7 @@ func (n *Node) gcPurgePagesLocked(c *Client, retire, flushVC VectorClock, quiesc
 			}
 			w.pg.data = data
 			w.pg.refetch = false
+			w.pg.appliedVC = nil // fresh home base (cf. faultInLocked)
 			n.stats.PageFetches++
 		}
 		n.mu.Unlock()
@@ -640,6 +683,7 @@ func (n *Node) gcPurgePagesLocked(c *Client, retire, flushVC VectorClock, quiesc
 			if !ok {
 				panic(fmt.Sprintf("dsm: GC validation missing diff (%d,%d) for page %d", ivl.creator, ivl.seq, w.pg.id))
 			}
+			n.mergeAppliedLocked(w.pg, ivl.vc)
 			applied := applyDiff(w.pg.data, d)
 			n.stats.DiffsApplied++
 			c.clk.Advance(plat.DiffApply + sim.Time(float64(applied)*plat.DiffApplyPerByte))

@@ -93,7 +93,9 @@ type NodeStats struct {
 	GCEpisodes       int64 // global sync episodes examined by the collector
 	GCEpochs         int64 // episodes that actually ran a collection
 	GCAcqEpochs      int64 // acquire (lock-manager-led) epochs processed here
-	GCSyncPushes     int64 // consensus-sync deltas pushed to quiet nodes
+	GCSyncPushes     int64 // consensus-sync frames pushed toward quiet nodes
+	GCSyncRelays     int64 // tree-routed consensus frames forwarded onward
+	GCDepartFloors   int64 // acquire floors piggybacked on departure waves
 	IntervalsRetired int64 // interval records reclaimed
 	TwinsCollected   int64 // twins released without ever encoding their diff
 	GCPagesValidated int64 // stale copies brought current during GC
@@ -216,6 +218,7 @@ func (n *Node) closeIntervalLocked() {
 		pg.lastOwnSeq = ivl.seq
 		pg.inDirty = false
 		n.mergeSeenLocked(pg, ivl.vc)
+		n.mergeAppliedLocked(pg, ivl.vc)
 		if pg.state == pageReadWrite {
 			// Write-protect at interval close so the next local write
 			// faults and encodes this interval's diff before re-twinning.
@@ -326,6 +329,16 @@ func (n *Node) mergeSeenLocked(pg *page, vc VectorClock) {
 		pg.seenVC = newVC(n.sys.cfg.Procs)
 	}
 	pg.seenVC.merge(vc)
+}
+
+// mergeAppliedLocked folds an interval clock into the page's baked-in
+// content history (see page.appliedVC) — called when the node's own write
+// interval closes over the page and when a remote diff is applied to it.
+func (n *Node) mergeAppliedLocked(pg *page, vc VectorClock) {
+	if pg.appliedVC == nil {
+		pg.appliedVC = newVC(n.sys.cfg.Procs)
+	}
+	pg.appliedVC.merge(vc)
 }
 
 // ensureDiffEncodedLocked materializes the diff owed by the page's pending
@@ -592,6 +605,7 @@ func (c *Client) faultInLocked(pg *page) {
 	pageSource := n.homeOf(pg.id)
 	resolved := fetch // which notices this round settles
 	squashed := false
+	var squashIvl *interval
 	if squashEnabled && len(fetch) > 0 && (needPage || len(fetch) >= squashMin) {
 		for _, m := range fetch {
 			if m.creator != n.id && pg.seenVC != nil && pg.seenVC.dominatedBy(m.vc) {
@@ -609,6 +623,7 @@ func (c *Client) faultInLocked(pg *page) {
 				pageSource = m.creator
 				needPage = true
 				squashed = true
+				squashIvl = m
 				fetch = nil // every missing interval is ≤ M: page covers all
 				break
 			}
@@ -665,6 +680,15 @@ func (c *Client) faultInLocked(pg *page) {
 		// repairs a flush-truncated notice history.
 		pg.data = pageContent
 		pg.refetch = false
+		if squashed {
+			// The source's copy bakes in at least M's history; content the
+			// source wrote beyond M is re-delivered by its future notices.
+			n.mergeAppliedLocked(pg, squashIvl.vc)
+		} else {
+			// Fresh home base: home copies only move forward, so nothing
+			// baked in here needs tracking until a diff lands on it.
+			pg.appliedVC = nil
+		}
 	}
 
 	// Apply in a linearization of happens-before.
@@ -674,6 +698,7 @@ func (c *Client) faultInLocked(pg *page) {
 		if !ok {
 			panic(fmt.Sprintf("dsm: node %d missing diff (%d,%d) for page %d", n.id, ivl.creator, ivl.seq, pid))
 		}
+		n.mergeAppliedLocked(pg, ivl.vc)
 		applied := applyDiff(pg.data, d)
 		n.stats.DiffsApplied++
 		c.clk.Advance(plat.DiffApply + sim.Time(float64(applied)*plat.DiffApplyPerByte))
@@ -825,6 +850,9 @@ func (c *Client) WriteBytes(a Addr, src []byte) {
 func (c *Client) ReadF64s(a Addr, dst []float64) {
 	n := c.n
 	n.checkRange(a, 8*len(dst))
+	if debugOracleOn {
+		defer oracleCheckF64s(n.id, a, dst)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	i := 0
@@ -856,6 +884,7 @@ func (c *Client) ReadF64s(a Addr, dst []float64) {
 func (c *Client) WriteF64s(a Addr, src []float64) {
 	n := c.n
 	n.checkRange(a, 8*len(src))
+	oracleWriteF64s(a, src)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	i := 0

@@ -63,6 +63,20 @@ type page struct {
 	// stand in for the entire accumulated diff chain.
 	seenVC VectorClock
 
+	// appliedVC is the merge of the vector clocks of every interval whose
+	// content is BAKED INTO the local copy beyond what the page's home can
+	// reproduce: the node's own closed write intervals and every remote
+	// diff applied here (fault or GC validation). Unlike seenVC it excludes
+	// notices still waiting in `missing` — those survive a flush as the
+	// kept tail and are re-applied over the rebuilt base. A GC flush may
+	// discard the copy only when the home's guaranteed floor covers
+	// appliedVC: baked-in content has no notice left to re-deliver it, so
+	// the home's copy is the only other place it can live. Reset to nil
+	// when the copy is discarded (a fresh home fetch re-bases the page) —
+	// home copies only move forward, so home-derived bytes are always
+	// re-obtainable and never need tracking.
+	appliedVC VectorClock
+
 	// inDirty notes membership in the node's open-interval dirty list.
 	inDirty bool
 

@@ -28,6 +28,121 @@ func TestScale128AcquireGCPushes(t *testing.T) {
 	}
 }
 
+// TestScale128TreeConsensusFanout re-drives the 128-node push ring and
+// asserts the hierarchical-consensus claims on top of convergence: push
+// rounds still announce and retire (the floor converges), and the
+// per-round fan-out of a push initiator is bounded by its combining-tree
+// degree — O(fan-in) — rather than the machine size. The flat protocol
+// sent up to P-1 = 127 msgGCSync datagrams from one node per round; the
+// tree transport sends at most fanin+1 = 9 first-hop frames per round
+// (summed over ALL initiators, which is strictly stronger than the
+// per-node claim) and relays the rest hop by hop.
+func TestScale128TreeConsensusFanout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("128-node ring is slow under -short")
+	}
+	sys := acqRingWorkload(t, Config{Procs: 128, GCPressure: 64}, 12)
+	st := sys.TotalStats()
+	if st.GCAcqEpochs == 0 || st.IntervalsRetired == 0 {
+		t.Fatalf("consensus did not converge: %d acquire epochs, %d intervals retired",
+			st.GCAcqEpochs, st.IntervalsRetired)
+	}
+	sys.acq.mu.Lock()
+	rounds, announced := sys.acq.pushes, sys.acq.announced
+	sys.acq.mu.Unlock()
+	if announced == 0 {
+		t.Error("no acquire epochs announced at 128 nodes: the floor never advanced")
+	}
+	if rounds == 0 {
+		t.Fatal("no push rounds initiated: the push path was not exercised")
+	}
+	degree := int64(DefaultBarrierFanin + 1) // children of one node, plus its parent
+	if st.GCSyncPushes > rounds*degree {
+		t.Errorf("%d push frames over %d rounds exceeds the tree-degree bound %d: "+
+			"initiators are fanning out O(P), not O(fan-in)",
+			st.GCSyncPushes, rounds, rounds*degree)
+	}
+	if st.GCSyncRelays == 0 {
+		t.Error("no relays: pushes are not routing through the combining tree")
+	}
+}
+
+// TestTreeVsFlatConsensusEquivalence pins the tree-vs-flat agreement two
+// ways at ≤ 9 nodes. First, the routing gate: at the paper's machine
+// sizes (procs ≤ fanin+1) the flat direct-send transport must stay in
+// effect — that path is what the golden byte-count pins certify, and the
+// predicate going true there would silently change their traffic.
+// Second, equivalence past the gate: the same workload run flat (default
+// fan-in) and tree-routed (fan-in 2 puts 8 nodes on a four-level tree)
+// must both converge with correct contents (the fixture asserts every
+// page) and retire protocol state — routing is a transport choice, never
+// a protocol change.
+func TestTreeVsFlatConsensusEquivalence(t *testing.T) {
+	flat := acqRingWorkload(t, Config{Procs: 8, GCPressure: 32}, 10)
+	if flat.nodes[1].gcTreeConsensus() {
+		t.Error("8 nodes at the default fan-in must keep the flat consensus transport")
+	}
+	if st := flat.TotalStats(); st.GCSyncRelays != 0 {
+		t.Errorf("flat transport relayed %d frames", st.GCSyncRelays)
+	}
+	tree := acqRingWorkload(t, Config{Procs: 8, GCPressure: 32, BarrierFanin: 2}, 10)
+	if !tree.nodes[1].gcTreeConsensus() {
+		t.Fatal("8 nodes at fan-in 2 must tree-route the consensus")
+	}
+	fs, ts := flat.TotalStats(), tree.TotalStats()
+	if fs.IntervalsRetired == 0 || ts.IntervalsRetired == 0 {
+		t.Errorf("retirement missing: flat retired %d, tree retired %d",
+			fs.IntervalsRetired, ts.IntervalsRetired)
+	}
+	if fs.GCAcqEpochs == 0 || ts.GCAcqEpochs == 0 {
+		t.Errorf("acquire epochs missing: flat %d, tree %d", fs.GCAcqEpochs, ts.GCAcqEpochs)
+	}
+}
+
+// TestTreeBarrierFloorPiggyback mixes locks with barriers on a two-level
+// tree while barrier episodes never collect (GCMinRetire is set beyond
+// reach), so announced acquire floors are still pending when departure
+// waves flow. The interior nodes must piggyback those floors onto the
+// batched departure frames (one reply-class msgBatch per child), and the
+// children must unwrap the frame, hand the departure to the parked
+// barrier waiter, and process the floor inline — the whole reply-frame
+// path, asserted by the piggyback counter and by every node reading
+// correct neighbor values afterward.
+func TestTreeBarrierFloorPiggyback(t *testing.T) {
+	const procs, rounds = 16, 24
+	sys := New(Config{Procs: procs, GCPressure: 24, GCMinRetire: 1 << 30})
+	arr := sys.MallocPage(procs * PageSize)
+	ctr := sys.MallocPage(8)
+	sys.Register("mix", func(n *Node, _ []byte) {
+		me := n.ID()
+		for r := 0; r < rounds; r++ {
+			n.WriteI64(arr+Addr(me*PageSize), int64(r*1000+me))
+			n.Acquire(1)
+			n.WriteI64(ctr, n.ReadI64(ctr)+1)
+			n.Release(1)
+			n.Barrier()
+			o := (me + 1) % procs
+			if got := n.ReadI64(arr + Addr(o*PageSize)); got != int64(r*1000+o) {
+				t.Errorf("node %d round %d read neighbor %d = %d, want %d", me, r, o, got, r*1000+o)
+			}
+			n.Barrier()
+		}
+	})
+	if err := sys.Run(func(n *Node) { n.RunParallel("mix", nil) }); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.TotalStats()
+	if got := int64(rounds * procs); st.LockAcquires < got {
+		t.Errorf("lock traffic missing: %d acquires, want ≥ %d", st.LockAcquires, got)
+	}
+	if st.GCAcqEpochs == 0 {
+		t.Error("no acquire epochs: the piggyback scenario needs announced floors")
+	}
+	if st.GCDepartFloors == 0 {
+		t.Error("no floors piggybacked on departure waves: the reply-frame path was not exercised")
+	}
+}
+
 // TestScaleTreeBarrierCorrectness runs a neighbor-exchange kernel across
 // node counts that force every tree shape the combining barrier can take —
 // flat (≤ fan-in+1), two levels, three levels at 128 — and with a narrow

@@ -119,6 +119,7 @@ type System struct {
 	purged    *homePurged // per-node purge-floor registry (flush gate)
 	fanin     int         // resolved barrier tree fan-in
 	wireV1    bool        // pre-batching wire protocol (Config.WireV1)
+	treeGC    bool        // tree-routed consensus transport (SetTreeConsensusDefault)
 
 	regionsMu sync.Mutex
 	regions   map[string]RegionFunc
@@ -163,6 +164,7 @@ func New(cfg Config) *System {
 		gcOn:      !cfg.DisableGC && gcDefault && cfg.Procs > 1,
 		gcFloors:  make(map[int64]*epochFloor),
 		wireV1:    cfg.WireV1 || wireV1Default,
+		treeGC:    treeConsensusOn,
 	}
 	s.gcPolicy = cfg.GCPolicy
 	if s.gcPolicy == GCPolicyDefault {
@@ -182,6 +184,17 @@ func New(cfg Config) *System {
 	pressure := cfg.GCPressure
 	if pressure == 0 {
 		pressure = gcDefaultPressure
+		// The trigger counts retirable interval records SYSTEM-WIDE (the
+		// consensus floor's component sum), which grows with the machine:
+		// a fixed threshold that fires after a few rounds of metadata at
+		// the paper's 8 workstations fires 16× as often at 128 nodes, and
+		// every acquire epoch costs a full consensus round. Scale the
+		// zero-value default linearly past the paper's machine size; an
+		// explicit Config.GCPressure (or SetGCPressureDefault) still pins
+		// the trigger exactly, and ≤8-processor runs are untouched.
+		if pressure > 0 && cfg.Procs > 8 {
+			pressure *= cfg.Procs / 8
+		}
 	}
 	if s.gcOn && pressure > 0 {
 		// Under node-0 homes the coordinator keeps the historical node-0-
@@ -490,6 +503,8 @@ func (s *System) TotalStats() NodeStats {
 		t.GCEpochs += st.GCEpochs
 		t.GCAcqEpochs += st.GCAcqEpochs
 		t.GCSyncPushes += st.GCSyncPushes
+		t.GCSyncRelays += st.GCSyncRelays
+		t.GCDepartFloors += st.GCDepartFloors
 		t.IntervalsRetired += st.IntervalsRetired
 		t.TwinsCollected += st.TwinsCollected
 		t.GCPagesValidated += st.GCPagesValidated

@@ -236,10 +236,13 @@ func (n *Node) getTrailer(r *rbuf) (VectorClock, []*interval) {
 	return getVCv2(r), decodeRecordsV2(r)
 }
 
-// frameBuilder collects typed request-class sub-messages bound for one
-// peer and transmits them as a single msgBatch datagram. The envelope is
-// uv(nsubs), then per sub u8(type) + uv(len) + payload; the server demuxes
-// it back into the ordinary handlers (server.go), so observable protocol
+// frameBuilder collects typed sub-messages bound for one peer and
+// transmits them as a single msgBatch datagram. The envelope is
+// uv(nsubs), then per sub u8(type) + uv(len) + payload; a request-class
+// frame (sendAt/trySendAt) is demuxed by the receiver's protocol server
+// back into the ordinary handlers (server.go), a reply-class frame
+// (sendReplyAt) by the waiting application thread (client.go's
+// unwrapReplyBatch, with the PRIMARY reply first), so observable protocol
 // behavior is unchanged — only the datagram count and header overhead
 // shrink. Degenerate cases collapse: zero subs send nothing, one sub is
 // sent plain under its own type (so single-message waves stay
@@ -295,6 +298,24 @@ func (f *frameBuilder) sendAt(to int, at sim.Time) {
 	}
 	payload, parts := f.build()
 	f.n.ep.SendFrameAt(to, msgBatch, network.ClassRequest, payload, parts, at)
+}
+
+// sendReplyAt transmits the collected subs as a reply-class envelope —
+// the batched barrier departure wave. The first sub must be the primary
+// reply the receiver's waiting thread expects (recvReply unwraps the
+// frame and hands that sub to the waiter; the subs behind it are
+// piggybacked notices handled inline). Blocking, like every reply send:
+// application-thread contexts only, receiver guaranteed to be draining.
+func (f *frameBuilder) sendReplyAt(to int, at sim.Time) {
+	switch len(f.subs) {
+	case 0:
+		return
+	case 1:
+		f.n.ep.SendAt(to, f.subs[0].typ, network.ClassReply, f.subs[0].payload, at)
+		return
+	}
+	payload, parts := f.build()
+	f.n.ep.SendFrameAt(to, msgBatch, network.ClassReply, payload, parts, at)
 }
 
 // trySendAt transmits non-blocking, reporting whether the frame (with

@@ -204,23 +204,40 @@ func (e *cellError) Unwrap() error { return e.err }
 // SeqCached's singleflight, so concurrent cells of one application fault
 // in the oracle exactly once. Output never depends on scheduling: results
 // are collected into a map and printed in table order by the caller.
+//
+// Fail fast: once any cell has failed, remaining cells are not computed —
+// they inherit the first error instead of burning minutes on cells whose
+// table will never print. With Workers == 1, cells run strictly
+// sequentially in dispatch order, reproducing the sequential harness's
+// abort-at-first-error behaviour exactly; a wider pool may surface the
+// inherited error at an earlier table row, so it carries the failing
+// cell's identity (cellError).
 func computeCells(s Scale, cells []cellKey) map[cellKey]cellResult {
+	return computeGrid(s, cells, true)
+}
+
+// computeCellsKeepGoing is computeCells without the fail-fast
+// inheritance: every cell runs to its own verdict and failures stay
+// confined to their (app, size) entry. The scaling study uses this — its
+// 64- and 128-node cells each cost minutes, and one flaky cell must not
+// void the rows already paid for or the applications still queued.
+func computeCellsKeepGoing(s Scale, cells []cellKey) map[cellKey]cellResult {
+	return computeGrid(s, cells, false)
+}
+
+func computeGrid(s Scale, cells []cellKey, failFast bool) map[cellKey]cellResult {
 	var (
 		mu       sync.Mutex
 		firstErr error
 		out      = make(map[cellKey]cellResult, len(cells))
 	)
-	// Fail fast: once any cell has failed, remaining cells are not
-	// computed — they inherit the first error instead of burning minutes
-	// on cells whose table will never print. With Workers == 1, cells run
-	// strictly sequentially in dispatch order, reproducing the sequential
-	// harness's abort-at-first-error behaviour exactly; a wider pool may
-	// surface the inherited error at an earlier table row, so it carries
-	// the failing cell's identity (cellError).
 	oneCell := func(k cellKey) cellResult {
-		mu.Lock()
-		ferr := firstErr
-		mu.Unlock()
+		var ferr error
+		if failFast {
+			mu.Lock()
+			ferr = firstErr
+			mu.Unlock()
+		}
 		var r cellResult
 		if ferr != nil {
 			r.Err = ferr

@@ -46,6 +46,12 @@ func scalingShares(r apps.Result) (page, sync, gc float64, binding string) {
 // / GC consensus), and which category is binding there. The wall line
 // names the first size that no longer improves on the previous one —
 // the machine size past which adding workstations buys nothing.
+//
+// A failing cell degrades in place instead of aborting the table: its
+// row reports the error, wall detection restarts past it (a speedup
+// comparison across an errored size would be meaningless), and every
+// other application's rows still print. At 64 and 128 nodes a single
+// flaky cell must not cost the whole multi-hour study.
 func TableScaling(w io.Writer, s Scale, procsList []int) error {
 	cells := make([]cellKey, 0, len(Apps)*(1+len(procsList)))
 	for _, a := range Apps {
@@ -54,7 +60,7 @@ func TableScaling(w io.Writer, s Scale, procsList []int) error {
 			cells = append(cells, cellKey{App: a.Name, Impl: OMP, Procs: p})
 		}
 	}
-	got := computeCells(s, cells)
+	got := computeCellsKeepGoing(s, cells)
 
 	fprintf(w, "Scaling wall: OpenMP on the NOW past the paper's 8 workstations.\n")
 	fprintf(w, "Per machine size: speedup over sequential, each protocol cost's\n")
@@ -66,26 +72,34 @@ func TableScaling(w io.Writer, s Scale, procsList []int) error {
 	for _, a := range Apps {
 		seq := got[cellKey{App: a.Name, Impl: Seq}]
 		if seq.Err != nil {
-			return seq.Err
+			// No sequential baseline, no speedups: one error row stands in
+			// for the application and the table moves on.
+			fprintf(w, "%-10s %6s ERROR: %v\n", a.Name, "seq", seq.Err)
+			continue
 		}
 		wall := 0
+		havePrev := false
 		prev := 0.0
 		for i, p := range procsList {
-			c := got[cellKey{App: a.Name, Impl: OMP, Procs: p}]
-			if c.Err != nil {
-				return c.Err
-			}
-			sp := seq.Res.Time.Seconds() / c.Res.Time.Seconds()
-			page, sync, gc, binding := scalingShares(c.Res)
 			name := a.Name
 			if i > 0 {
 				name = ""
 			}
+			c := got[cellKey{App: a.Name, Impl: OMP, Procs: p}]
+			if c.Err != nil {
+				fprintf(w, "%-10s %6d ERROR: %v\n", name, p, c.Err)
+				// The next good cell has no predecessor to improve on.
+				havePrev = false
+				continue
+			}
+			sp := seq.Res.Time.Seconds() / c.Res.Time.Seconds()
+			page, sync, gc, binding := scalingShares(c.Res)
 			fprintf(w, "%-10s %6d %8.2f %7.1f %7.1f %7.1f  %-8s\n",
 				name, p, sp, page, sync, gc, binding)
-			if wall == 0 && i > 0 && sp <= prev {
+			if wall == 0 && havePrev && sp <= prev {
 				wall = p
 			}
+			havePrev = true
 			prev = sp
 		}
 		if wall > 0 {
